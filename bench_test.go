@@ -1,0 +1,114 @@
+package stcam
+
+// This file maps every reconstructed experiment (DESIGN.md §3) to a testing.B
+// target, so `go test -bench=.` regenerates the full evaluation. Each bench
+// runs its experiment at a CI-friendly scale and reports the table through
+// the benchmark log; `cmd/stcam-bench` runs the same experiments at full
+// scale. Custom metrics surface the headline number of each experiment so
+// -benchmem output is comparable across runs.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"stcam/internal/bench"
+)
+
+// benchScale keeps `go test -bench=.` under a few minutes; stcam-bench
+// defaults to 1.0.
+const benchScale = bench.Scale(0.15)
+
+func runExperiment(b *testing.B, run func(bench.Scale) *bench.Table) *bench.Table {
+	b.Helper()
+	var tbl *bench.Table
+	for i := 0; i < b.N; i++ {
+		tbl = run(benchScale)
+	}
+	b.Log("\n" + tbl.String())
+	return tbl
+}
+
+// cell parses a numeric table cell, tolerating suffixed strings.
+func cell(tbl *bench.Table, row, col int) float64 {
+	if row >= len(tbl.Rows) || col >= len(tbl.Rows[row]) {
+		return 0
+	}
+	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func BenchmarkR1Ingest(b *testing.B) {
+	tbl := runExperiment(b, bench.R1Ingest)
+	// Headline: distributed events/second at the largest worker count.
+	b.ReportMetric(cell(tbl, len(tbl.Rows)-1, 2), "events/s")
+}
+
+func BenchmarkR2QueryLatency(b *testing.B) {
+	tbl := runExperiment(b, bench.R2QueryLatency)
+	_ = tbl
+}
+
+func BenchmarkR3Handoff(b *testing.B) {
+	tbl := runExperiment(b, bench.R3Handoff)
+	// Headline: primes per handoff for scoped (row 0) vs broadcast (row 1).
+	b.ReportMetric(cell(tbl, 0, 4), "scoped-primes/handoff")
+	b.ReportMetric(cell(tbl, 1, 4), "broadcast-primes/handoff")
+}
+
+func BenchmarkR4Reid(b *testing.B) {
+	tbl := runExperiment(b, bench.R4Reid)
+	b.ReportMetric(cell(tbl, 0, 2), "rank1-clean")
+}
+
+func BenchmarkR5Balance(b *testing.B) {
+	tbl := runExperiment(b, bench.R5Balance)
+	b.ReportMetric(cell(tbl, 0, 5), "spatial-imbalance")
+	b.ReportMetric(cell(tbl, 1, 5), "hash-imbalance")
+}
+
+func BenchmarkR6Index(b *testing.B) {
+	runExperiment(b, bench.R6Index)
+}
+
+func BenchmarkR7Continuous(b *testing.B) {
+	tbl := runExperiment(b, bench.R7Continuous)
+	b.ReportMetric(cell(tbl, len(tbl.Rows)-1, 3), "ns/event-max-queries")
+}
+
+func BenchmarkR8Failover(b *testing.B) {
+	runExperiment(b, bench.R8Failover)
+}
+
+func BenchmarkR9Retention(b *testing.B) {
+	runExperiment(b, bench.R9Retention)
+}
+
+func BenchmarkR10Crossover(b *testing.B) {
+	runExperiment(b, bench.R10Crossover)
+}
+
+func BenchmarkR11Histogram(b *testing.B) {
+	tbl := runExperiment(b, bench.R11Histogram)
+	b.ReportMetric(cell(tbl, len(tbl.Rows)-1, 1), "final-abs-error")
+}
+
+func BenchmarkR12Trajectory(b *testing.B) {
+	tbl := runExperiment(b, bench.R12Trajectory)
+	b.ReportMetric(cell(tbl, 0, 4), "clean-mean-err-m")
+}
+
+func BenchmarkR13Planner(b *testing.B) {
+	tbl := runExperiment(b, bench.R13Planner)
+	// Headline: forced-spatial slowdown relative to adaptive (row 0, col 4
+	// like "142.2x") — parse the leading float.
+	if len(tbl.Rows) > 0 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(tbl.Rows[0][4], "x"), 64)
+		if err == nil {
+			b.ReportMetric(v, "forced-spatial-slowdown")
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command stcam-bench regenerates the evaluation suite from DESIGN.md §3:
+// every reconstructed table and figure (R1–R12), printed as aligned text
+// tables. Results at the default scale are recorded in EXPERIMENTS.md.
+//
+//	stcam-bench                  # run everything at full scale
+//	stcam-bench -exp R3,R5       # selected experiments
+//	stcam-bench -scale 0.2       # faster, smaller workloads (same shapes)
+//	stcam-bench -list            # show the experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"stcam/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stcam-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expFlag = flag.String("exp", "", "comma-separated experiment IDs (empty = all)")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	all := bench.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return nil
+	}
+	if *scale <= 0 {
+		return fmt.Errorf("scale must be positive")
+	}
+
+	selected := all
+	if *expFlag != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+		selected = selected[:0]
+		for _, e := range all {
+			if want[e.ID] {
+				selected = append(selected, e)
+				delete(want, e.ID)
+			}
+		}
+		if len(want) > 0 {
+			ids := make([]string, 0, len(want))
+			for id := range want {
+				ids = append(ids, id)
+			}
+			return fmt.Errorf("unknown experiment(s): %s (use -list)", strings.Join(ids, ", "))
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tbl := e.Run(bench.Scale(*scale))
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("  (%s in %s at scale %.2f)\n\n", e.ID, time.Since(start).Round(time.Millisecond), *scale)
+	}
+	return nil
+}

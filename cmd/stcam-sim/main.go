@@ -1,0 +1,137 @@
+// Command stcam-sim drives a synthetic camera deployment and object
+// population into a running stcam cluster over TCP: it registers the cameras
+// with the coordinator, then streams each simulation tick's detections
+// through the coordinator's ingest proxy.
+//
+//	stcam-sim -coordinator host:7600 -cams 8 -objects 200 -ticks 300 -rate 10
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"stcam"
+	"stcam/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stcam-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		coordAddr = flag.String("coordinator", "127.0.0.1:7600", "coordinator address")
+		side      = flag.Int("cams", 8, "cameras per world side (total = cams²)")
+		objects   = flag.Int("objects", 200, "moving objects")
+		ticks     = flag.Int("ticks", 300, "simulation ticks to run (0 = forever)")
+		rate      = flag.Float64("rate", 10, "real-time ticks per second (0 = as fast as possible)")
+		worldSize = flag.Float64("world", 2000, "world side length, meters")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		posNoise  = flag.Float64("pos-noise", 1.0, "detector position noise σ, meters")
+		fnRate    = flag.Float64("fn-rate", 0.05, "detector false-negative rate")
+	)
+	flag.Parse()
+
+	world := stcam.RectOf(0, 0, *worldSize, *worldSize)
+	cams := make([]stcam.CameraInfo, 0, *side**side)
+	cw := *worldSize / float64(*side)
+	id := uint32(1)
+	for r := 0; r < *side; r++ {
+		for c := 0; c < *side; c++ {
+			cams = append(cams, stcam.CameraInfo{
+				ID:      id,
+				Pos:     stcam.Pt((float64(c)+0.5)*cw, (float64(r)+0.5)*cw),
+				HalfFOV: math.Pi,
+				Range:   0.8 * cw,
+			})
+			id++
+		}
+	}
+
+	transport := stcam.NewTCP()
+	defer transport.Close()
+	ctx := context.Background()
+
+	// Register the deployment.
+	resp, err := transport.Call(ctx, *coordAddr, &wire.AssignCameras{Cameras: cams})
+	if err != nil {
+		return fmt.Errorf("register cameras: %w", err)
+	}
+	ack, ok := resp.(*wire.AssignAck)
+	if !ok {
+		return fmt.Errorf("unexpected response %T", resp)
+	}
+	log.Printf("registered %d cameras (epoch %d)", ack.Accepted, ack.Epoch)
+
+	w, err := stcam.NewWorld(stcam.WorldConfig{
+		World:      world,
+		NumObjects: *objects,
+		Model:      &stcam.RandomWaypoint{World: world, MinSpeed: 2, MaxSpeed: 15},
+		Seed:       *seed,
+		Start:      time.Now().UTC(),
+		FeatureDim: 64,
+	})
+	if err != nil {
+		return err
+	}
+	camNet := buildNetwork(cams)
+	det := stcam.NewDetector(stcam.DetectorConfig{
+		PosNoise:     *posNoise,
+		FeatureNoise: 0.05,
+		FalseNegRate: *fnRate,
+		FeatureDim:   64,
+		Seed:         *seed,
+	})
+
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(time.Second) / *rate)
+	}
+	sent := 0
+	for tick := 0; *ticks == 0 || tick < *ticks; tick++ {
+		start := time.Now()
+		w.Step()
+		byCam := w.Observe(camNet, det)
+		for camID, dets := range byCam {
+			batch := &wire.IngestBatch{Camera: uint32(camID), FrameTime: w.Now()}
+			for _, d := range dets {
+				batch.Observations = append(batch.Observations, wire.Observation{
+					ObsID: d.ObsID, Camera: uint32(d.Camera), Time: d.Time,
+					Pos: d.Pos, Feature: d.Feature,
+				})
+			}
+			if _, err := transport.Call(ctx, *coordAddr, batch); err != nil {
+				log.Printf("ingest camera %d: %v", camID, err)
+				continue
+			}
+			sent += len(batch.Observations)
+		}
+		if tick%50 == 0 {
+			log.Printf("tick %d: %d observations sent so far", tick, sent)
+		}
+		if interval > 0 {
+			if rem := interval - time.Since(start); rem > 0 {
+				time.Sleep(rem)
+			}
+		}
+	}
+	log.Printf("done: %d observations across %d ticks", sent, *ticks)
+	return nil
+}
+
+func buildNetwork(cams []stcam.CameraInfo) *stcam.CameraNetwork {
+	net := stcam.NewCameraNetwork()
+	for _, ci := range cams {
+		net.Add(stcam.NewCamera(stcam.CameraID(ci.ID), ci.Pos, ci.Orient, ci.HalfFOV, ci.Range))
+	}
+	net.BuildIndex(0)
+	return net
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"testing"
+
+	"stcam"
+)
+
+func TestParseRect(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    stcam.Rect
+		wantErr bool
+	}{
+		{"0,0,100,50", stcam.RectOf(0, 0, 100, 50), false},
+		{" 1 , 2 , 3 , 4 ", stcam.RectOf(1, 2, 3, 4), false},
+		{"100,50,0,0", stcam.RectOf(0, 0, 100, 50), false}, // normalized
+		{"-5,-5,5,5", stcam.RectOf(-5, -5, 5, 5), false},
+		{"1,2,3", stcam.Rect{}, true},
+		{"1,2,3,4,5", stcam.Rect{}, true},
+		{"a,b,c,d", stcam.Rect{}, true},
+		{"", stcam.Rect{}, true},
+	}
+	for _, tt := range tests {
+		got, err := parseRect(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseRect(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("parseRect(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParsePoint(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    stcam.Point
+		wantErr bool
+	}{
+		{"3,4", stcam.Pt(3, 4), false},
+		{" -1.5 , 2.25 ", stcam.Pt(-1.5, 2.25), false},
+		{"3", stcam.Point{}, true},
+		{"3,4,5", stcam.Point{}, true},
+		{"x,y", stcam.Point{}, true},
+	}
+	for _, tt := range tests {
+		got, err := parsePoint(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parsePoint(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("parsePoint(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                       // no command
+		{"frobnicate"},                           // unknown command
+		{"range", "-rect", "bad"},                // bad rect
+		{"knn", "-at", "nope"},                   // bad point
+		{"trajectory"},                           // missing target
+		{"heatmap", "-rect", "1,2,3,4", "-cell"}, // flag parse error
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

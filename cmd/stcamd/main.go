@@ -1,0 +1,102 @@
+// Command stcamd runs one node of an stcam cluster over TCP: either the
+// coordinator or a worker.
+//
+// Coordinator:
+//
+//	stcamd -role coordinator -addr :7600
+//
+// Workers (any number, on any machines that can reach the coordinator):
+//
+//	stcamd -role worker -id w1 -addr :7601 -coordinator host:7600
+//
+// Cameras are registered by a client (cmd/stcam-sim, or any program sending
+// an AssignCameras message to the coordinator); queries go through
+// cmd/stcamctl.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"stcam"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stcamd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		role      = flag.String("role", "worker", "node role: coordinator | worker")
+		id        = flag.String("id", "", "worker node id (required for workers)")
+		addr      = flag.String("addr", ":7601", "listen address")
+		coordAddr = flag.String("coordinator", "127.0.0.1:7600", "coordinator address (workers)")
+		heartbeat = flag.Duration("heartbeat", time.Second, "worker heartbeat interval")
+		hbTimeout = flag.Duration("failure-timeout", 5*time.Second, "coordinator: declare workers dead after this silence")
+		retention = flag.Duration("retention", 0, "worker observation retention (0 = unlimited)")
+		sweep     = flag.Duration("sweep", time.Second, "coordinator: liveness sweep interval")
+	)
+	flag.Parse()
+
+	transport := stcam.NewTCP()
+	defer transport.Close()
+	opts := stcam.Options{HeartbeatTimeout: *hbTimeout, Retention: *retention}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	switch *role {
+	case "coordinator":
+		coord := stcam.NewCoordinator(*addr, transport, nil, opts)
+		if err := coord.Start(); err != nil {
+			return err
+		}
+		defer coord.Stop()
+		log.Printf("coordinator listening on %s", coord.Addr())
+		ticker := time.NewTicker(*sweep)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if died := coord.Sweep(context.Background(), time.Now()); len(died) > 0 {
+					for _, m := range died {
+						log.Printf("worker %s declared dead; cameras reassigned (epoch %d)", m.Node, coord.Epoch())
+					}
+				}
+			case <-stop:
+				log.Print("shutting down")
+				return nil
+			}
+		}
+
+	case "worker":
+		if *id == "" {
+			return fmt.Errorf("worker requires -id")
+		}
+		w := stcam.NewWorker(stcam.NodeID(*id), *addr, *coordAddr, transport, opts)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := w.Start(ctx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		defer w.Stop()
+		w.StartHeartbeats(*heartbeat)
+		log.Printf("worker %s listening on %s, coordinator %s", *id, w.Addr(), *coordAddr)
+		<-stop
+		log.Print("shutting down")
+		return nil
+
+	default:
+		return fmt.Errorf("unknown role %q (want coordinator or worker)", *role)
+	}
+}

@@ -1,0 +1,167 @@
+// Congestion: continuous region monitoring with threshold alerts. A standing
+// count query watches a plaza; as hotspot-biased crowds ebb and flow, the
+// query streams incremental (+/-) membership deltas and fires alerts when the
+// occupancy crosses the configured threshold.
+//
+//	go run ./examples/congestion
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"stcam"
+)
+
+const crowdThreshold = 12
+
+func main() {
+	ctx := context.Background()
+	cl, err := stcam.NewLocalCluster(3, nil, stcam.Options{LostAfter: 10 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Stop()
+
+	world := stcam.RectOf(0, 0, 1000, 1000)
+	plaza := stcam.RectOf(100, 100, 350, 350)
+
+	// 5×5 camera grid.
+	var cams []stcam.CameraInfo
+	id := uint32(1)
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 5; c++ {
+			cams = append(cams, stcam.CameraInfo{
+				ID:      id,
+				Pos:     stcam.Pt(float64(c)*200+100, float64(r)*200+100),
+				HalfFOV: math.Pi,
+				Range:   170,
+			})
+			id++
+		}
+	}
+	if err := cl.Coordinator.AddCameras(ctx, cams, 60); err != nil {
+		log.Fatal(err)
+	}
+
+	// Standing count query over the plaza with an occupancy threshold.
+	queryID, updates, err := cl.Coordinator.InstallContinuous(ctx, stcam.ContinuousCount, plaza, crowdThreshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("continuous count query %d installed over the plaza (threshold %d)\n\n",
+		queryID, crowdThreshold)
+
+	// Crowd drawn toward the plaza.
+	w, err := stcam.NewWorld(stcam.WorldConfig{
+		World:      world,
+		NumObjects: 60,
+		Model: &stcam.RandomWaypoint{
+			World: world, MinSpeed: 2, MaxSpeed: 6,
+			Hotspot: plaza, HotspotProb: 0.6, Pause: 20,
+		},
+		Seed:       11,
+		FeatureDim: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	det := stcam.NewDetector(stcam.DetectorConfig{
+		PosNoise:     1.0,
+		FeatureNoise: 0.04,
+		FeatureDim:   64,
+		Seed:         12,
+	})
+	ing := stcam.NewIngester(cl.Coordinator, cl.Transport)
+
+	alerted := false
+	var peak int
+	var deltas int
+	w.Run(400, cl.Coordinator.Network(), det, func(tick int, obs []stcam.Detection) {
+		if _, err := ing.IngestDetections(ctx, obs); err != nil {
+			log.Fatal(err)
+		}
+		ing.Tick(ctx, w.Now())
+		for {
+			var u stcam.ContinuousUpdate
+			select {
+			case u = <-updates:
+			default:
+				return
+			}
+			deltas++
+			if u.Count > peak {
+				peak = u.Count
+			}
+			switch {
+			case u.Count >= crowdThreshold && !alerted:
+				alerted = true
+				fmt.Printf("t=%3ds  ALERT: plaza occupancy reached %d (threshold %d)\n",
+					tick, u.Count, crowdThreshold)
+			case u.Count < crowdThreshold && alerted:
+				alerted = false
+				fmt.Printf("t=%3ds  clear: plaza occupancy back to %d\n", tick, u.Count)
+			}
+		}
+	})
+
+	fmt.Printf("\nrun complete: %d incremental updates, peak plaza occupancy %d\n", deltas, peak)
+
+	// Cross-check the continuous answer against a snapshot of the last 10
+	// seconds: distinct targets observed inside the plaza.
+	window := stcam.TimeWindow{From: w.Now().Add(-10 * time.Second), To: w.Now()}
+	recs, err := cl.Coordinator.Range(ctx, plaza, window, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	distinct := map[uint64]bool{}
+	for _, r := range recs {
+		if r.TargetID != 0 {
+			distinct[r.TargetID] = true
+		}
+	}
+	fmt.Printf("snapshot check: %d distinct targets in the plaza over the final 10 s\n", len(distinct))
+
+	// Density heatmap of the whole world over the last minute, 100 m cells.
+	cells, err := cl.Coordinator.Heatmap(ctx,
+		world, stcam.TimeWindow{From: w.Now().Add(-time.Minute), To: w.Now()}, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nobservation density, last 60 s (darker = busier):")
+	printHeatmap(cells, 10, 10)
+
+	if err := cl.Coordinator.RemoveContinuous(ctx, queryID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query uninstalled")
+}
+
+// printHeatmap renders density cells as ASCII shades, north up.
+func printHeatmap(cells []stcam.HeatCell, w, h int) {
+	grid := make([][]int64, h)
+	for i := range grid {
+		grid[i] = make([]int64, w)
+	}
+	var maxN int64 = 1
+	for _, c := range cells {
+		if int(c.CX) >= 0 && int(c.CX) < w && int(c.CY) >= 0 && int(c.CY) < h {
+			grid[c.CY][c.CX] = c.Count
+			if c.Count > maxN {
+				maxN = c.Count
+			}
+		}
+	}
+	shades := []byte(" .:-=+*#%@")
+	for row := h - 1; row >= 0; row-- {
+		line := make([]byte, w)
+		for col := 0; col < w; col++ {
+			idx := int(grid[row][col] * int64(len(shades)-1) / maxN)
+			line[col] = shades[idx]
+		}
+		fmt.Printf("  |%s|\n", string(line))
+	}
+}

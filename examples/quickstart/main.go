@@ -1,0 +1,107 @@
+// Quickstart: assemble an in-process cluster, register a small camera grid,
+// ingest a handful of detections, and run the snapshot query repertoire.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"stcam"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// 1. A cluster: one coordinator, three workers, in-process transport.
+	cl, err := stcam.NewLocalCluster(3, nil, stcam.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Stop()
+
+	// 2. Register a 3×3 grid of omnidirectional cameras over a 900 m world.
+	//    The coordinator partitions them spatially across the workers.
+	var cams []stcam.CameraInfo
+	id := uint32(1)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			cams = append(cams, stcam.CameraInfo{
+				ID:      id,
+				Pos:     stcam.Pt(float64(c)*300+150, float64(r)*300+150),
+				HalfFOV: math.Pi,
+				Range:   250,
+			})
+			id++
+		}
+	}
+	if err := cl.Coordinator.AddCameras(ctx, cams, 50); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered %d cameras across %d workers\n", len(cams), len(cl.Workers))
+	for node, n := range cl.Coordinator.Assignment().Counts() {
+		fmt.Printf("  %s owns %d cameras\n", node, n)
+	}
+
+	// 3. Ingest detections: a vehicle driving diagonally through the world.
+	ing := stcam.NewIngester(cl.Coordinator, cl.Transport)
+	start := stcam.SimStart
+	var dets []stcam.Detection
+	for i := 0; i < 9; i++ {
+		p := stcam.Pt(float64(i)*100+50, float64(i)*100+50)
+		dets = append(dets, stcam.Detection{
+			ObsID:  uint64(i + 1),
+			Camera: stcam.CameraID(nearestCamera(cams, p)),
+			Pos:    p,
+			Time:   start.Add(time.Duration(i) * 10 * time.Second),
+		})
+	}
+	accepted, err := ing.IngestDetections(ctx, dets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ningested %d observations\n", accepted)
+
+	// 4. Queries.
+	window := stcam.TimeWindow{From: start, To: start.Add(time.Hour)}
+
+	recs, err := cl.Coordinator.Range(ctx, stcam.RectOf(0, 0, 450, 450), window, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrange query over the south-west quadrant: %d observations\n", len(recs))
+	for _, r := range recs {
+		fmt.Printf("  obs %d at %s seen by camera %d (%s)\n",
+			r.ObsID, r.Pos, r.Camera, r.Time.Format("15:04:05"))
+	}
+
+	nn, err := cl.Coordinator.KNN(ctx, stcam.Pt(900, 900), window, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n3 nearest observations to the north-east corner:\n")
+	for _, r := range nn {
+		fmt.Printf("  obs %d at %s, %.0f m away\n", r.ObsID, r.Pos, math.Sqrt(r.Dist2))
+	}
+
+	count, err := cl.Coordinator.Count(ctx, stcam.RectOf(300, 300, 900, 900), window)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncount in the inner region: %d\n", count)
+}
+
+// nearestCamera picks the camera whose mount point is closest to p.
+func nearestCamera(cams []stcam.CameraInfo, p stcam.Point) uint32 {
+	best, bestD := cams[0].ID, math.Inf(1)
+	for _, c := range cams {
+		if d := c.Pos.Dist(p); d < bestD {
+			best, bestD = c.ID, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,3 @@
+module stcam
+
+go 1.22

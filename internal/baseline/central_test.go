@@ -1,0 +1,131 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"stcam/internal/camera"
+	"stcam/internal/geo"
+	"stcam/internal/vision"
+	"stcam/internal/wire"
+)
+
+var t0 = time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+
+func det(id uint64, cam camera.ID, p geo.Point, at time.Time, f vision.Feature) vision.Detection {
+	return vision.Detection{ObsID: id, Camera: cam, Pos: p, Time: at, Feature: f}
+}
+
+func TestCentralIngestAndQueries(t *testing.T) {
+	c := NewCentral(CentralConfig{})
+	rng := rand.New(rand.NewSource(1))
+	f1 := vision.NewRandomFeature(rng, 32)
+	f2 := vision.NewRandomFeature(rng, 32)
+	c.Ingest([]vision.Detection{
+		det(1, 1, geo.Pt(10, 10), t0, f1),
+		det(2, 2, geo.Pt(500, 500), t0.Add(time.Second), f2),
+		det(3, 3, geo.Pt(20, 15), t0.Add(2*time.Second), f1.Perturb(rng, 0.05)),
+	})
+	if c.Stored() != 3 {
+		t.Fatalf("Stored = %d", c.Stored())
+	}
+	window := wire.TimeWindow{From: t0, To: t0.Add(time.Hour)}
+	recs := c.Range(geo.RectOf(0, 0, 100, 100), window, 0)
+	if len(recs) != 2 {
+		t.Fatalf("range = %d records", len(recs))
+	}
+	// Same identity associated across observations 1 and 3.
+	if recs[0].TargetID == 0 || recs[0].TargetID != recs[1].TargetID {
+		t.Errorf("association failed: %+v", recs)
+	}
+	if n := c.Count(geo.RectOf(0, 0, 100, 100), window); n != 2 {
+		t.Errorf("count = %d", n)
+	}
+	nn := c.KNN(geo.Pt(0, 0), window, 2)
+	if len(nn) != 2 || nn[0].ObsID != 1 {
+		t.Errorf("knn = %+v", nn)
+	}
+	traj := c.Trajectory(recs[0].TargetID, window)
+	if len(traj) != 2 {
+		t.Errorf("trajectory = %d records", len(traj))
+	}
+	if len(c.Targets()) != 2 {
+		t.Errorf("targets = %v", c.Targets())
+	}
+	// Limit.
+	if got := c.Range(geo.RectOf(0, 0, 1000, 1000), window, 1); len(got) != 1 {
+		t.Errorf("limited range = %d", len(got))
+	}
+}
+
+func TestCentralContinuous(t *testing.T) {
+	c := NewCentral(CentralConfig{})
+	rng := rand.New(rand.NewSource(2))
+	f := vision.NewRandomFeature(rng, 32)
+	id, ch := c.InstallContinuous(wire.ContinuousRange, geo.RectOf(0, 0, 100, 100), 0)
+
+	c.Ingest([]vision.Detection{det(1, 1, geo.Pt(50, 50), t0, f)})
+	select {
+	case u := <-ch:
+		if len(u.Positive) != 1 {
+			t.Fatalf("enter update = %+v", u)
+		}
+	default:
+		t.Fatal("no enter update")
+	}
+	c.Ingest([]vision.Detection{det(2, 1, geo.Pt(500, 500), t0.Add(time.Second), f)})
+	select {
+	case u := <-ch:
+		if len(u.Negative) != 1 {
+			t.Fatalf("leave update = %+v", u)
+		}
+	default:
+		t.Fatal("no leave update")
+	}
+	if !c.RemoveContinuous(id) {
+		t.Fatal("remove failed")
+	}
+	if c.RemoveContinuous(id) {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestCentralMatchesDistributedSemantics(t *testing.T) {
+	// The centralized baseline must return the same answer set as any correct
+	// implementation for a pure spatial workload (no identity ambiguity).
+	c := NewCentral(CentralConfig{CellSize: 30})
+	rng := rand.New(rand.NewSource(3))
+	type placed struct {
+		id uint64
+		p  geo.Point
+		at time.Time
+	}
+	var all []placed
+	var dets []vision.Detection
+	for i := 0; i < 2000; i++ {
+		pl := placed{
+			id: uint64(i + 1),
+			p:  geo.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			at: t0.Add(time.Duration(rng.Intn(600)) * time.Second),
+		}
+		all = append(all, pl)
+		dets = append(dets, det(pl.id, 1, pl.p, pl.at, nil))
+	}
+	c.Ingest(dets)
+	for trial := 0; trial < 50; trial++ {
+		r := geo.RectAround(geo.Pt(rng.Float64()*1000, rng.Float64()*1000), 50+rng.Float64()*150)
+		from := t0.Add(time.Duration(rng.Intn(300)) * time.Second)
+		to := from.Add(time.Duration(rng.Intn(300)) * time.Second)
+		want := 0
+		for _, pl := range all {
+			if r.Contains(pl.p) && !pl.at.Before(from) && !pl.at.After(to) {
+				want++
+			}
+		}
+		got := c.Count(r, wire.TimeWindow{From: from, To: to})
+		if got != want {
+			t.Fatalf("trial %d: count = %d, want %d", trial, got, want)
+		}
+	}
+}

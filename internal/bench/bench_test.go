@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAllExperimentsRunAtTinyScale smoke-runs every experiment end to end at
+// a small scale, checking the tables are well-formed. The shape assertions
+// live in the dedicated tests below.
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tbl := exp.Run(0.05)
+			if tbl.ID != exp.ID {
+				t.Errorf("table ID = %q, want %q", tbl.ID, exp.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("row %d has %d cells, header has %d", i, len(row), len(tbl.Header))
+				}
+			}
+			out := tbl.String()
+			if !strings.Contains(out, exp.ID) {
+				t.Error("rendered table missing experiment ID")
+			}
+		})
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "demo", Header: []string{"a", "bb"}}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x", 1500.0)
+	tbl.AddRow(time.Millisecond, 0.0)
+	out := tbl.String()
+	if !strings.Contains(out, "== X: demo ==") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2.500") || !strings.Contains(out, "1500") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, sep, 3 rows
+		t.Errorf("rendered %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestScaleClamps(t *testing.T) {
+	if got := Scale(0.001).n(10); got != 1 {
+		t.Errorf("tiny scale n = %d, want 1", got)
+	}
+	if got := Scale(2).n(10); got != 20 {
+		t.Errorf("2x scale n = %d, want 20", got)
+	}
+}
+
+// TestR3ShapeScopedBeatsBroadcast verifies the R3 headline claim at reduced
+// scale: scoped handoff sends fewer primes per handoff than broadcast, and
+// the broadcast cost grows with network size while scoped stays flat.
+func TestR3ShapeScopedBeatsBroadcast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test skipped in -short mode")
+	}
+	tbl := R3Handoff(0.3)
+	type row struct {
+		cams             int
+		primesPerHandoff float64
+	}
+	var scoped, broadcast []row
+	for _, r := range tbl.Rows {
+		cams, _ := strconv.Atoi(r[0])
+		per, _ := strconv.ParseFloat(r[4], 64)
+		if r[1] == "scoped" {
+			scoped = append(scoped, row{cams, per})
+		} else {
+			broadcast = append(broadcast, row{cams, per})
+		}
+	}
+	if len(scoped) < 2 || len(broadcast) < 2 {
+		t.Fatalf("missing rows: %v", tbl.Rows)
+	}
+	for i := range scoped {
+		if scoped[i].primesPerHandoff >= broadcast[i].primesPerHandoff {
+			t.Errorf("at %d cameras scoped (%.1f) not cheaper than broadcast (%.1f)",
+				scoped[i].cams, scoped[i].primesPerHandoff, broadcast[i].primesPerHandoff)
+		}
+	}
+}
+
+// TestR4ShapeAccuracyDegrades verifies rank-1 accuracy falls with noise and
+// with gallery size.
+func TestR4ShapeAccuracyDegrades(t *testing.T) {
+	tbl := R4Reid(0.5)
+	r1 := map[[2]string]float64{}
+	for _, r := range tbl.Rows {
+		v, _ := strconv.ParseFloat(r[2], 64)
+		r1[[2]string{r[0], r[1]}] = v
+	}
+	if r1[[2]string{"10", "0.050"}] < 0.95 {
+		t.Errorf("small gallery low noise rank-1 = %v, want ≈ 1", r1[[2]string{"10", "0.050"}])
+	}
+	if !(r1[[2]string{"1000", "1.000"}] < r1[[2]string{"1000", "0.050"}]) {
+		t.Error("rank-1 did not degrade with noise at gallery 1000")
+	}
+	if !(r1[[2]string{"1000", "1.000"}] <= r1[[2]string{"10", "1.000"}]) {
+		t.Error("rank-1 did not degrade with gallery size at high noise")
+	}
+}
+
+// TestR9ShapeRetentionBounds verifies bounded retention holds fewer records
+// than unlimited retention and that the bound scales with the window.
+func TestR9ShapeRetentionBounds(t *testing.T) {
+	tbl := R9Retention(0.5)
+	held := map[string]int{}
+	for _, r := range tbl.Rows {
+		v, _ := strconv.Atoi(r[2])
+		held[r[0]] = v
+	}
+	if held["30s"] >= held["2m0s"] || held["2m0s"] > held["unlimited"] {
+		t.Errorf("retention bounds not monotone: %v", held)
+	}
+}
+
+// TestR11ShapeErrorFalls verifies histogram error decreases with feedback.
+func TestR11ShapeErrorFalls(t *testing.T) {
+	tbl := R11Histogram(1)
+	var first, last float64
+	for i, r := range tbl.Rows {
+		v, _ := strconv.ParseFloat(r[1], 64)
+		if i == 0 {
+			first = v
+		}
+		last = v
+	}
+	if last >= first {
+		t.Errorf("error did not fall with feedback: first=%v last=%v", first, last)
+	}
+}

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"stcam/internal/baseline"
+	"stcam/internal/camera"
+	"stcam/internal/core"
+	"stcam/internal/geo"
+	"stcam/internal/sim"
+	"stcam/internal/vision"
+	"stcam/internal/wire"
+)
+
+// benchWorld builds the standard evaluation deployment: a square world with a
+// camsPerSide² omni grid and a seeded object population, plus the detection
+// batches for `ticks` simulation steps (pre-generated so measurement excludes
+// simulation cost).
+type workload struct {
+	world   geo.Rect
+	cams    []wire.CameraInfo
+	batches [][]vision.Detection // one slice per tick
+	tickDur time.Duration
+}
+
+func makeWorkload(camsPerSide, objects, ticks int, seed int64) *workload {
+	world := geo.RectOf(0, 0, 2000, 2000)
+	cams := omniGrid(world, camsPerSide)
+	net := wireToNetwork(cams)
+	net.BuildIndex(0)
+	det := vision.NewDetector(vision.DetectorConfig{
+		PosNoise:     1.0,
+		FeatureNoise: 0.05,
+		FeatureDim:   32,
+		Seed:         seed,
+	})
+	w, err := sim.NewWorld(sim.Config{
+		World:      world,
+		NumObjects: objects,
+		Model:      &sim.RandomWaypoint{World: world, MinSpeed: 5, MaxSpeed: 20},
+		Seed:       seed,
+		FeatureDim: 32,
+	})
+	if err != nil {
+		panic(err) // static configuration; cannot fail at runtime
+	}
+	wl := &workload{world: world, cams: cams, tickDur: time.Second}
+	w.Run(ticks, net, det, func(_ int, obs []vision.Detection) {
+		wl.batches = append(wl.batches, obs)
+	})
+	return wl
+}
+
+func (wl *workload) totalObs() int {
+	n := 0
+	for _, b := range wl.batches {
+		n += len(b)
+	}
+	return n
+}
+
+// omniGrid lays out side×side omnidirectional cameras covering the world.
+func omniGrid(world geo.Rect, side int) []wire.CameraInfo {
+	out := make([]wire.CameraInfo, 0, side*side)
+	cw, ch := world.Width()/float64(side), world.Height()/float64(side)
+	rng := 0.8 * math.Max(cw, ch)
+	id := uint32(1)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			out = append(out, wire.CameraInfo{
+				ID:      id,
+				Pos:     geo.Pt(world.Min.X+(float64(c)+0.5)*cw, world.Min.Y+(float64(r)+0.5)*ch),
+				HalfFOV: math.Pi,
+				Range:   rng,
+			})
+			id++
+		}
+	}
+	return out
+}
+
+// wireToNetwork builds a camera.Network from wire camera infos.
+func wireToNetwork(cams []wire.CameraInfo) *camera.Network {
+	net := camera.NewNetwork()
+	for _, ci := range cams {
+		net.Add(camera.New(camera.ID(ci.ID), ci.Pos, ci.Orient, ci.HalfFOV, ci.Range))
+	}
+	return net
+}
+
+// ingestAll streams the workload into a cluster, fanning batches out to the
+// owning workers concurrently (one goroutine per worker, as per-camera feed
+// processes would).
+func ingestAll(ctx context.Context, c *core.Cluster, wl *workload) (int, time.Duration) {
+	assignment := c.Coordinator.Assignment()
+	routes := make(map[uint32]string)
+	for cam := range assignment {
+		if addr, ok := c.Coordinator.RouteFor(cam); ok {
+			routes[cam] = addr
+		}
+	}
+	// Pre-group: per worker, per tick.
+	type workerFeed struct {
+		addr    string
+		batches []*wire.IngestBatch
+	}
+	feeds := make(map[string]*workerFeed)
+	for _, obs := range wl.batches {
+		perAddr := make(map[string]*wire.IngestBatch)
+		for _, d := range obs {
+			addr, ok := routes[uint32(d.Camera)]
+			if !ok {
+				continue
+			}
+			b := perAddr[addr]
+			if b == nil {
+				b = &wire.IngestBatch{Camera: uint32(d.Camera), FrameTime: d.Time}
+				perAddr[addr] = b
+			}
+			b.Observations = append(b.Observations, wire.Observation{
+				ObsID: d.ObsID, Camera: uint32(d.Camera), Time: d.Time,
+				Pos: d.Pos, Feature: d.Feature, TrueID: d.TrueID,
+			})
+		}
+		for addr, b := range perAddr {
+			f := feeds[addr]
+			if f == nil {
+				f = &workerFeed{addr: addr}
+				feeds[addr] = f
+			}
+			f.batches = append(f.batches, b)
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	var acceptedTotal int64
+	var mu sync.Mutex
+	for _, f := range feeds {
+		wg.Add(1)
+		go func(f *workerFeed) {
+			defer wg.Done()
+			local := 0
+			for _, b := range f.batches {
+				resp, err := c.Transport.Call(ctx, f.addr, b)
+				if err != nil {
+					continue
+				}
+				if ack, ok := resp.(*wire.IngestAck); ok {
+					local += ack.Accepted
+				}
+			}
+			mu.Lock()
+			acceptedTotal += int64(local)
+			mu.Unlock()
+		}(f)
+	}
+	wg.Wait()
+	return int(acceptedTotal), time.Since(start)
+}
+
+// R1Ingest measures ingest throughput (accepted observations/second) as the
+// worker count grows, against the centralized baseline. Expected shape:
+// near-linear scaling for the distributed system until coordination costs
+// flatten it; the centralized server is a single horizontal line.
+func R1Ingest(s Scale) *Table {
+	t := &Table{
+		ID:     "R1",
+		Title:  "Ingest throughput vs worker count",
+		Notes:  "16×16 camera grid, random-waypoint objects; events pre-generated",
+		Header: []string{"workers", "events", "distributed ev/s", "centralized ev/s", "speedup"},
+	}
+	wl := makeWorkload(16, s.n(400), s.n(60), 1)
+
+	// Centralized reference.
+	central := baseline.NewCentral(baseline.CentralConfig{CellSize: 50})
+	startC := time.Now()
+	for _, b := range wl.batches {
+		central.Ingest(b)
+	}
+	centralDur := time.Since(startC)
+	centralRate := float64(wl.totalObs()) / centralDur.Seconds()
+
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		c, err := core.NewLocalCluster(workers, nil, core.Options{CellSize: 50})
+		if err != nil {
+			panic(err)
+		}
+		if err := c.Coordinator.AddCameras(ctx, wl.cams, 100); err != nil {
+			panic(err)
+		}
+		accepted, dur := ingestAll(ctx, c, wl)
+		rate := float64(accepted) / dur.Seconds()
+		t.AddRow(workers, accepted, rate, centralRate, fmt.Sprintf("%.2fx", rate/centralRate))
+		c.Stop()
+	}
+	return t
+}

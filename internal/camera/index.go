@@ -1,0 +1,77 @@
+package camera
+
+import (
+	"math"
+
+	"stcam/internal/geo"
+)
+
+// spatialIndex accelerates CamerasCovering / CamerasIntersecting by bucketing
+// camera IDs into coarse grid cells keyed by FOV bounding boxes. Networks are
+// mostly static, so the index is rebuilt wholesale on registration changes.
+type spatialIndex struct {
+	cellSize float64
+	cells    map[[2]int32][]ID
+}
+
+// BuildIndex builds (or rebuilds) the covering index with the given cell
+// size. A cell size of 0 picks twice the mean FOV radius. Add and Remove
+// invalidate the index automatically; queries fall back to a linear scan
+// while no index is present.
+func (n *Network) BuildIndex(cellSize float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cellSize <= 0 {
+		var sum float64
+		for _, c := range n.cams {
+			sum += c.Range
+		}
+		if len(n.cams) == 0 {
+			return
+		}
+		cellSize = 2 * sum / float64(len(n.cams))
+		if cellSize <= 0 {
+			cellSize = 1
+		}
+	}
+	ix := &spatialIndex{cellSize: cellSize, cells: make(map[[2]int32][]ID)}
+	for id, c := range n.cams {
+		lo := ix.cellOf(c.bounds.Min)
+		hi := ix.cellOf(c.bounds.Max)
+		for cx := lo[0]; cx <= hi[0]; cx++ {
+			for cy := lo[1]; cy <= hi[1]; cy++ {
+				key := [2]int32{cx, cy}
+				ix.cells[key] = append(ix.cells[key], id)
+			}
+		}
+	}
+	n.index = ix
+}
+
+func (ix *spatialIndex) cellOf(p geo.Point) [2]int32 {
+	return [2]int32{
+		int32(math.Floor(p.X / ix.cellSize)),
+		int32(math.Floor(p.Y / ix.cellSize)),
+	}
+}
+
+// candidatesFor returns camera IDs whose FOV bounds may touch r (callers
+// still run exact tests). Must be called with n.mu held.
+func (n *Network) candidatesFor(r geo.Rect) []ID {
+	ix := n.index
+	lo := ix.cellOf(r.Min)
+	hi := ix.cellOf(r.Max)
+	seen := make(map[ID]struct{})
+	var out []ID
+	for cx := lo[0]; cx <= hi[0]; cx++ {
+		for cy := lo[1]; cy <= hi[1]; cy++ {
+			for _, id := range ix.cells[[2]int32{cx, cy}] {
+				if _, dup := seen[id]; !dup {
+					seen[id] = struct{}{}
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package camera
+
+import (
+	"math/rand"
+	"testing"
+
+	"stcam/internal/geo"
+)
+
+// TestIndexedCoveringMatchesLinear verifies the covering index returns
+// exactly the linear-scan answers, including after invalidating mutations.
+func TestIndexedCoveringMatchesLinear(t *testing.T) {
+	world := geo.RectOf(0, 0, 2000, 2000)
+	n := GridLayout(LayoutConfig{World: world, Seed: 3, Jitter: 0.4}, 8, 8)
+	rng := rand.New(rand.NewSource(4))
+
+	queries := make([]geo.Point, 200)
+	for i := range queries {
+		queries[i] = geo.Pt(rng.Float64()*2200-100, rng.Float64()*2200-100)
+	}
+	rects := make([]geo.Rect, 100)
+	for i := range rects {
+		c := geo.Pt(rng.Float64()*2000, rng.Float64()*2000)
+		rects[i] = geo.RectAround(c, rng.Float64()*300)
+	}
+
+	linearCov := make([][]ID, len(queries))
+	for i, q := range queries {
+		linearCov[i] = n.CamerasCovering(q)
+	}
+	linearInt := make([][]ID, len(rects))
+	for i, r := range rects {
+		linearInt[i] = n.CamerasIntersecting(r)
+	}
+
+	n.BuildIndex(0)
+	for i, q := range queries {
+		got := n.CamerasCovering(q)
+		if !idsEqual(got, linearCov[i]) {
+			t.Fatalf("covering(%v): indexed %v != linear %v", q, got, linearCov[i])
+		}
+	}
+	for i, r := range rects {
+		got := n.CamerasIntersecting(r)
+		if !idsEqual(got, linearInt[i]) {
+			t.Fatalf("intersecting(%v): indexed %v != linear %v", r, got, linearInt[i])
+		}
+	}
+
+	// Mutation invalidates the index; answers must stay correct.
+	n.Add(New(9999, geo.Pt(1000, 1000), 0, 3.14159, 500))
+	got := n.CamerasCovering(geo.Pt(1000, 1200))
+	found := false
+	for _, id := range got {
+		if id == 9999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("camera added after BuildIndex not visible to covering query")
+	}
+}
+
+func idsEqual(a, b []ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,103 @@
+package camera
+
+import (
+	"math"
+	"math/rand"
+
+	"stcam/internal/geo"
+)
+
+// LayoutConfig describes a synthetic camera deployment, the substitute for a
+// real campus/city installation (see DESIGN.md §4). Deployments produced here
+// have the topological properties that matter to the framework: partial
+// coverage, blind gaps between views, and a sparse adjacency structure.
+type LayoutConfig struct {
+	World    geo.Rect
+	HalfFOV  float64 // radians; 0 selects the default (30°)
+	Range    float64 // meters; 0 selects a range that roughly tiles the world
+	Jitter   float64 // positional noise as a fraction of cell size, [0, 1)
+	OmniFrac float64 // fraction of cameras that are omnidirectional (junction cams)
+	Seed     int64
+}
+
+const defaultHalfFOV = math.Pi / 6
+
+// GridLayout places rows × cols cameras on a lattice over the world, each
+// oriented pseudo-randomly (deterministic under Seed), and returns the
+// populated network. IDs are assigned row-major starting at 1.
+func GridLayout(cfg LayoutConfig, rows, cols int) *Network {
+	if rows < 1 {
+		rows = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	halfFOV := cfg.HalfFOV
+	if halfFOV == 0 {
+		halfFOV = defaultHalfFOV
+	}
+	cellW := cfg.World.Width() / float64(cols)
+	cellH := cfg.World.Height() / float64(rows)
+	rngM := cfg.Range
+	if rngM == 0 {
+		rngM = 0.9 * math.Max(cellW, cellH)
+	}
+	net := NewNetwork()
+	id := ID(1)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pos := geo.Pt(
+				cfg.World.Min.X+(float64(c)+0.5)*cellW,
+				cfg.World.Min.Y+(float64(r)+0.5)*cellH,
+			)
+			if cfg.Jitter > 0 {
+				pos = pos.Add(geo.Pt(
+					(rng.Float64()-0.5)*cfg.Jitter*cellW,
+					(rng.Float64()-0.5)*cfg.Jitter*cellH,
+				))
+			}
+			orient := rng.Float64() * 2 * math.Pi
+			hf := halfFOV
+			if cfg.OmniFrac > 0 && rng.Float64() < cfg.OmniFrac {
+				hf = math.Pi
+			}
+			net.Add(New(id, pos, orient, hf, rngM))
+			id++
+		}
+	}
+	return net
+}
+
+// CorridorLayout places n cameras along a horizontal corridor through the
+// middle of the world, alternating view directions, producing the chain
+// topology typical of hallway/roadway deployments. It is the worst case for
+// broadcast handoff (degree 2 vs N).
+func CorridorLayout(cfg LayoutConfig, n int) *Network {
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	halfFOV := cfg.HalfFOV
+	if halfFOV == 0 {
+		halfFOV = defaultHalfFOV
+	}
+	spacing := cfg.World.Width() / float64(n)
+	rngM := cfg.Range
+	if rngM == 0 {
+		rngM = spacing * 1.2
+	}
+	y := cfg.World.Center().Y
+	net := NewNetwork()
+	for i := 0; i < n; i++ {
+		pos := geo.Pt(cfg.World.Min.X+(float64(i)+0.5)*spacing, y)
+		// Alternate facing along the corridor, with slight angular jitter.
+		orient := 0.0
+		if i%2 == 1 {
+			orient = math.Pi
+		}
+		orient += (rng.Float64() - 0.5) * 0.2
+		net.Add(New(ID(i+1), pos, orient, halfFOV, rngM))
+	}
+	return net
+}

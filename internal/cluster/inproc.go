@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"stcam/internal/wire"
+)
+
+// InProc is an in-process Transport: calls dispatch directly to the target
+// handler goroutine-to-goroutine. It is the substrate for unit tests and for
+// the benchmark suite, where protocol behaviour (message counts, fan-out
+// structure) matters but kernel networking noise does not.
+//
+// Options make the simulation stricter: WithWireFormat round-trips every
+// payload through the production codec so in-proc behaviour cannot diverge
+// from TCP semantics (no shared-pointer cheating), and WithLatency adds a
+// fixed one-way delay.
+type InProc struct {
+	mu      sync.RWMutex
+	servers map[string]*inprocServer
+	blocked map[string]bool
+	stats   statCounters
+	wireFmt bool
+	latency time.Duration
+	closed  bool
+}
+
+type inprocServer struct {
+	t       *InProc
+	addr    string
+	handler Handler
+	closed  bool
+}
+
+// InProcOption configures an InProc transport.
+type InProcOption func(*InProc)
+
+// WithWireFormat makes every call marshal and unmarshal its payloads through
+// the wire codec, guaranteeing value semantics identical to TCP.
+func WithWireFormat() InProcOption {
+	return func(t *InProc) { t.wireFmt = true }
+}
+
+// WithLatency adds a fixed one-way delay to every call and response.
+func WithLatency(d time.Duration) InProcOption {
+	return func(t *InProc) { t.latency = d }
+}
+
+// NewInProc returns an empty in-process transport.
+func NewInProc(opts ...InProcOption) *InProc {
+	t := &InProc{
+		servers: make(map[string]*inprocServer),
+		blocked: make(map[string]bool),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+var _ Transport = (*InProc)(nil)
+
+// Serve implements Transport.
+func (t *InProc) Serve(addr string, h Handler) (Server, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrUnreachable
+	}
+	if _, exists := t.servers[addr]; exists {
+		return nil, &RemoteError{Code: wire.CodeBadRequest, Message: "address already bound: " + addr}
+	}
+	s := &inprocServer{t: t, addr: addr, handler: h}
+	t.servers[addr] = s
+	return s, nil
+}
+
+// Call implements Transport.
+func (t *InProc) Call(ctx context.Context, addr string, req any) (any, error) {
+	t.stats.calls.Add(1)
+	t.mu.RLock()
+	s, ok := t.servers[addr]
+	blocked := t.blocked[addr]
+	wireFmt := t.wireFmt
+	latency := t.latency
+	t.mu.RUnlock()
+	if !ok || s.closed || blocked {
+		t.stats.errors.Add(1)
+		return nil, ErrUnreachable
+	}
+	if latency > 0 {
+		select {
+		case <-time.After(latency):
+		case <-ctx.Done():
+			t.stats.errors.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+	sendReq := req
+	if wireFmt {
+		clone, n, err := t.roundTrip(req)
+		if err != nil {
+			t.stats.errors.Add(1)
+			return nil, err
+		}
+		t.stats.bytesOut.Add(int64(n))
+		sendReq = clone
+	}
+	resp, err := s.handler(ctx, "inproc", sendReq)
+	if err != nil {
+		t.stats.errors.Add(1)
+		return nil, err
+	}
+	if latency > 0 {
+		select {
+		case <-time.After(latency):
+		case <-ctx.Done():
+			t.stats.errors.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+	if wireFmt && resp != nil {
+		clone, n, err := t.roundTrip(resp)
+		if err != nil {
+			t.stats.errors.Add(1)
+			return nil, err
+		}
+		t.stats.bytesIn.Add(int64(n))
+		resp = clone
+	}
+	if e, ok := resp.(*wire.Error); ok {
+		return nil, &RemoteError{Code: e.Code, Message: e.Message}
+	}
+	return resp, nil
+}
+
+func (t *InProc) roundTrip(msg any) (any, int, error) {
+	kind := wire.KindOf(msg)
+	if kind == 0 {
+		return nil, 0, &RemoteError{Code: wire.CodeBadRequest, Message: "unknown message type"}
+	}
+	body, err := wire.Marshal(kind, msg)
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := wire.Unmarshal(kind, body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, len(body), nil
+}
+
+// SetBlocked simulates a network partition or crash of addr: calls fail with
+// ErrUnreachable until unblocked. Used by failure-injection tests (R8).
+func (t *InProc) SetBlocked(addr string, blocked bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.blocked[addr] = blocked
+}
+
+// Stats implements Transport.
+func (t *InProc) Stats() TransportStats { return t.stats.snapshot() }
+
+// Close implements Transport.
+func (t *InProc) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	for _, s := range t.servers {
+		s.closed = true
+	}
+	t.servers = make(map[string]*inprocServer)
+	return nil
+}
+
+// Addr implements Server.
+func (s *inprocServer) Addr() string { return s.addr }
+
+// Close implements Server.
+func (s *inprocServer) Close() error {
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		delete(s.t.servers, s.addr)
+	}
+	return nil
+}

@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"stcam/internal/wire"
+)
+
+// TCP is the production Transport: one multiplexed TCP connection per remote
+// address, length-prefixed wire frames tagged with request IDs, concurrent
+// handler dispatch on the server side.
+//
+// RPC frame layout (inside the TCP stream):
+//
+//	[4B frame length][8B request id][1B flags][1B kind][payload]
+//
+// where flags bit0 = response. The frame length covers everything after the
+// length field itself.
+type TCP struct {
+	mu      sync.Mutex
+	clients map[string]*tcpClient
+	stats   statCounters
+	closed  bool
+}
+
+// NewTCP returns a TCP transport.
+func NewTCP() *TCP {
+	return &TCP{clients: make(map[string]*tcpClient)}
+}
+
+var _ Transport = (*TCP)(nil)
+
+const (
+	flagResponse = 1 << 0
+	rpcHeaderLen = 8 + 1 + 1
+)
+
+// Serve implements Transport.
+func (t *TCP) Serve(addr string, h Handler) (Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	s := &tcpServer{t: t, ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+type tcpServer struct {
+	t       *TCP
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func (s *tcpServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *tcpServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *tcpServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *tcpServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	peer := conn.RemoteAddr().String()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	var writeMu sync.Mutex
+	w := bufio.NewWriterSize(conn, 64<<10)
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		reqID, flags, env, err := readRPCFrame(r)
+		if err != nil {
+			return
+		}
+		if flags&flagResponse != 0 {
+			continue // stray response on a server connection; drop
+		}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			resp, err := s.handler(context.Background(), peer, env.Payload)
+			if err != nil {
+				resp = &wire.Error{Code: wire.CodeUnknown, Message: err.Error()}
+			}
+			if resp == nil {
+				resp = &wire.Error{Code: wire.CodeUnknown, Message: "handler returned no response"}
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			if err := writeRPCFrame(w, reqID, flagResponse, resp); err != nil {
+				return
+			}
+			w.Flush()
+		}()
+	}
+}
+
+// Call implements Transport.
+func (t *TCP) Call(ctx context.Context, addr string, req any) (any, error) {
+	t.stats.calls.Add(1)
+	c, err := t.client(addr)
+	if err != nil {
+		t.stats.errors.Add(1)
+		return nil, err
+	}
+	resp, err := c.call(ctx, req)
+	if err != nil {
+		t.stats.errors.Add(1)
+		// A dead connection is removed so the next call redials.
+		t.mu.Lock()
+		if t.clients[addr] == c && c.dead() {
+			delete(t.clients, addr)
+		}
+		t.mu.Unlock()
+		return nil, err
+	}
+	if e, ok := resp.(*wire.Error); ok {
+		return nil, &RemoteError{Code: e.Code, Message: e.Message}
+	}
+	return resp, nil
+}
+
+func (t *TCP) client(addr string) (*tcpClient, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrUnreachable
+	}
+	if c, ok := t.clients[addr]; ok && !c.dead() {
+		return c, nil
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	c := newTCPClient(conn, &t.stats)
+	t.clients[addr] = c
+	return c, nil
+}
+
+// Stats implements Transport.
+func (t *TCP) Stats() TransportStats { return t.stats.snapshot() }
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	for addr, c := range t.clients {
+		c.close()
+		delete(t.clients, addr)
+	}
+	return nil
+}
+
+// tcpClient is one multiplexed client connection.
+type tcpClient struct {
+	conn  net.Conn
+	stats *statCounters
+
+	writeMu sync.Mutex
+	w       *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Envelope
+	nextID  uint64
+	closed  bool
+}
+
+func newTCPClient(conn net.Conn, stats *statCounters) *tcpClient {
+	c := &tcpClient{
+		conn:    conn,
+		stats:   stats,
+		w:       bufio.NewWriterSize(conn, 64<<10),
+		pending: make(map[uint64]chan wire.Envelope),
+		nextID:  1,
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *tcpClient) dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+func (c *tcpClient) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+func (c *tcpClient) readLoop() {
+	r := bufio.NewReaderSize(c.conn, 64<<10)
+	for {
+		reqID, flags, env, err := readRPCFrame(r)
+		if err != nil {
+			c.close()
+			return
+		}
+		if flags&flagResponse == 0 {
+			continue // servers do not push requests to clients
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[reqID]
+		if ok {
+			delete(c.pending, reqID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- env
+		}
+	}
+}
+
+func (c *tcpClient) call(ctx context.Context, req any) (any, error) {
+	ch := make(chan wire.Envelope, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrUnreachable
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeRPCFrame(c.w, id, 0, req)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		c.close()
+		return nil, fmt.Errorf("cluster: send: %w", err)
+	}
+
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			return nil, ErrUnreachable
+		}
+		return env.Payload, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// writeRPCFrame writes one framed RPC message.
+func writeRPCFrame(w io.Writer, reqID uint64, flags byte, payload any) error {
+	kind := wire.KindOf(payload)
+	if kind == 0 {
+		return &RemoteError{Code: wire.CodeBadRequest, Message: fmt.Sprintf("unknown message type %T", payload)}
+	}
+	body, err := wire.Marshal(kind, payload)
+	if err != nil {
+		return err
+	}
+	total := rpcHeaderLen + len(body)
+	if total > wire.MaxFrameSize {
+		return wire.ErrFrameTooLarge
+	}
+	var hdr [4 + rpcHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(total))
+	binary.BigEndian.PutUint64(hdr[4:12], reqID)
+	hdr[12] = flags
+	hdr[13] = byte(kind)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readRPCFrame reads one framed RPC message.
+func readRPCFrame(r io.Reader) (reqID uint64, flags byte, env wire.Envelope, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, 0, wire.Envelope{}, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < rpcHeaderLen || total > wire.MaxFrameSize {
+		return 0, 0, wire.Envelope{}, wire.ErrFrameTooLarge
+	}
+	buf := make([]byte, total)
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return 0, 0, wire.Envelope{}, err
+	}
+	reqID = binary.BigEndian.Uint64(buf[0:8])
+	flags = buf[8]
+	kind := wire.MsgKind(buf[9])
+	payload, err := wire.Unmarshal(kind, buf[rpcHeaderLen:])
+	if err != nil {
+		return 0, 0, wire.Envelope{}, err
+	}
+	return reqID, flags, wire.Envelope{Kind: kind, Payload: payload}, nil
+}

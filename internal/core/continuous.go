@@ -1,0 +1,135 @@
+package core
+
+import (
+	"time"
+
+	"stcam/internal/geo"
+	"stcam/internal/stindex"
+	"stcam/internal/wire"
+)
+
+// continuousState evaluates one standing query incrementally on a worker.
+// For a range query it maintains the set of targets currently inside the
+// rectangle: each new observation of a target flips it in or out, producing
+// positive/negative answer deltas (the SINA-style incremental semantics).
+// For a count query it additionally reports the current cardinality when it
+// crosses the configured threshold.
+type continuousState struct {
+	queryID   uint64
+	kind      wire.ContinuousKind
+	rect      geo.Rect
+	threshold int
+
+	inside map[uint64]stindex.Record // targetID → last in-rect record
+	above  bool                      // count queries: currently over threshold
+}
+
+func newContinuousState(m *wire.InstallContinuous) *continuousState {
+	return &continuousState{
+		queryID:   m.QueryID,
+		kind:      m.Kind,
+		rect:      m.Rect,
+		threshold: m.Threshold,
+		inside:    make(map[uint64]stindex.Record),
+	}
+}
+
+func (cs *continuousState) contains(r stindex.Record) bool {
+	return cs.rect.Contains(r.Pos)
+}
+
+// observe folds one new observation into the query state, returning a
+// ContinuousUpdate when the answer changed (nil otherwise). Unassociated
+// observations (TargetID 0) cannot form a stable answer set and are skipped.
+func (cs *continuousState) observe(r stindex.Record) *wire.ContinuousUpdate {
+	if r.TargetID == 0 {
+		return nil
+	}
+	_, wasIn := cs.inside[r.TargetID]
+	nowIn := cs.contains(r)
+	var upd *wire.ContinuousUpdate
+	switch {
+	case nowIn && !wasIn:
+		cs.inside[r.TargetID] = r
+		upd = &wire.ContinuousUpdate{
+			QueryID:  cs.queryID,
+			Time:     r.Time,
+			Positive: []wire.ResultRecord{toWireRecord(r)},
+		}
+	case !nowIn && wasIn:
+		prev := cs.inside[r.TargetID]
+		delete(cs.inside, r.TargetID)
+		upd = &wire.ContinuousUpdate{
+			QueryID:  cs.queryID,
+			Time:     r.Time,
+			Negative: []wire.ResultRecord{toWireRecord(prev)},
+		}
+	case nowIn && wasIn:
+		// Position refresh inside the region: remember it, no answer delta.
+		cs.inside[r.TargetID] = r
+		return nil
+	default:
+		return nil
+	}
+	if cs.kind == wire.ContinuousCount {
+		upd.Count = len(cs.inside)
+		nowAbove := cs.threshold > 0 && len(cs.inside) >= cs.threshold
+		crossed := nowAbove != cs.above
+		cs.above = nowAbove
+		// Count queries only notify on threshold crossings (when a threshold
+		// is set); plain membership churn is suppressed.
+		if cs.threshold > 0 && !crossed {
+			return nil
+		}
+	}
+	return upd
+}
+
+// expire drops targets whose last sighting is older than the horizon,
+// emitting negative updates — a target that vanished from the cameras should
+// not stay in a continuous answer forever.
+func (cs *continuousState) expire(horizon time.Time) *wire.ContinuousUpdate {
+	var negs []wire.ResultRecord
+	for id, rec := range cs.inside {
+		if rec.Time.Before(horizon) {
+			negs = append(negs, toWireRecord(rec))
+			delete(cs.inside, id)
+		}
+	}
+	if len(negs) == 0 {
+		return nil
+	}
+	upd := &wire.ContinuousUpdate{QueryID: cs.queryID, Time: horizon, Negative: negs}
+	if cs.kind == wire.ContinuousCount {
+		upd.Count = len(cs.inside)
+		cs.above = cs.threshold > 0 && len(cs.inside) >= cs.threshold
+	}
+	return upd
+}
+
+func (w *Worker) onInstallContinuous(m *wire.InstallContinuous) (any, error) {
+	if m.Kind != wire.ContinuousRange && m.Kind != wire.ContinuousCount {
+		return &wire.Error{Code: wire.CodeBadRequest, Message: "continuous: unknown kind"}, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Re-installation of a known query (the coordinator re-pushes standing
+	// queries after every reassignment) keeps the existing answer state so
+	// in-flight memberships are not forgotten.
+	if _, exists := w.continuous[m.QueryID]; !exists {
+		w.continuous[m.QueryID] = newContinuousState(m)
+	}
+	w.reg.Gauge("continuous.installed").Set(int64(len(w.continuous)))
+	return &wire.AssignAck{Epoch: w.epoch, Accepted: 1}, nil
+}
+
+func (w *Worker) onRemoveContinuous(m *wire.RemoveContinuous) (any, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.continuous[m.QueryID]; !ok {
+		return &wire.Error{Code: wire.CodeNotFound, Message: "continuous: query not installed"}, nil
+	}
+	delete(w.continuous, m.QueryID)
+	w.reg.Gauge("continuous.installed").Set(int64(len(w.continuous)))
+	return &wire.AssignAck{Epoch: w.epoch, Accepted: 1}, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"stcam/internal/geo"
+	"stcam/internal/stindex"
+	"stcam/internal/vision"
+	"stcam/internal/wire"
+)
+
+// recAt builds a store record for direct continuousState unit tests.
+func recAt(target uint64, x, y float64, at time.Duration) stindex.Record {
+	return stindex.Record{ObsID: uint64(at), TargetID: target, Camera: 1, Pos: geo.Pt(x, y), Time: simT0.Add(at)}
+}
+
+func TestContinuousStateRangeSemantics(t *testing.T) {
+	cs := newContinuousState(&wire.InstallContinuous{
+		QueryID: 1, Kind: wire.ContinuousRange, Rect: geo.RectOf(0, 0, 100, 100),
+	})
+	// Unassociated observations never enter the answer.
+	if upd := cs.observe(recAt(0, 50, 50, time.Second)); upd != nil {
+		t.Errorf("unassociated observation produced %+v", upd)
+	}
+	// Enter.
+	upd := cs.observe(recAt(7, 50, 50, 2*time.Second))
+	if upd == nil || len(upd.Positive) != 1 || upd.Positive[0].TargetID != 7 {
+		t.Fatalf("enter update = %+v", upd)
+	}
+	// Move inside: no delta.
+	if upd := cs.observe(recAt(7, 60, 60, 3*time.Second)); upd != nil {
+		t.Errorf("inside move produced %+v", upd)
+	}
+	// Observation outside while never-inside target: no delta.
+	if upd := cs.observe(recAt(8, 500, 500, 3*time.Second)); upd != nil {
+		t.Errorf("outside stranger produced %+v", upd)
+	}
+	// Leave: negative carries the last in-rect record.
+	upd = cs.observe(recAt(7, 500, 500, 4*time.Second))
+	if upd == nil || len(upd.Negative) != 1 || upd.Negative[0].Pos != geo.Pt(60, 60) {
+		t.Fatalf("leave update = %+v", upd)
+	}
+	// Re-enter works.
+	if upd := cs.observe(recAt(7, 10, 10, 5*time.Second)); upd == nil || len(upd.Positive) != 1 {
+		t.Fatalf("re-enter update = %+v", upd)
+	}
+}
+
+func TestContinuousStateCountThreshold(t *testing.T) {
+	cs := newContinuousState(&wire.InstallContinuous{
+		QueryID: 2, Kind: wire.ContinuousCount, Rect: geo.RectOf(0, 0, 100, 100), Threshold: 3,
+	})
+	// Two entries: below threshold, suppressed.
+	if upd := cs.observe(recAt(1, 10, 10, time.Second)); upd != nil {
+		t.Errorf("below-threshold entry produced %+v", upd)
+	}
+	if upd := cs.observe(recAt(2, 20, 20, 2*time.Second)); upd != nil {
+		t.Errorf("below-threshold entry produced %+v", upd)
+	}
+	// Third entry crosses the threshold: notify with count.
+	upd := cs.observe(recAt(3, 30, 30, 3*time.Second))
+	if upd == nil || upd.Count != 3 {
+		t.Fatalf("crossing update = %+v", upd)
+	}
+	// Fourth entry stays above: suppressed.
+	if upd := cs.observe(recAt(4, 40, 40, 4*time.Second)); upd != nil {
+		t.Errorf("above-threshold entry produced %+v", upd)
+	}
+	// One leaves but the count stays at the threshold: still above,
+	// suppressed.
+	if upd := cs.observe(recAt(4, 500, 500, 5*time.Second)); upd != nil {
+		t.Errorf("at-threshold leave produced %+v", upd)
+	}
+	// The next leave crosses downward: notify.
+	upd = cs.observe(recAt(3, 500, 500, 6*time.Second))
+	if upd == nil || upd.Count != 2 {
+		t.Fatalf("downward crossing update = %+v", upd)
+	}
+}
+
+func TestContinuousStateExpiry(t *testing.T) {
+	cs := newContinuousState(&wire.InstallContinuous{
+		QueryID: 3, Kind: wire.ContinuousRange, Rect: geo.RectOf(0, 0, 100, 100),
+	})
+	cs.observe(recAt(1, 10, 10, time.Second))
+	cs.observe(recAt(2, 20, 20, 90*time.Second))
+	// Expire everything last seen before t+60s: target 1 goes, 2 stays.
+	upd := cs.expire(simT0.Add(60 * time.Second))
+	if upd == nil || len(upd.Negative) != 1 || upd.Negative[0].TargetID != 1 {
+		t.Fatalf("expiry update = %+v", upd)
+	}
+	// Nothing more to expire.
+	if upd := cs.expire(simT0.Add(60 * time.Second)); upd != nil {
+		t.Errorf("second expiry produced %+v", upd)
+	}
+}
+
+func TestContinuousInstallValidation(t *testing.T) {
+	c := newTestCluster(t, 1, Options{})
+	if err := c.Coordinator.AddCameras(ctx, gridCams(world1, 2), 50); err != nil {
+		t.Fatal(err)
+	}
+	w := c.Workers[0]
+	// Unknown kind rejected (surfaced as a RemoteError by the transport).
+	if _, err := c.Transport.Call(ctx, w.Addr(), &wire.InstallContinuous{QueryID: 9, Kind: 99}); err == nil {
+		t.Error("bad continuous kind accepted")
+	}
+	// Removing a non-installed query errors.
+	if _, err := c.Transport.Call(ctx, w.Addr(), &wire.RemoveContinuous{QueryID: 12345}); err == nil {
+		t.Error("remove of unknown query succeeded")
+	}
+	// Coordinator-level remove of unknown ID errors.
+	if err := c.Coordinator.RemoveContinuous(ctx, 999); err == nil {
+		t.Error("coordinator removed unknown query")
+	}
+}
+
+func TestContinuousSurvivesReassignment(t *testing.T) {
+	// A standing query must keep firing after cameras move to new workers
+	// (the coordinator reinstalls it during Reassign).
+	c := newTestCluster(t, 2, Options{LostAfter: time.Hour})
+	if err := c.Coordinator.AddCameras(ctx, gridCams(world1, 2), 50); err != nil {
+		t.Fatal(err)
+	}
+	region := geo.RectOf(0, 0, 400, 400)
+	_, ch, err := c.Coordinator.InstallContinuous(ctx, wire.ContinuousRange, region, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := vision.NewRandomFeature(newRand(51), 32)
+	ingestDirect(t, c, obsAt(1, 1, geo.Pt(100, 100), simT0.Add(time.Second), feat))
+	<-ch // the enter update
+
+	// Force a reassignment epoch bump.
+	if err := c.Coordinator.Reassign(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The same target leaving the region must still produce a negative,
+	// regardless of which worker now owns camera 1.
+	ingestDirect(t, c, obsAt(2, 1, geo.Pt(900, 900), simT0.Add(2*time.Second), feat))
+	select {
+	case upd := <-ch:
+		// Reassignment resets worker-local answer state, so the delta may be
+		// a fresh positive (if camera 1 moved to a worker that never saw the
+		// target) — but an update must flow.
+		if len(upd.Positive) == 0 && len(upd.Negative) == 0 {
+			t.Fatalf("empty update after reassignment: %+v", upd)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no continuous update after reassignment")
+	}
+}
+
+func TestWorkerRejectsStaleEpoch(t *testing.T) {
+	c := newTestCluster(t, 1, Options{})
+	if err := c.Coordinator.AddCameras(ctx, gridCams(world1, 2), 50); err != nil {
+		t.Fatal(err)
+	}
+	w := c.Workers[0]
+	// Replay an old epoch: must be rejected (the transport surfaces the
+	// worker's wire.Error as a RemoteError).
+	if _, err := c.Transport.Call(ctx, w.Addr(), &wire.AssignCameras{Epoch: 0, Cameras: nil}); err == nil {
+		t.Error("stale epoch accepted")
+	}
+}

@@ -1,0 +1,972 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stcam/internal/camera"
+	"stcam/internal/cluster"
+	"stcam/internal/geo"
+	"stcam/internal/metrics"
+	"stcam/internal/wire"
+)
+
+// routeSlack grows query rectangles before camera-based worker routing, so
+// observations displaced by detector position noise are never missed.
+const routeSlack = 25.0
+
+// Coordinator is the head node: it owns the camera registry and vision graph,
+// partitions cameras across workers, routes and merges queries, distributes
+// continuous queries, orchestrates tracking handoffs, and handles worker
+// failure by reassignment.
+//
+// The coordinator doubles as the client gateway: application code calls its
+// exported methods directly (examples and cmd/stcamctl go through these).
+type Coordinator struct {
+	addr        string
+	transport   cluster.Transport
+	opts        Options
+	reg         *metrics.Registry
+	membership  *cluster.Membership
+	partitioner cluster.Partitioner
+	network     *camera.Network
+
+	server cluster.Server
+
+	mu         sync.Mutex
+	epoch      uint64
+	assignment cluster.Assignment
+	replicas   map[uint32][]wire.NodeID
+	camInfos   map[uint32]wire.CameraInfo
+	continuous map[uint64]*coordContinuous
+	tracks     map[uint64]*coordTrack
+
+	nextQueryID atomic.Uint64
+	nextTrackID atomic.Uint64
+}
+
+// coordContinuous is the coordinator's record of one standing query.
+type coordContinuous struct {
+	queryID uint64
+	install wire.InstallContinuous
+	ch      chan wire.ContinuousUpdate
+	workers map[wire.NodeID]bool
+}
+
+// coordTrack is the coordinator's record of one active track.
+type coordTrack struct {
+	trackID    uint64
+	owner      wire.NodeID
+	lastCamera uint32
+	feature    []float32
+	lastSeen   time.Time
+	lost       bool
+	ch         chan wire.TrackUpdate
+	handoffs   int
+	path       []wire.TrackUpdate // stitched cross-camera trajectory
+}
+
+// maxTrackPath bounds the per-track trajectory memory; older samples are
+// dropped from the front once exceeded.
+const maxTrackPath = 100000
+
+// NewCoordinator constructs a coordinator. The partitioner may be nil, which
+// selects spatial partitioning.
+func NewCoordinator(addr string, transport cluster.Transport, p cluster.Partitioner, opts Options) *Coordinator {
+	opts.fill()
+	if p == nil {
+		p = &cluster.SpatialPartitioner{}
+	}
+	return &Coordinator{
+		addr:        addr,
+		transport:   transport,
+		opts:        opts,
+		reg:         metrics.NewRegistry(),
+		membership:  cluster.NewMembership(opts.HeartbeatTimeout),
+		partitioner: p,
+		network:     camera.NewNetwork(),
+		assignment:  make(cluster.Assignment),
+		replicas:    make(map[uint32][]wire.NodeID),
+		camInfos:    make(map[uint32]wire.CameraInfo),
+		continuous:  make(map[uint64]*coordContinuous),
+		tracks:      make(map[uint64]*coordTrack),
+	}
+}
+
+// Start binds the coordinator's server.
+func (c *Coordinator) Start() error {
+	srv, err := c.transport.Serve(c.addr, c.handle)
+	if err != nil {
+		return fmt.Errorf("core: coordinator serve: %w", err)
+	}
+	c.server = srv
+	return nil
+}
+
+// Addr returns the bound address.
+func (c *Coordinator) Addr() string {
+	if c.server != nil {
+		return c.server.Addr()
+	}
+	return c.addr
+}
+
+// Stop closes the server and all subscriber channels.
+func (c *Coordinator) Stop() {
+	if c.server != nil {
+		c.server.Close()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, cc := range c.continuous {
+		close(cc.ch)
+		delete(c.continuous, id)
+	}
+	for id, tr := range c.tracks {
+		close(tr.ch)
+		delete(c.tracks, id)
+	}
+}
+
+// Network exposes the camera topology (vision graph seeding, coverage).
+func (c *Coordinator) Network() *camera.Network { return c.network }
+
+// Metrics exposes the coordinator's instrumentation.
+func (c *Coordinator) Metrics() *metrics.Registry { return c.reg }
+
+// Epoch returns the current assignment epoch.
+func (c *Coordinator) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// handle dispatches inbound RPCs: worker control traffic, plus the
+// client-facing query surface (remote clients send the same query messages a
+// worker answers; the coordinator scatter-gathers and returns the merged
+// result).
+func (c *Coordinator) handle(ctx context.Context, _ string, req any) (any, error) {
+	switch m := req.(type) {
+	case *wire.Register:
+		c.membership.Register(m, time.Now())
+		c.reg.Counter("workers.registered").Inc()
+		return &wire.RegisterAck{Accepted: true}, nil
+	case *wire.Heartbeat:
+		known := c.membership.Heartbeat(m, time.Now())
+		if !known {
+			return &wire.Error{Code: wire.CodeNotFound, Message: "heartbeat from unregistered node"}, nil
+		}
+		return &wire.HeartbeatAck{Epoch: c.Epoch()}, nil
+	case *wire.ContinuousUpdate:
+		c.onContinuousUpdate(m)
+		return &wire.AssignAck{}, nil
+	case *wire.TrackUpdate:
+		c.onTrackUpdate(m)
+		return &wire.AssignAck{}, nil
+	case *wire.TrackHandoff:
+		c.onTrackHandoff(m)
+		return &wire.AssignAck{}, nil
+	case *wire.RangeQuery:
+		recs, err := c.Range(ctx, m.Rect, m.Window, m.Limit)
+		if err != nil {
+			return &wire.Error{Code: wire.CodeBadRequest, Message: err.Error()}, nil
+		}
+		return &wire.RangeResult{QueryID: m.QueryID, Records: recs}, nil
+	case *wire.KNNQuery:
+		recs, err := c.KNN(ctx, m.Center, m.Window, m.K)
+		if err != nil {
+			return &wire.Error{Code: wire.CodeBadRequest, Message: err.Error()}, nil
+		}
+		return &wire.KNNResult{QueryID: m.QueryID, Records: recs}, nil
+	case *wire.CountQuery:
+		n, err := c.Count(ctx, m.Rect, m.Window)
+		if err != nil {
+			return &wire.Error{Code: wire.CodeBadRequest, Message: err.Error()}, nil
+		}
+		return &wire.CountResult{QueryID: m.QueryID, Count: n}, nil
+	case *wire.TrajectoryQuery:
+		recs, err := c.Trajectory(ctx, m.TargetID, m.Window)
+		if err != nil {
+			return &wire.Error{Code: wire.CodeBadRequest, Message: err.Error()}, nil
+		}
+		return &wire.TrajectoryResult{QueryID: m.QueryID, Records: recs}, nil
+	case *wire.HeatmapQuery:
+		cells, err := c.Heatmap(ctx, m.Rect, m.Window, m.CellSize)
+		if err != nil {
+			return &wire.Error{Code: wire.CodeBadRequest, Message: err.Error()}, nil
+		}
+		return &wire.HeatmapResult{QueryID: m.QueryID, CellSize: m.CellSize, Cells: cells}, nil
+	case *wire.FilterQuery:
+		recs, _, err := c.Filter(ctx, *m)
+		if err != nil {
+			return &wire.Error{Code: wire.CodeBadRequest, Message: err.Error()}, nil
+		}
+		return &wire.FilterResult{QueryID: m.QueryID, Records: recs, Plan: "merged"}, nil
+	case *wire.AssignCameras:
+		// Remote camera registration (cmd/stcam-sim): epoch is ignored on the
+		// inbound path; AddCameras recomputes and pushes the real epoch.
+		if err := c.AddCameras(ctx, m.Cameras, routeSlack); err != nil {
+			return &wire.Error{Code: wire.CodeUnavailable, Message: err.Error()}, nil
+		}
+		return &wire.AssignAck{Epoch: c.Epoch(), Accepted: len(m.Cameras)}, nil
+	case *wire.IngestBatch:
+		// Ingest proxy for remote drivers: forward to the owning worker (and
+		// any replicas). Production feeds stream to workers directly; this
+		// path trades a hop for client simplicity.
+		if len(m.Observations) == 0 {
+			return &wire.IngestAck{}, nil
+		}
+		addrs := c.RoutesFor(m.Camera)
+		if len(addrs) == 0 {
+			return &wire.Error{Code: wire.CodeNotFound, Message: fmt.Sprintf("camera %d has no live owner", m.Camera)}, nil
+		}
+		var primaryResp any
+		var primaryErr error
+		for i, addr := range addrs {
+			resp, err := c.transport.Call(ctx, addr, m)
+			if i == 0 {
+				primaryResp, primaryErr = resp, err
+			}
+		}
+		return primaryResp, primaryErr
+	default:
+		return &wire.Error{Code: wire.CodeBadRequest, Message: fmt.Sprintf("coordinator: unexpected %T", req)}, nil
+	}
+}
+
+// --- camera management -----------------------------------------------------
+
+// AddCameras registers cameras, reseeds geometric vision-graph edges within
+// maxGap, recomputes the partition over live workers, and pushes assignments.
+func (c *Coordinator) AddCameras(ctx context.Context, infos []wire.CameraInfo, maxGap float64) error {
+	for _, ci := range infos {
+		c.network.Add(camera.New(camera.ID(ci.ID), ci.Pos, ci.Orient, ci.HalfFOV, ci.Range))
+	}
+	c.network.SeedGeometricEdges(maxGap)
+	c.network.BuildIndex(0)
+	c.mu.Lock()
+	for _, ci := range infos {
+		c.camInfos[ci.ID] = ci
+	}
+	c.mu.Unlock()
+	return c.Reassign(ctx)
+}
+
+// Reassign recomputes the camera partition over the currently live workers
+// and pushes it, bumping the epoch. Continuous queries are reinstalled on the
+// new owners.
+func (c *Coordinator) Reassign(ctx context.Context) error {
+	alive := c.membership.Alive()
+	if len(alive) == 0 {
+		return fmt.Errorf("core: no live workers to assign cameras to")
+	}
+	nodes := make([]wire.NodeID, len(alive))
+	addrByNode := make(map[wire.NodeID]string, len(alive))
+	for i, m := range alive {
+		nodes[i] = m.Node
+		addrByNode[m.Node] = m.Addr
+	}
+
+	c.mu.Lock()
+	cams := make([]wire.CameraInfo, 0, len(c.camInfos))
+	for _, ci := range c.camInfos {
+		cams = append(cams, ci)
+	}
+	sort.Slice(cams, func(i, j int) bool { return cams[i].ID < cams[j].ID })
+	c.epoch++
+	epoch := c.epoch
+	proposed := c.partitioner.Partition(cams, nodes)
+	aliveSet := make(map[wire.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		aliveSet[n] = true
+	}
+	// Stability-first assignment: a camera stays with its live owner (its
+	// history lives there); a camera whose owner died is promoted to a live
+	// replica holder when one exists (standby history becomes authoritative);
+	// only otherwise does the partitioner's fresh proposal apply.
+	assignment := make(cluster.Assignment, len(cams))
+	for _, ci := range cams {
+		switch {
+		case aliveSet[c.assignment[ci.ID]]:
+			assignment[ci.ID] = c.assignment[ci.ID]
+		case c.promotableReplicaLocked(ci.ID, aliveSet) != "":
+			assignment[ci.ID] = c.promotableReplicaLocked(ci.ID, aliveSet)
+		default:
+			assignment[ci.ID] = proposed[ci.ID]
+		}
+	}
+	c.assignment = assignment
+	c.replicas = replicaPlacement(cams, nodes, assignment, c.opts.Replicas)
+	camsByNode := make(map[wire.NodeID][]wire.CameraInfo)
+	replicasByNode := make(map[wire.NodeID][]wire.CameraInfo)
+	for _, ci := range cams {
+		n := assignment[ci.ID]
+		camsByNode[n] = append(camsByNode[n], ci)
+		for _, rn := range c.replicas[ci.ID] {
+			replicasByNode[rn] = append(replicasByNode[rn], ci)
+		}
+	}
+	// Continuous queries to reinstall.
+	conts := make([]*coordContinuous, 0, len(c.continuous))
+	for _, cc := range c.continuous {
+		conts = append(conts, cc)
+	}
+	c.mu.Unlock()
+
+	var firstErr error
+	for _, n := range nodes {
+		msg := &wire.AssignCameras{Epoch: epoch, Cameras: camsByNode[n], Replicas: replicasByNode[n]}
+		if _, err := c.transport.Call(ctx, addrByNode[n], msg); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: assign to %s: %w", n, err)
+		}
+	}
+	// Reinstall continuous queries on the owners under the new assignment.
+	for _, cc := range conts {
+		c.installContinuousOnWorkers(ctx, cc)
+	}
+	c.reg.Counter("assignments.pushed").Inc()
+	return firstErr
+}
+
+// Assignment returns a copy of the current camera→worker map.
+func (c *Coordinator) Assignment() cluster.Assignment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(cluster.Assignment, len(c.assignment))
+	for k, v := range c.assignment {
+		out[k] = v
+	}
+	return out
+}
+
+// promotableReplicaLocked returns a live replica holder for a camera, or ""
+// when none exists. Caller holds c.mu.
+func (c *Coordinator) promotableReplicaLocked(cam uint32, alive map[wire.NodeID]bool) wire.NodeID {
+	for _, n := range c.replicas[cam] {
+		if alive[n] {
+			return n
+		}
+	}
+	return ""
+}
+
+// replicaPlacement chooses, per camera, `count` standby nodes distinct from
+// the primary, by rendezvous hashing — stable placement under membership
+// churn, deterministic across coordinator restarts.
+func replicaPlacement(cams []wire.CameraInfo, nodes []wire.NodeID, primary cluster.Assignment, count int) map[uint32][]wire.NodeID {
+	out := make(map[uint32][]wire.NodeID, len(cams))
+	if count <= 0 || len(nodes) < 2 {
+		return out
+	}
+	if count > len(nodes)-1 {
+		count = len(nodes) - 1
+	}
+	for _, ci := range cams {
+		type scored struct {
+			node  wire.NodeID
+			score uint64
+		}
+		cands := make([]scored, 0, len(nodes))
+		for _, n := range nodes {
+			if n == primary[ci.ID] {
+				continue
+			}
+			h := fnv.New64a()
+			var idb [4]byte
+			idb[0], idb[1], idb[2], idb[3] = byte(ci.ID>>24), byte(ci.ID>>16), byte(ci.ID>>8), byte(ci.ID)
+			h.Write(idb[:])
+			h.Write([]byte(n))
+			cands = append(cands, scored{n, h.Sum64()})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].score != cands[j].score {
+				return cands[i].score > cands[j].score
+			}
+			return cands[i].node < cands[j].node
+		})
+		picked := make([]wire.NodeID, 0, count)
+		for i := 0; i < count && i < len(cands); i++ {
+			picked = append(picked, cands[i].node)
+		}
+		out[ci.ID] = picked
+	}
+	return out
+}
+
+// RoutesFor returns the serve addresses of every worker that should receive a
+// camera's stream: the primary first, then any replicas. Used by ingest
+// drivers when replication is enabled.
+func (c *Coordinator) RoutesFor(cam uint32) []string {
+	c.mu.Lock()
+	nodes := make([]wire.NodeID, 0, 1+len(c.replicas[cam]))
+	if n, ok := c.assignment[cam]; ok {
+		nodes = append(nodes, n)
+	}
+	nodes = append(nodes, c.replicas[cam]...)
+	c.mu.Unlock()
+	var out []string
+	for _, n := range nodes {
+		if m, ok := c.membership.Get(n); ok && m.Alive {
+			out = append(out, m.Addr)
+		}
+	}
+	return out
+}
+
+// RouteFor returns the serve address of the worker owning a camera.
+func (c *Coordinator) RouteFor(cam uint32) (string, bool) {
+	c.mu.Lock()
+	node, ok := c.assignment[cam]
+	c.mu.Unlock()
+	if !ok {
+		return "", false
+	}
+	m, ok := c.membership.Get(node)
+	if !ok || !m.Alive {
+		return "", false
+	}
+	return m.Addr, true
+}
+
+// --- queries ----------------------------------------------------------------
+
+// workersFor returns the serve addresses of live workers owning cameras whose
+// FOV could have produced observations in r (grown by the routing slack).
+func (c *Coordinator) workersFor(r geo.Rect) []string {
+	camIDs := c.network.CamerasIntersecting(r.Expand(routeSlack))
+	c.mu.Lock()
+	nodes := make(map[wire.NodeID]bool)
+	for _, id := range camIDs {
+		if n, ok := c.assignment[uint32(id)]; ok {
+			nodes[n] = true
+		}
+	}
+	c.mu.Unlock()
+	return c.addrsOf(nodes)
+}
+
+// allWorkers returns every live worker address.
+func (c *Coordinator) allWorkers() []string {
+	alive := c.membership.Alive()
+	out := make([]string, len(alive))
+	for i, m := range alive {
+		out[i] = m.Addr
+	}
+	return out
+}
+
+func (c *Coordinator) addrsOf(nodes map[wire.NodeID]bool) []string {
+	var out []string
+	for _, m := range c.membership.Alive() {
+		if nodes[m.Node] {
+			out = append(out, m.Addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Range runs a distributed spatio-temporal range query and merges the
+// results (time order, ObsID tie-break).
+func (c *Coordinator) Range(ctx context.Context, rect geo.Rect, window wire.TimeWindow, limit int) ([]wire.ResultRecord, error) {
+	start := time.Now()
+	defer func() { c.reg.Histogram("query.range").Observe(time.Since(start)) }()
+	q := &wire.RangeQuery{QueryID: c.nextQueryID.Add(1), Rect: rect, Window: window, Limit: limit}
+	workers := c.workersFor(rect)
+	var merged []wire.ResultRecord
+	for _, resp := range c.scatter(ctx, workers, q) {
+		if rr, ok := resp.(*wire.RangeResult); ok {
+			merged = append(merged, rr.Records...)
+		}
+	}
+	sortWireRecords(merged)
+	if limit > 0 && len(merged) > limit {
+		merged = merged[:limit]
+	}
+	return merged, nil
+}
+
+// KNN runs a distributed k-nearest query: every worker returns its local
+// top-k; the coordinator merges to the global top-k.
+func (c *Coordinator) KNN(ctx context.Context, center geo.Point, window wire.TimeWindow, k int) ([]wire.KNNRecord, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: knn k must be positive")
+	}
+	start := time.Now()
+	defer func() { c.reg.Histogram("query.knn").Observe(time.Since(start)) }()
+	q := &wire.KNNQuery{QueryID: c.nextQueryID.Add(1), Center: center, Window: window, K: k}
+	var merged []wire.KNNRecord
+	for _, resp := range c.scatter(ctx, c.allWorkers(), q) {
+		if kr, ok := resp.(*wire.KNNResult); ok {
+			merged = append(merged, kr.Records...)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Dist2 != merged[j].Dist2 {
+			return merged[i].Dist2 < merged[j].Dist2
+		}
+		return merged[i].ObsID < merged[j].ObsID
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, nil
+}
+
+// Count runs a distributed count query.
+func (c *Coordinator) Count(ctx context.Context, rect geo.Rect, window wire.TimeWindow) (int, error) {
+	q := &wire.CountQuery{QueryID: c.nextQueryID.Add(1), Rect: rect, Window: window}
+	total := 0
+	for _, resp := range c.scatter(ctx, c.workersFor(rect), q) {
+		if cr, ok := resp.(*wire.CountResult); ok {
+			total += cr.Count
+		}
+	}
+	return total, nil
+}
+
+// Filter runs a distributed multi-predicate query (range × cameras ×
+// target); each worker plans its own evaluation order adaptively. The merged
+// records come back in time order with the per-worker plans attached.
+func (c *Coordinator) Filter(ctx context.Context, q wire.FilterQuery) ([]wire.ResultRecord, map[string]int, error) {
+	q.QueryID = c.nextQueryID.Add(1)
+	var merged []wire.ResultRecord
+	plans := make(map[string]int)
+	for _, resp := range c.scatter(ctx, c.workersFor(q.Rect), &q) {
+		if fr, ok := resp.(*wire.FilterResult); ok {
+			merged = append(merged, fr.Records...)
+			plans[fr.Plan]++
+		}
+	}
+	sortWireRecords(merged)
+	if q.Limit > 0 && len(merged) > q.Limit {
+		merged = merged[:q.Limit]
+	}
+	return merged, plans, nil
+}
+
+// Heatmap runs a distributed density aggregation: each relevant worker bins
+// its observations into cells of the given size; the coordinator sums the
+// partial maps. Cells are returned sorted by (CY, CX) for stable output.
+func (c *Coordinator) Heatmap(ctx context.Context, rect geo.Rect, window wire.TimeWindow, cellSize float64) ([]wire.HeatCell, error) {
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("core: heatmap cell size must be positive")
+	}
+	q := &wire.HeatmapQuery{QueryID: c.nextQueryID.Add(1), Rect: rect, Window: window, CellSize: cellSize}
+	acc := make(map[[2]int32]int64)
+	for _, resp := range c.scatter(ctx, c.workersFor(rect), q) {
+		hr, ok := resp.(*wire.HeatmapResult)
+		if !ok {
+			continue
+		}
+		for _, cell := range hr.Cells {
+			acc[[2]int32{cell.CX, cell.CY}] += cell.Count
+		}
+	}
+	out := make([]wire.HeatCell, 0, len(acc))
+	for key, n := range acc {
+		out = append(out, wire.HeatCell{CX: key[0], CY: key[1], Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CY != out[j].CY {
+			return out[i].CY < out[j].CY
+		}
+		return out[i].CX < out[j].CX
+	})
+	return out, nil
+}
+
+// Trajectory fetches a target's observation history. Target IDs are
+// worker-namespaced, so exactly one worker holds each; the query still fans
+// out because the coordinator does not track the namespace map.
+func (c *Coordinator) Trajectory(ctx context.Context, targetID uint64, window wire.TimeWindow) ([]wire.ResultRecord, error) {
+	q := &wire.TrajectoryQuery{QueryID: c.nextQueryID.Add(1), TargetID: targetID, Window: window}
+	var merged []wire.ResultRecord
+	for _, resp := range c.scatter(ctx, c.allWorkers(), q) {
+		if tr, ok := resp.(*wire.TrajectoryResult); ok {
+			merged = append(merged, tr.Records...)
+		}
+	}
+	sortWireRecords(merged)
+	return merged, nil
+}
+
+// scatter fans a request out to workers concurrently and collects the
+// non-error responses. Unreachable workers degrade the answer rather than
+// failing it (availability over completeness during partitions).
+func (c *Coordinator) scatter(ctx context.Context, addrs []string, req any) []any {
+	if len(addrs) == 0 {
+		return nil
+	}
+	out := make([]any, len(addrs))
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			resp, err := c.transport.Call(ctx, addr, req)
+			if err != nil {
+				c.reg.Counter("scatter.errors").Inc()
+				return
+			}
+			out[i] = resp
+		}(i, addr)
+	}
+	wg.Wait()
+	var ok []any
+	for _, r := range out {
+		if r != nil {
+			ok = append(ok, r)
+		}
+	}
+	return ok
+}
+
+func sortWireRecords(rs []wire.ResultRecord) {
+	sort.Slice(rs, func(i, j int) bool {
+		if !rs[i].Time.Equal(rs[j].Time) {
+			return rs[i].Time.Before(rs[j].Time)
+		}
+		return rs[i].ObsID < rs[j].ObsID
+	})
+}
+
+// --- continuous queries ------------------------------------------------------
+
+// InstallContinuous registers a standing query; incremental updates arrive on
+// the returned channel until RemoveContinuous. The channel is buffered;
+// updates are dropped (and counted) if the subscriber lags.
+func (c *Coordinator) InstallContinuous(ctx context.Context, kind wire.ContinuousKind, rect geo.Rect, threshold int) (uint64, <-chan wire.ContinuousUpdate, error) {
+	id := c.nextQueryID.Add(1)
+	cc := &coordContinuous{
+		queryID: id,
+		install: wire.InstallContinuous{QueryID: id, Kind: kind, Rect: rect, Threshold: threshold},
+		ch:      make(chan wire.ContinuousUpdate, 1024),
+		workers: make(map[wire.NodeID]bool),
+	}
+	c.mu.Lock()
+	c.continuous[id] = cc
+	c.mu.Unlock()
+	c.installContinuousOnWorkers(ctx, cc)
+	c.reg.Gauge("continuous.active").Set(int64(len(c.continuous)))
+	return id, cc.ch, nil
+}
+
+func (c *Coordinator) installContinuousOnWorkers(ctx context.Context, cc *coordContinuous) {
+	addrs := c.workersFor(cc.install.Rect)
+	for _, addr := range addrs {
+		if _, err := c.transport.Call(ctx, addr, &cc.install); err != nil {
+			c.reg.Counter("continuous.install_errors").Inc()
+		}
+	}
+}
+
+// RemoveContinuous uninstalls a standing query and closes its channel.
+func (c *Coordinator) RemoveContinuous(ctx context.Context, id uint64) error {
+	c.mu.Lock()
+	cc, ok := c.continuous[id]
+	if ok {
+		delete(c.continuous, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: continuous query %d not found", id)
+	}
+	for _, addr := range c.allWorkers() {
+		c.transport.Call(ctx, addr, &wire.RemoveContinuous{QueryID: id}) //nolint:errcheck // best-effort uninstall
+	}
+	close(cc.ch)
+	c.reg.Gauge("continuous.active").Set(int64(len(c.continuous)))
+	return nil
+}
+
+func (c *Coordinator) onContinuousUpdate(m *wire.ContinuousUpdate) {
+	c.mu.Lock()
+	cc, ok := c.continuous[m.QueryID]
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	select {
+	case cc.ch <- *m:
+	default:
+		c.reg.Counter("continuous.dropped").Inc()
+	}
+}
+
+// --- tracking ----------------------------------------------------------------
+
+// StartTrack begins cross-camera tracking of a target sighted at the given
+// camera with the given appearance. Updates stream on the returned channel.
+func (c *Coordinator) StartTrack(ctx context.Context, cam uint32, feature []float32, at time.Time) (uint64, <-chan wire.TrackUpdate, error) {
+	addr, ok := c.RouteFor(cam)
+	if !ok {
+		return 0, nil, fmt.Errorf("core: camera %d has no live owner", cam)
+	}
+	id := c.nextTrackID.Add(1)
+	tr := &coordTrack{
+		trackID:    id,
+		lastCamera: cam,
+		feature:    feature,
+		lastSeen:   at,
+		ch:         make(chan wire.TrackUpdate, 1024),
+	}
+	c.mu.Lock()
+	node := c.assignment[cam]
+	tr.owner = node
+	c.tracks[id] = tr
+	c.mu.Unlock()
+	if _, err := c.transport.Call(ctx, addr, &wire.TrackStart{TrackID: id, Camera: cam, Feature: feature, Time: at}); err != nil {
+		c.mu.Lock()
+		delete(c.tracks, id)
+		c.mu.Unlock()
+		close(tr.ch)
+		return 0, nil, fmt.Errorf("core: track start: %w", err)
+	}
+	c.reg.Gauge("tracks.active").Set(int64(c.trackCount()))
+	return id, tr.ch, nil
+}
+
+// StopTrack cancels a track everywhere and closes its channel.
+func (c *Coordinator) StopTrack(ctx context.Context, id uint64) error {
+	c.mu.Lock()
+	tr, ok := c.tracks[id]
+	if ok {
+		delete(c.tracks, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: track %d not found", id)
+	}
+	for _, addr := range c.allWorkers() {
+		c.transport.Call(ctx, addr, &wire.TrackStop{TrackID: id}) //nolint:errcheck // best-effort cancel
+	}
+	close(tr.ch)
+	c.reg.Gauge("tracks.active").Set(int64(c.trackCount()))
+	return nil
+}
+
+// TrackInfo reports a track's current owner and handoff count.
+func (c *Coordinator) TrackInfo(id uint64) (owner wire.NodeID, lastCamera uint32, handoffs int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tr, ok := c.tracks[id]
+	if !ok {
+		return "", 0, 0, false
+	}
+	return tr.owner, tr.lastCamera, tr.handoffs, true
+}
+
+// TrackTrajectory returns the stitched cross-camera trajectory of an active
+// track, assembled from the position updates its successive owner workers
+// pushed. This is the "where has the target been" answer without a
+// distributed query: the coordinator already saw every sighting.
+func (c *Coordinator) TrackTrajectory(id uint64) (geo.Trajectory, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tr, ok := c.tracks[id]
+	if !ok {
+		return geo.Trajectory{}, false
+	}
+	var out geo.Trajectory
+	for _, u := range tr.path {
+		out.Append(u.Time, u.Pos)
+	}
+	return out, true
+}
+
+func (c *Coordinator) trackCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tracks)
+}
+
+func (c *Coordinator) onTrackUpdate(m *wire.TrackUpdate) {
+	c.mu.Lock()
+	tr, ok := c.tracks[m.TrackID]
+	if ok {
+		tr.lastCamera = m.Camera
+		tr.lastSeen = m.Time
+		tr.lost = m.Lost
+		if !m.Lost {
+			tr.path = append(tr.path, *m)
+			if len(tr.path) > maxTrackPath {
+				tr.path = append(tr.path[:0:0], tr.path[len(tr.path)-maxTrackPath:]...)
+			}
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	select {
+	case tr.ch <- *m:
+	default:
+		c.reg.Counter("tracks.dropped_updates").Inc()
+	}
+}
+
+// onTrackHandoff handles both halves of the handoff protocol:
+//   - FromCamera set, ToCamera zero: the owner lost the target; prime the
+//     vision-graph neighbors (or everyone, under the broadcast baseline).
+//   - ToCamera set: a primed worker re-acquired the target and claims it.
+func (c *Coordinator) onTrackHandoff(m *wire.TrackHandoff) {
+	if m.ToCamera != 0 {
+		c.completeHandoff(m)
+		return
+	}
+	c.beginHandoff(m)
+}
+
+func (c *Coordinator) beginHandoff(m *wire.TrackHandoff) {
+	c.mu.Lock()
+	tr, ok := c.tracks[m.TrackID]
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	c.reg.Counter("handoff.begun").Inc()
+
+	var camIDs []uint32
+	if c.opts.BroadcastHandoff {
+		for _, cid := range c.network.IDs() {
+			camIDs = append(camIDs, uint32(cid))
+		}
+	} else {
+		for _, cid := range c.network.Neighbors(camera.ID(m.FromCamera)) {
+			camIDs = append(camIDs, uint32(cid))
+		}
+	}
+	if len(camIDs) == 0 {
+		return
+	}
+	// Group prime targets by owning worker.
+	c.mu.Lock()
+	byNode := make(map[wire.NodeID][]uint32)
+	for _, cid := range camIDs {
+		if n, ok := c.assignment[cid]; ok {
+			byNode[n] = append(byNode[n], cid)
+		}
+	}
+	c.mu.Unlock()
+	prime := &wire.TrackPrime{
+		TrackID: m.TrackID,
+		Feature: tr.feature,
+		Expires: m.Time.Add(c.opts.PrimeTTL),
+	}
+	ctx := context.Background()
+	for node, cams := range byNode {
+		mem, ok := c.membership.Get(node)
+		if !ok || !mem.Alive {
+			continue
+		}
+		p := *prime
+		p.Cameras = cams
+		if _, err := c.transport.Call(ctx, mem.Addr, &p); err != nil {
+			c.reg.Counter("handoff.prime_errors").Inc()
+		} else {
+			c.reg.Counter("handoff.primes_sent").Inc()
+		}
+	}
+}
+
+func (c *Coordinator) completeHandoff(m *wire.TrackHandoff) {
+	c.mu.Lock()
+	tr, ok := c.tracks[m.TrackID]
+	var prevOwner, newOwner wire.NodeID
+	var prevCamera uint32
+	var prevSeen time.Time
+	if ok {
+		prevOwner = tr.owner
+		prevCamera = tr.lastCamera
+		prevSeen = tr.lastSeen
+		if n, k := c.assignment[m.ToCamera]; k {
+			newOwner = n
+			tr.owner = n
+		}
+		tr.lastCamera = m.ToCamera
+		tr.lastSeen = m.Time
+		tr.feature = m.Feature
+		tr.handoffs++
+	}
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	c.reg.Counter("handoff.completed").Inc()
+	// Record the learned transit edge for the vision graph.
+	if prevCamera != 0 && prevCamera != m.ToCamera {
+		//nolint:errcheck // learning is best-effort
+		c.network.ObserveTransit(camera.ID(prevCamera), camera.ID(m.ToCamera), m.Time.Sub(prevSeen).Seconds())
+	}
+	// Stop the previous owner's resident copy when ownership moved.
+	if prevOwner != "" && prevOwner != newOwner {
+		if mem, k := c.membership.Get(prevOwner); k && mem.Alive {
+			c.transport.Call(context.Background(), mem.Addr, &wire.TrackStop{TrackID: m.TrackID}) //nolint:errcheck // best-effort
+		}
+	}
+}
+
+// --- failure handling ---------------------------------------------------------
+
+// Sweep checks worker liveness; newly dead workers trigger reassignment of
+// their cameras and re-priming of their resident tracks. Returns the members
+// that died in this sweep.
+func (c *Coordinator) Sweep(ctx context.Context, now time.Time) []cluster.Member {
+	died := c.membership.Sweep(now)
+	if len(died) == 0 {
+		return nil
+	}
+	c.reg.Counter("workers.died").Add(int64(len(died)))
+	if err := c.Reassign(ctx); err != nil {
+		c.reg.Counter("reassign.errors").Inc()
+	}
+	// Tracks resident on dead workers: restart them at their last camera's
+	// new owner using the last known appearance.
+	deadSet := make(map[wire.NodeID]bool, len(died))
+	for _, d := range died {
+		deadSet[d.Node] = true
+	}
+	c.mu.Lock()
+	var orphans []*coordTrack
+	for _, tr := range c.tracks {
+		if deadSet[tr.owner] {
+			orphans = append(orphans, tr)
+		}
+	}
+	c.mu.Unlock()
+	for _, tr := range orphans {
+		if addr, ok := c.RouteFor(tr.lastCamera); ok {
+			c.mu.Lock()
+			tr.owner = c.assignment[tr.lastCamera]
+			c.mu.Unlock()
+			msg := &wire.TrackStart{TrackID: tr.trackID, Camera: tr.lastCamera, Feature: tr.feature, Time: tr.lastSeen}
+			if _, err := c.transport.Call(ctx, addr, msg); err != nil {
+				c.reg.Counter("tracks.recover_errors").Inc()
+			} else {
+				c.reg.Counter("tracks.recovered").Inc()
+			}
+		}
+	}
+	return died
+}
+
+// Alive returns the live membership view.
+func (c *Coordinator) Alive() []cluster.Member { return c.membership.Alive() }
+
+// WorkerStats fetches metric snapshots from every live worker.
+func (c *Coordinator) WorkerStats(ctx context.Context) []wire.StatsResult {
+	var out []wire.StatsResult
+	for _, resp := range c.scatter(ctx, c.allWorkers(), &wire.StatsQuery{}) {
+		if sr, ok := resp.(*wire.StatsResult); ok {
+			out = append(out, *sr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}

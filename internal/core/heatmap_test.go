@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"stcam/internal/geo"
+	"stcam/internal/wire"
+)
+
+func TestDistributedHeatmap(t *testing.T) {
+	c := newTestCluster(t, 3, Options{})
+	if err := c.Coordinator.AddCameras(ctx, gridCams(world1, 3), 50); err != nil {
+		t.Fatal(err)
+	}
+	// Three observations in cell (0,0) at 100 m resolution, two in (5,5),
+	// one in (9,9) — spread across different workers.
+	obs := []wire.Observation{
+		obsAt(1, 1, geo.Pt(10, 10), simT0, nil),
+		obsAt(2, 1, geo.Pt(50, 90), simT0.Add(time.Second), nil),
+		obsAt(3, 1, geo.Pt(99, 99), simT0.Add(2*time.Second), nil),
+		obsAt(4, 5, geo.Pt(510, 520), simT0.Add(3*time.Second), nil),
+		obsAt(5, 5, geo.Pt(590, 560), simT0.Add(4*time.Second), nil),
+		obsAt(6, 9, geo.Pt(910, 950), simT0.Add(5*time.Second), nil),
+	}
+	ingestDirect(t, c, obs...)
+	window := wire.TimeWindow{From: simT0, To: simT0.Add(time.Hour)}
+
+	cells, err := c.Coordinator.Heatmap(ctx, world1, window, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]int32]int64{{0, 0}: 3, {5, 5}: 2, {9, 9}: 1}
+	if len(cells) != len(want) {
+		t.Fatalf("heatmap has %d cells, want %d: %+v", len(cells), len(want), cells)
+	}
+	var total int64
+	for _, hc := range cells {
+		if want[[2]int32{hc.CX, hc.CY}] != hc.Count {
+			t.Errorf("cell (%d,%d) = %d, want %d", hc.CX, hc.CY, hc.Count, want[[2]int32{hc.CX, hc.CY}])
+		}
+		total += hc.Count
+	}
+	if total != 6 {
+		t.Errorf("heatmap total = %d", total)
+	}
+	// Cells arrive sorted by (CY, CX).
+	for i := 1; i < len(cells); i++ {
+		a, b := cells[i-1], cells[i]
+		if a.CY > b.CY || (a.CY == b.CY && a.CX >= b.CX) {
+			t.Fatal("heatmap cells not sorted")
+		}
+	}
+	// Heatmap total agrees with Count over the same window.
+	n, err := c.Coordinator.Count(ctx, world1, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(n) != total {
+		t.Errorf("count %d != heatmap total %d", n, total)
+	}
+	// Time filter applies.
+	cells, err = c.Coordinator.Heatmap(ctx, world1, wire.TimeWindow{From: simT0.Add(3 * time.Second), To: simT0.Add(time.Hour)}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	for _, hc := range cells {
+		total += hc.Count
+	}
+	if total != 3 {
+		t.Errorf("time-filtered heatmap total = %d, want 3", total)
+	}
+	// Bad cell size rejected.
+	if _, err := c.Coordinator.Heatmap(ctx, world1, window, 0); err == nil {
+		t.Error("zero cell size accepted")
+	}
+}
+
+func TestHeatmapWithReplication(t *testing.T) {
+	// Replicated copies must not inflate density counts.
+	c := newTestCluster(t, 3, Options{Replicas: 1})
+	if err := c.Coordinator.AddCameras(ctx, gridCams(world1, 3), 50); err != nil {
+		t.Fatal(err)
+	}
+	ing := NewIngester(c.Coordinator, c.Transport)
+	dets := detectionsAtCameras(gridCams(world1, 3))
+	if _, err := ing.IngestDetections(ctx, dets); err != nil {
+		t.Fatal(err)
+	}
+	window := wire.TimeWindow{From: simT0, To: simT0.Add(time.Hour)}
+	cells, err := c.Coordinator.Heatmap(ctx, world1, window, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, hc := range cells {
+		total += hc.Count
+	}
+	if total != int64(len(dets)) {
+		t.Errorf("replicated heatmap total = %d, want %d", total, len(dets))
+	}
+}

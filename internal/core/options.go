@@ -1,0 +1,72 @@
+// Package core implements the framework proper: the coordinator that manages
+// camera ownership, routes queries, and orchestrates cross-camera tracking;
+// and the workers that ingest detection streams into spatio-temporal indexes,
+// answer sub-queries, maintain continuous queries, and execute target-centric
+// tracking with vision-graph-scoped handoff.
+//
+// All time-dependent protocol logic (track loss, prime expiry, continuous
+// windows) runs on *observation* time, so simulations are deterministic and
+// replayable; only liveness (heartbeats, sweeps) uses the wall clock.
+package core
+
+import "time"
+
+// Options tunes the framework. The zero value selects the documented
+// defaults.
+type Options struct {
+	// AssocThreshold is the cosine similarity above which two appearance
+	// features are considered the same identity (default 0.75).
+	AssocThreshold float64
+	// LostAfter is the observation-time silence after which a worker declares
+	// a tracked target gone from its cameras and a handoff begins
+	// (default 3s).
+	LostAfter time.Duration
+	// PrimeTTL is how long (observation time) a handoff prime stays armed on
+	// neighbor cameras before expiring (default 30s).
+	PrimeTTL time.Duration
+	// Retention bounds the observation store; 0 keeps everything.
+	Retention time.Duration
+	// CellSize is the spatial index cell in meters (default 50).
+	CellSize float64
+	// BucketWidth is the temporal index bucket (default 10s).
+	BucketWidth time.Duration
+	// BroadcastHandoff switches tracking from vision-graph-scoped priming to
+	// priming every camera on every worker — the baseline experiment R3
+	// compares against.
+	BroadcastHandoff bool
+	// HeartbeatTimeout is the wall-clock silence after which the coordinator
+	// declares a worker dead (default 5s).
+	HeartbeatTimeout time.Duration
+	// FeatureLogSize bounds the per-worker ring of recent observation
+	// features used for re-identification search (default 100000).
+	FeatureLogSize int
+	// Replicas is the number of standby copies of each camera's stream kept
+	// on additional workers (0 = none). With replication, a worker crash
+	// loses no history: the coordinator promotes a replica and its standby
+	// copy becomes authoritative.
+	Replicas int
+}
+
+func (o *Options) fill() {
+	if o.AssocThreshold <= 0 || o.AssocThreshold >= 1 {
+		o.AssocThreshold = 0.75
+	}
+	if o.LostAfter <= 0 {
+		o.LostAfter = 3 * time.Second
+	}
+	if o.PrimeTTL <= 0 {
+		o.PrimeTTL = 30 * time.Second
+	}
+	if o.CellSize <= 0 {
+		o.CellSize = 50
+	}
+	if o.BucketWidth <= 0 {
+		o.BucketWidth = 10 * time.Second
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 5 * time.Second
+	}
+	if o.FeatureLogSize <= 0 {
+		o.FeatureLogSize = 100000
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"time"
+
+	"stcam/internal/geo"
+	"stcam/internal/stindex"
+	"stcam/internal/wire"
+)
+
+// Multi-predicate query planning. A FilterQuery combines a spatial range with
+// target and camera-set predicates; the worker has two physical plans:
+//
+//   - "spatial": walk the spatio-temporal index for the rectangle, then
+//     filter by target/cameras. Cost ∝ spatial selectivity of the rectangle.
+//   - "target": walk the per-target history index, then filter by
+//     rectangle/cameras. Cost ∝ the target's observation count.
+//
+// The planner compares the two estimates: spatial selectivity comes from the
+// worker's feedback-driven ST-histogram (refined by every executed range
+// query — the "queries as light" design), target cardinality from the history
+// index itself. This is the adaptive predicate-ordering machinery the
+// spatio-temporal stream-optimization literature motivates, applied at the
+// worker level where the statistics live.
+
+const plannerHistogramGrid = 16
+
+// histogramFor lazily builds the worker's selectivity histogram over its
+// camera territory. Caller holds w.mu.
+func (w *Worker) histogramLocked() *stindex.STHistogram {
+	if w.hist != nil {
+		return w.hist
+	}
+	world := w.worldGuess()
+	if world.IsEmpty() {
+		return nil
+	}
+	w.hist = stindex.NewSTHistogram(world.Expand(routeSlack), plannerHistogramGrid, plannerHistogramGrid)
+	return w.hist
+}
+
+// feedbackRange reports an executed range query's actual selectivity to the
+// histogram. Selectivity is measured against the store size so estimates
+// translate directly to expected records scanned.
+func (w *Worker) feedbackRange(rect geo.Rect, matched, stored int) {
+	if stored == 0 {
+		return
+	}
+	w.mu.Lock()
+	h := w.histogramLocked()
+	w.mu.Unlock()
+	if h == nil {
+		return
+	}
+	h.Feedback(rect, float64(matched)/float64(stored))
+}
+
+// planFilter chooses the evaluation order for a multi-predicate query,
+// returning "spatial" or "target".
+func (w *Worker) planFilter(m *wire.FilterQuery) string {
+	if m.ForcePlan == "spatial" || (m.ForcePlan == "target" && m.TargetID != 0) {
+		return m.ForcePlan
+	}
+	if m.TargetID == 0 {
+		return "spatial"
+	}
+	targetCost := float64(w.store.TargetCount(m.TargetID))
+	if targetCost == 0 {
+		return "target" // provably empty: the cheapest possible plan
+	}
+	stored := float64(w.store.Len())
+	w.mu.Lock()
+	h := w.histogramLocked()
+	w.mu.Unlock()
+	spatialCost := stored // no statistics → assume full scan
+	if h != nil {
+		spatialCost = h.Estimate(m.Rect) * stored
+	}
+	if targetCost <= spatialCost {
+		return "target"
+	}
+	return "spatial"
+}
+
+// onFilter executes a multi-predicate query with the chosen plan.
+func (w *Worker) onFilter(m *wire.FilterQuery) (any, error) {
+	start := time.Now()
+	plan := w.planFilter(m)
+	camSet := make(map[uint32]bool, len(m.Cameras))
+	for _, c := range m.Cameras {
+		camSet[c] = true
+	}
+	match := func(r stindex.Record) bool {
+		if m.TargetID != 0 && r.TargetID != m.TargetID {
+			return false
+		}
+		if len(camSet) > 0 && !camSet[r.Camera] {
+			return false
+		}
+		return true
+	}
+
+	var recs []stindex.Record
+	switch plan {
+	case "target":
+		for _, r := range w.store.TargetHistory(m.TargetID, m.Window.From, m.Window.To) {
+			if m.Rect.Contains(r.Pos) && match(r) {
+				recs = append(recs, r)
+			}
+		}
+	default:
+		scanned := w.store.RangeQuery(m.Rect, m.Window.From, m.Window.To)
+		// The spatial scan doubles as histogram feedback.
+		w.feedbackRange(m.Rect, len(scanned), w.store.Len())
+		for _, r := range scanned {
+			if match(r) {
+				recs = append(recs, r)
+			}
+		}
+	}
+	recs = w.filterPrimary(recs)
+	truncated := false
+	if m.Limit > 0 && len(recs) > m.Limit {
+		recs = recs[:m.Limit]
+		truncated = true
+	}
+	w.reg.Histogram("query.filter").Observe(time.Since(start))
+	w.reg.Counter("plan." + plan).Inc()
+	return &wire.FilterResult{
+		QueryID:   m.QueryID,
+		Records:   toWireRecords(recs),
+		Plan:      plan,
+		Truncated: truncated,
+	}, nil
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"stcam/internal/geo"
+	"stcam/internal/vision"
+	"stcam/internal/wire"
+)
+
+// plannerFixture ingests a skewed workload: one "frequent" target with many
+// observations spread over the world, one "rare" target with few, plus
+// background observations concentrated in a hotspot rectangle.
+func plannerFixture(t *testing.T, workers int) (*Cluster, vision.Feature, vision.Feature) {
+	t.Helper()
+	c := newTestCluster(t, workers, Options{LostAfter: time.Hour, AssocThreshold: 0.7})
+	if err := c.Coordinator.AddCameras(ctx, gridCams(world1, 2), 50); err != nil {
+		t.Fatal(err)
+	}
+	rng := newRand(31)
+	frequent := vision.NewRandomFeature(rng, 64)
+	rare := vision.NewRandomFeature(rng, 64)
+	var obs []wire.Observation
+	id := uint64(1)
+	add := func(p geo.Point, at time.Duration, f vision.Feature) {
+		covering := c.Coordinator.Network().CamerasCovering(p)
+		if len(covering) == 0 {
+			t.Fatalf("no camera covers %v", p)
+		}
+		obs = append(obs, wire.Observation{
+			ObsID: id, Camera: uint32(covering[0]), Time: simT0.Add(at), Pos: p, Feature: f,
+		})
+		id++
+	}
+	// 200 sightings of the frequent target wandering everywhere.
+	for i := 0; i < 200; i++ {
+		add(geo.Pt(rng.Float64()*1000, rng.Float64()*1000), time.Duration(i)*time.Second, frequent.Perturb(rng, 0.03))
+	}
+	// 3 sightings of the rare target inside the hotspot.
+	for i := 0; i < 3; i++ {
+		add(geo.Pt(50+rng.Float64()*100, 50+rng.Float64()*100), time.Duration(300+i)*time.Second, rare.Perturb(rng, 0.03))
+	}
+	// 500 anonymous background observations in the hotspot (dense region).
+	for i := 0; i < 500; i++ {
+		add(geo.Pt(rng.Float64()*200, rng.Float64()*200), time.Duration(400+i)*time.Second, nil)
+	}
+	ingestDirect(t, c, obs...)
+	return c, frequent, rare
+}
+
+func targetIDOf(t *testing.T, c *Cluster, probe vision.Feature) uint64 {
+	t.Helper()
+	window := wire.TimeWindow{From: simT0, To: simT0.Add(time.Hour)}
+	for _, w := range c.Workers {
+		hits := w.ReidSearch(probe, window, 0.8)
+		for _, h := range hits {
+			recs, err := c.Coordinator.Range(ctx, geo.RectAround(h.Pos, 0.5), window, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range recs {
+				if r.ObsID == h.ObsID && r.TargetID != 0 {
+					return r.TargetID
+				}
+			}
+		}
+	}
+	t.Fatal("target not found")
+	return 0
+}
+
+// TestFilterQueryCorrectness: both plans produce the brute-force answer; the
+// coordinator merge is deduplicated and time-ordered.
+func TestFilterQueryCorrectness(t *testing.T) {
+	c, frequent, _ := plannerFixture(t, 2)
+	window := wire.TimeWindow{From: simT0, To: simT0.Add(time.Hour)}
+	target := targetIDOf(t, c, frequent)
+
+	rect := geo.RectOf(0, 0, 500, 500)
+	recs, plans, err := c.Coordinator.Filter(ctx, wire.FilterQuery{Rect: rect, Window: window, TargetID: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans reported")
+	}
+	// Brute-force expectation from an unfiltered range query.
+	all, err := c.Coordinator.Range(ctx, rect, window, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range all {
+		if r.TargetID == target {
+			want++
+		}
+	}
+	if len(recs) != want {
+		t.Fatalf("filter returned %d records, brute force says %d", len(recs), want)
+	}
+	for i, r := range recs {
+		if r.TargetID != target {
+			t.Fatalf("record %d has target %d", i, r.TargetID)
+		}
+		if i > 0 && recs[i].Time.Before(recs[i-1].Time) {
+			t.Fatal("filter results out of order")
+		}
+	}
+	// Camera predicate composes.
+	camSet := []uint32{all[0].Camera}
+	recs, _, err = c.Coordinator.Filter(ctx, wire.FilterQuery{Rect: rect, Window: window, Cameras: camSet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Camera != camSet[0] {
+			t.Fatalf("camera filter leaked camera %d", r.Camera)
+		}
+	}
+	// Limit applies.
+	recs, _, err = c.Coordinator.Filter(ctx, wire.FilterQuery{Rect: world1, Window: window, Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("limited filter = %d", len(recs))
+	}
+}
+
+// TestPlannerAdaptsToSelectivity: after histogram warm-up, a rare-target
+// query picks the target plan, while a frequent-target query over a tiny
+// dense rectangle picks the spatial plan.
+func TestPlannerAdaptsToSelectivity(t *testing.T) {
+	// Single worker: target IDs are namespaced per worker, so plan choice —
+	// a per-worker decision — is only meaningful when the target's history
+	// lives on the worker answering the query.
+	c, frequent, rare := plannerFixture(t, 1)
+	window := wire.TimeWindow{From: simT0, To: simT0.Add(time.Hour)}
+
+	// Warm the selectivity histograms with range queries over the world,
+	// teaching the workers where the data is dense.
+	for x := 0.0; x < 1000; x += 125 {
+		for y := 0.0; y < 1000; y += 125 {
+			if _, err := c.Coordinator.Range(ctx, geo.RectOf(x, y, x+125, y+125), window, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	rareID := targetIDOf(t, c, rare)
+	freqID := targetIDOf(t, c, frequent)
+
+	// Rare target over the dense hotspot: scanning 3 history records beats
+	// scanning ~500 spatial records.
+	_, plans, err := c.Coordinator.Filter(ctx, wire.FilterQuery{
+		Rect: geo.RectOf(0, 0, 200, 200), Window: window, TargetID: rareID,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans["target"] == 0 {
+		t.Errorf("rare-target query never chose the target plan: %v", plans)
+	}
+	// Frequent target over a tiny sparse rectangle: the spatial index wins
+	// over walking 200 history records.
+	_, plans, err = c.Coordinator.Filter(ctx, wire.FilterQuery{
+		Rect: geo.RectOf(800, 800, 850, 850), Window: window, TargetID: freqID,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans["spatial"] == 0 {
+		t.Errorf("frequent-target query never chose the spatial plan: %v", plans)
+	}
+}
+
+// TestFilterNoPredicates degenerates to a plain range query.
+func TestFilterNoPredicates(t *testing.T) {
+	c, _, _ := plannerFixture(t, 2)
+	window := wire.TimeWindow{From: simT0, To: simT0.Add(time.Hour)}
+	rect := geo.RectOf(0, 0, 300, 300)
+	filtered, _, err := c.Coordinator.Filter(ctx, wire.FilterQuery{Rect: rect, Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := c.Coordinator.Range(ctx, rect, window, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered) != len(plain) {
+		t.Errorf("filter without predicates = %d records, range = %d", len(filtered), len(plain))
+	}
+}

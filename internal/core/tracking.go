@@ -1,0 +1,168 @@
+package core
+
+import (
+	"time"
+
+	"stcam/internal/vision"
+	"stcam/internal/wire"
+)
+
+// Worker-side tracking. A track resident on this worker is matched against
+// every incoming observation of its cameras by appearance similarity; a prime
+// is a watch armed by the coordinator on specific cameras during a handoff.
+// All match logic runs on observation time, never the wall clock.
+
+func (w *Worker) onTrackStart(m *wire.TrackStart) (any, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, owned := w.cameras[m.Camera]; !owned {
+		return &wire.Error{Code: wire.CodeNotFound, Message: "track: camera not owned"}, nil
+	}
+	w.tracks[m.TrackID] = &trackState{
+		trackID:  m.TrackID,
+		camera:   m.Camera,
+		feature:  vision.Feature(m.Feature),
+		lastSeen: m.Time,
+	}
+	w.reg.Gauge("tracks.resident").Set(int64(len(w.tracks)))
+	return &wire.AssignAck{Epoch: w.epoch, Accepted: 1}, nil
+}
+
+func (w *Worker) onTrackPrime(m *wire.TrackPrime) (any, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	owned := make(map[uint32]bool)
+	for _, cam := range m.Cameras {
+		if _, ok := w.cameras[cam]; ok {
+			owned[cam] = true
+		}
+	}
+	if len(owned) == 0 {
+		return &wire.Error{Code: wire.CodeNotFound, Message: "prime: no owned cameras in set"}, nil
+	}
+	w.primes[m.TrackID] = &primeState{
+		trackID: m.TrackID,
+		cameras: owned,
+		feature: vision.Feature(m.Feature),
+		expires: m.Expires,
+	}
+	w.reg.Counter("tracks.primed").Inc()
+	return &wire.AssignAck{Epoch: w.epoch, Accepted: len(owned)}, nil
+}
+
+func (w *Worker) onTrackStop(m *wire.TrackStop) (any, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, hadTrack := w.tracks[m.TrackID]
+	_, hadPrime := w.primes[m.TrackID]
+	delete(w.tracks, m.TrackID)
+	delete(w.primes, m.TrackID)
+	w.reg.Gauge("tracks.resident").Set(int64(len(w.tracks)))
+	if !hadTrack && !hadPrime {
+		return &wire.Error{Code: wire.CodeNotFound, Message: "track: unknown id"}, nil
+	}
+	return &wire.AssignAck{Epoch: w.epoch, Accepted: 1}, nil
+}
+
+// observeTracksLocked matches one observation against resident tracks and
+// armed primes, returning messages to push to the coordinator. Caller holds
+// w.mu.
+func (w *Worker) observeTracksLocked(obs *wire.Observation) []any {
+	if len(obs.Feature) == 0 {
+		return nil
+	}
+	var pushes []any
+	feat := vision.Feature(obs.Feature)
+	// Resident tracks: any owned camera may re-sight the target (intra-worker
+	// handoff needs no coordinator round-trip — locality is the point of
+	// spatial partitioning).
+	for _, tr := range w.tracks {
+		if vision.Cosine(tr.feature, feat) < w.opts.AssocThreshold {
+			continue
+		}
+		prevCam := tr.camera
+		tr.camera = obs.Camera
+		tr.lastSeen = obs.Time
+		tr.handingOff = false
+		pushes = append(pushes, &wire.TrackUpdate{
+			TrackID: tr.trackID,
+			Camera:  obs.Camera,
+			Pos:     obs.Pos,
+			Time:    obs.Time,
+		})
+		if prevCam != obs.Camera {
+			w.reg.Counter("tracks.local_handoffs").Inc()
+		}
+	}
+	// Primes: a match claims the track for this worker.
+	for id, pr := range w.primes {
+		if obs.Time.After(pr.expires) {
+			delete(w.primes, id)
+			continue
+		}
+		if !pr.cameras[obs.Camera] {
+			continue
+		}
+		if vision.Cosine(pr.feature, feat) < w.opts.AssocThreshold {
+			continue
+		}
+		delete(w.primes, id)
+		w.tracks[id] = &trackState{
+			trackID:  id,
+			camera:   obs.Camera,
+			feature:  feat,
+			lastSeen: obs.Time,
+		}
+		w.reg.Counter("tracks.claimed").Inc()
+		w.reg.Gauge("tracks.resident").Set(int64(len(w.tracks)))
+		pushes = append(pushes, &wire.TrackHandoff{
+			TrackID:  id,
+			ToCamera: obs.Camera,
+			Feature:  obs.Feature,
+			Time:     obs.Time,
+		})
+		pushes = append(pushes, &wire.TrackUpdate{
+			TrackID: id,
+			Camera:  obs.Camera,
+			Pos:     obs.Pos,
+			Time:    obs.Time,
+		})
+	}
+	return pushes
+}
+
+// detectLostTracksLocked flags resident tracks silent past LostAfter
+// (observation time) and asks the coordinator to run a handoff. The track
+// stays resident until the coordinator confirms a claim elsewhere or stops
+// it. Caller holds w.mu.
+func (w *Worker) detectLostTracksLocked(now time.Time) []any {
+	var pushes []any
+	for _, tr := range w.tracks {
+		if tr.handingOff {
+			continue
+		}
+		if now.Sub(tr.lastSeen) > w.opts.LostAfter {
+			tr.handingOff = true
+			w.reg.Counter("tracks.lost_local").Inc()
+			pushes = append(pushes, &wire.TrackHandoff{
+				TrackID:    tr.trackID,
+				FromCamera: tr.camera,
+				Feature:    tr.feature,
+				Time:       now,
+			})
+		}
+	}
+	return pushes
+}
+
+// expireContinuousLocked runs answer-set expiry for continuous queries at the
+// given observation-time horizon. Caller holds w.mu.
+func (w *Worker) expireContinuousLocked(horizon time.Time) []any {
+	var pushes []any
+	for _, cs := range w.continuous {
+		if upd := cs.expire(horizon); upd != nil {
+			pushes = append(pushes, upd)
+		}
+	}
+	return pushes
+}

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"stcam/internal/camera"
+	"stcam/internal/cluster"
+	"stcam/internal/geo"
+	"stcam/internal/metrics"
+	"stcam/internal/stindex"
+	"stcam/internal/vision"
+	"stcam/internal/wire"
+)
+
+// Worker is one node of the analysis cluster. It owns a partition of the
+// camera set, ingests those cameras' detection streams into a local
+// spatio-temporal index, answers the coordinator's sub-queries, evaluates
+// continuous queries incrementally, and runs the target trackers currently
+// resident on it.
+type Worker struct {
+	id          wire.NodeID
+	addr        string
+	coordAddr   string
+	transport   cluster.Transport
+	opts        Options
+	reg         *metrics.Registry
+	idNamespace uint64
+
+	server cluster.Server
+
+	mu         sync.Mutex
+	epoch      uint64
+	cameras    map[uint32]*camera.Camera
+	primary    map[uint32]bool
+	store      *stindex.Store
+	assoc      *vision.Associator
+	featureLog *featureRing
+	continuous map[uint64]*continuousState
+	tracks     map[uint64]*trackState
+	primes     map[uint64]*primeState
+	hist       *stindex.STHistogram
+	hbSeq      uint64
+	loadMeter  *metrics.Meter
+
+	lifecycle sync.WaitGroup
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+}
+
+// trackState is a track owned by this worker.
+type trackState struct {
+	trackID    uint64
+	camera     uint32
+	feature    vision.Feature
+	lastSeen   time.Time
+	handingOff bool
+}
+
+// primeState is a handoff watch armed on some of this worker's cameras.
+type primeState struct {
+	trackID uint64
+	cameras map[uint32]bool
+	feature vision.Feature
+	expires time.Time
+}
+
+// NewWorker constructs a worker bound to the given transport addresses.
+func NewWorker(id wire.NodeID, addr, coordAddr string, transport cluster.Transport, opts Options) *Worker {
+	opts.fill()
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &Worker{
+		id:          id,
+		addr:        addr,
+		coordAddr:   coordAddr,
+		transport:   transport,
+		opts:        opts,
+		reg:         metrics.NewRegistry(),
+		idNamespace: uint64(h.Sum32()) << 32,
+		cameras:     make(map[uint32]*camera.Camera),
+		primary:     make(map[uint32]bool),
+		store: stindex.NewStore(stindex.Config{
+			CellSize:    opts.CellSize,
+			BucketWidth: opts.BucketWidth,
+			Retention:   opts.Retention,
+		}),
+		assoc:      vision.NewAssociator(opts.AssocThreshold),
+		featureLog: newFeatureRing(opts.FeatureLogSize),
+		continuous: make(map[uint64]*continuousState),
+		tracks:     make(map[uint64]*trackState),
+		primes:     make(map[uint64]*primeState),
+		loadMeter:  metrics.NewMeter(),
+		stopCh:     make(chan struct{}),
+	}
+}
+
+// ID returns the worker's node ID.
+func (w *Worker) ID() wire.NodeID { return w.id }
+
+// Addr returns the worker's serve address: the actual bound address once
+// Start has run (important with ":0" listeners), the configured one before.
+func (w *Worker) Addr() string {
+	if w.server != nil {
+		return w.server.Addr()
+	}
+	return w.addr
+}
+
+// Metrics exposes the worker's instrumentation registry.
+func (w *Worker) Metrics() *metrics.Registry { return w.reg }
+
+// Store exposes the local index (read-mostly diagnostics and tests).
+func (w *Worker) Store() *stindex.Store { return w.store }
+
+// Start binds the worker's server and registers with the coordinator.
+func (w *Worker) Start(ctx context.Context) error {
+	srv, err := w.transport.Serve(w.addr, w.handle)
+	if err != nil {
+		return fmt.Errorf("core: worker %s serve: %w", w.id, err)
+	}
+	w.server = srv
+	resp, err := w.transport.Call(ctx, w.coordAddr, &wire.Register{Node: w.id, Addr: srv.Addr(), Capacity: 1})
+	if err != nil {
+		srv.Close()
+		return fmt.Errorf("core: worker %s register: %w", w.id, err)
+	}
+	if ack, ok := resp.(*wire.RegisterAck); !ok || !ack.Accepted {
+		srv.Close()
+		return fmt.Errorf("core: worker %s registration rejected", w.id)
+	}
+	return nil
+}
+
+// StartHeartbeats begins pushing heartbeats every interval until Stop. Tests
+// that drive time manually can skip this and call SendHeartbeat directly.
+func (w *Worker) StartHeartbeats(interval time.Duration) {
+	w.lifecycle.Add(1)
+	go func() {
+		defer w.lifecycle.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				w.SendHeartbeat(context.Background())
+			case <-w.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// SendHeartbeat pushes one heartbeat to the coordinator.
+func (w *Worker) SendHeartbeat(ctx context.Context) error {
+	w.mu.Lock()
+	w.hbSeq++
+	hb := &wire.Heartbeat{
+		Node:    w.id,
+		Seq:     w.hbSeq,
+		Load:    w.loadMeter.Rate(),
+		Stored:  w.store.Len(),
+		Cameras: len(w.cameras),
+	}
+	w.mu.Unlock()
+	_, err := w.transport.Call(ctx, w.coordAddr, hb)
+	return err
+}
+
+// Stop halts background loops and closes the server.
+func (w *Worker) Stop() {
+	w.stopOnce.Do(func() { close(w.stopCh) })
+	w.lifecycle.Wait()
+	if w.server != nil {
+		w.server.Close()
+	}
+}
+
+// handle dispatches inbound RPCs.
+func (w *Worker) handle(ctx context.Context, from string, req any) (any, error) {
+	switch m := req.(type) {
+	case *wire.AssignCameras:
+		return w.onAssign(m)
+	case *wire.IngestBatch:
+		return w.onIngest(ctx, m)
+	case *wire.RangeQuery:
+		return w.onRange(m)
+	case *wire.KNNQuery:
+		return w.onKNN(m)
+	case *wire.CountQuery:
+		return w.onCount(m)
+	case *wire.TrajectoryQuery:
+		return w.onTrajectory(m)
+	case *wire.InstallContinuous:
+		return w.onInstallContinuous(m)
+	case *wire.RemoveContinuous:
+		return w.onRemoveContinuous(m)
+	case *wire.TrackStart:
+		return w.onTrackStart(m)
+	case *wire.TrackPrime:
+		return w.onTrackPrime(m)
+	case *wire.TrackStop:
+		return w.onTrackStop(m)
+	case *wire.HeatmapQuery:
+		return w.onHeatmap(m)
+	case *wire.FilterQuery:
+		return w.onFilter(m)
+	case *wire.StatsQuery:
+		return w.onStats()
+	default:
+		return &wire.Error{Code: wire.CodeBadRequest, Message: fmt.Sprintf("worker: unexpected %T", req)}, nil
+	}
+}
+
+func (w *Worker) onAssign(m *wire.AssignCameras) (any, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if m.Epoch < w.epoch {
+		return &wire.Error{Code: wire.CodeWrongEpoch, Message: fmt.Sprintf("stale epoch %d < %d", m.Epoch, w.epoch)}, nil
+	}
+	w.epoch = m.Epoch
+	w.cameras = make(map[uint32]*camera.Camera, len(m.Cameras)+len(m.Replicas))
+	w.primary = make(map[uint32]bool, len(m.Cameras))
+	for _, ci := range m.Cameras {
+		w.cameras[ci.ID] = camera.New(camera.ID(ci.ID), ci.Pos, ci.Orient, ci.HalfFOV, ci.Range)
+		w.primary[ci.ID] = true
+	}
+	for _, ci := range m.Replicas {
+		w.cameras[ci.ID] = camera.New(camera.ID(ci.ID), ci.Pos, ci.Orient, ci.HalfFOV, ci.Range)
+	}
+	w.hist = nil // territory changed; rebuild selectivity statistics lazily
+	w.reg.Gauge("cameras.owned").Set(int64(len(w.primary)))
+	w.reg.Gauge("cameras.replica").Set(int64(len(m.Replicas)))
+	return &wire.AssignAck{Epoch: m.Epoch, Accepted: len(m.Cameras) + len(m.Replicas)}, nil
+}
+
+// onIngest is the hot path: associate, index, evaluate continuous queries and
+// trackers, and push any resulting updates.
+func (w *Worker) onIngest(ctx context.Context, m *wire.IngestBatch) (any, error) {
+	var pushes []any
+
+	w.mu.Lock()
+	accepted, rejected := 0, 0
+	latest := m.FrameTime
+	for i := range m.Observations {
+		obs := &m.Observations[i]
+		if _, owned := w.cameras[obs.Camera]; !owned {
+			rejected++
+			continue
+		}
+		accepted++
+		if obs.Time.After(latest) {
+			latest = obs.Time
+		}
+		if !w.primary[obs.Camera] {
+			// Standby copy: index only. The primary owner runs association,
+			// continuous queries, and tracking; running them here too would
+			// duplicate answer deltas and track updates.
+			w.store.Insert(stindex.Record{
+				ObsID:  obs.ObsID,
+				Camera: obs.Camera,
+				Pos:    obs.Pos,
+				Time:   obs.Time,
+			})
+			w.reg.Counter("ingest.replica").Inc()
+			continue
+		}
+		// Identity association: worker-local namespaced target IDs.
+		var targetID uint64
+		if len(obs.Feature) > 0 {
+			local, _ := w.assoc.Associate(vision.Feature(obs.Feature))
+			targetID = w.idNamespace | local
+		}
+		rec := stindex.Record{
+			ObsID:    obs.ObsID,
+			TargetID: targetID,
+			Camera:   obs.Camera,
+			Pos:      obs.Pos,
+			Time:     obs.Time,
+		}
+		w.store.Insert(rec)
+		w.featureLog.add(obs)
+		// Continuous queries: incremental +/- evaluation.
+		for _, cs := range w.continuous {
+			if upd := cs.observe(rec); upd != nil {
+				pushes = append(pushes, upd)
+			}
+		}
+		// Tracking: resident tracks and armed primes.
+		pushes = append(pushes, w.observeTracksLocked(obs)...)
+	}
+	if !latest.IsZero() {
+		// Track-loss detection and continuous-answer expiry advance on
+		// observation time (frame clocks included, so silence still ticks).
+		pushes = append(pushes, w.detectLostTracksLocked(latest)...)
+		pushes = append(pushes, w.expireContinuousLocked(latest.Add(-w.opts.LostAfter))...)
+	}
+	w.loadMeter.Mark(int64(accepted))
+	w.reg.Counter("ingest.accepted").Add(int64(accepted))
+	w.reg.Counter("ingest.rejected").Add(int64(rejected))
+	w.reg.Gauge("store.records").Set(int64(w.store.Len()))
+	w.mu.Unlock()
+
+	for _, p := range pushes {
+		if _, err := w.transport.Call(ctx, w.coordAddr, p); err != nil {
+			w.reg.Counter("push.errors").Inc()
+		}
+	}
+	return &wire.IngestAck{Accepted: accepted, Rejected: rejected}, nil
+}
+
+func (w *Worker) onRange(m *wire.RangeQuery) (any, error) {
+	start := time.Now()
+	scanned := w.store.RangeQuery(m.Rect, m.Window.From, m.Window.To)
+	w.feedbackRange(m.Rect, len(scanned), w.store.Len())
+	recs := w.filterPrimary(scanned)
+	truncated := false
+	if m.Limit > 0 && len(recs) > m.Limit {
+		recs = recs[:m.Limit]
+		truncated = true
+	}
+	out := &wire.RangeResult{QueryID: m.QueryID, Records: toWireRecords(recs), Truncated: truncated}
+	w.reg.Histogram("query.range").Observe(time.Since(start))
+	return out, nil
+}
+
+// filterPrimary drops records whose camera this worker holds only as a
+// standby copy, so replicated data never duplicates a query answer. A camera
+// promoted after a failure passes the filter, which is how standby history
+// becomes visible.
+func (w *Worker) filterPrimary(recs []stindex.Record) []stindex.Record {
+	w.mu.Lock()
+	replicated := len(w.primary) != len(w.cameras)
+	var primary map[uint32]bool
+	if replicated {
+		primary = make(map[uint32]bool, len(w.primary))
+		for id := range w.primary {
+			primary[id] = true
+		}
+	}
+	w.mu.Unlock()
+	if !replicated {
+		return recs
+	}
+	kept := recs[:0]
+	for _, r := range recs {
+		if primary[r.Camera] {
+			kept = append(kept, r)
+		}
+	}
+	return kept
+}
+
+// isPrimarySnapshot returns a point-in-time primary-camera predicate.
+func (w *Worker) isPrimarySnapshot() func(stindex.Record) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.primary) == len(w.cameras) {
+		return nil // no replicas held; everything is primary
+	}
+	primary := make(map[uint32]bool, len(w.primary))
+	for id := range w.primary {
+		primary[id] = true
+	}
+	return func(r stindex.Record) bool { return primary[r.Camera] }
+}
+
+func (w *Worker) onKNN(m *wire.KNNQuery) (any, error) {
+	start := time.Now()
+	if m.K <= 0 {
+		return &wire.Error{Code: wire.CodeBadRequest, Message: "knn: k must be positive"}, nil
+	}
+	ns := w.store.KNNFunc(m.Center, m.Window.From, m.Window.To, m.K, w.isPrimarySnapshot())
+	out := &wire.KNNResult{QueryID: m.QueryID, Records: make([]wire.KNNRecord, len(ns))}
+	for i, n := range ns {
+		out.Records[i] = wire.KNNRecord{ResultRecord: toWireRecord(n.Record), Dist2: n.Dist2}
+	}
+	w.reg.Histogram("query.knn").Observe(time.Since(start))
+	return out, nil
+}
+
+func (w *Worker) onCount(m *wire.CountQuery) (any, error) {
+	if keep := w.isPrimarySnapshot(); keep != nil {
+		n := len(w.filterPrimary(w.store.RangeQuery(m.Rect, m.Window.From, m.Window.To)))
+		return &wire.CountResult{QueryID: m.QueryID, Count: n}, nil
+	}
+	return &wire.CountResult{QueryID: m.QueryID, Count: w.store.Count(m.Rect, m.Window.From, m.Window.To)}, nil
+}
+
+func (w *Worker) onTrajectory(m *wire.TrajectoryQuery) (any, error) {
+	recs := w.store.TargetHistory(m.TargetID, m.Window.From, m.Window.To)
+	return &wire.TrajectoryResult{QueryID: m.QueryID, Records: toWireRecords(recs)}, nil
+}
+
+func (w *Worker) onHeatmap(m *wire.HeatmapQuery) (any, error) {
+	if m.CellSize <= 0 {
+		return &wire.Error{Code: wire.CodeBadRequest, Message: "heatmap: cell size must be positive"}, nil
+	}
+	cells := w.store.Heatmap(m.Rect, m.Window.From, m.Window.To, m.CellSize, w.isPrimarySnapshot())
+	out := &wire.HeatmapResult{QueryID: m.QueryID, CellSize: m.CellSize, Cells: make([]wire.HeatCell, len(cells))}
+	for i, c := range cells {
+		out.Cells[i] = wire.HeatCell{CX: c.CX, CY: c.CY, Count: c.Count}
+	}
+	return out, nil
+}
+
+func (w *Worker) onStats() (any, error) {
+	snap := w.reg.Snapshot()
+	return &wire.StatsResult{Node: w.id, Counters: snap.Counters, Gauges: snap.Gauges}, nil
+}
+
+// ReidSearch scans the worker's recent feature log for observations whose
+// appearance matches the probe above the threshold. Used by the coordinator's
+// forensic search; exported for local (in-process) deployments.
+func (w *Worker) ReidSearch(probe vision.Feature, window wire.TimeWindow, threshold float64) []wire.ResultRecord {
+	var out []wire.ResultRecord
+	w.featureLog.scan(func(obs *wire.Observation) {
+		if !window.Contains(obs.Time) {
+			return
+		}
+		if vision.Cosine(probe, vision.Feature(obs.Feature)) >= threshold {
+			out = append(out, wire.ResultRecord{
+				ObsID:  obs.ObsID,
+				Camera: obs.Camera,
+				Pos:    obs.Pos,
+				Time:   obs.Time,
+			})
+		}
+	})
+	return out
+}
+
+func toWireRecord(r stindex.Record) wire.ResultRecord {
+	return wire.ResultRecord{
+		ObsID:    r.ObsID,
+		TargetID: r.TargetID,
+		Camera:   r.Camera,
+		Pos:      r.Pos,
+		Time:     r.Time,
+	}
+}
+
+func toWireRecords(rs []stindex.Record) []wire.ResultRecord {
+	if len(rs) == 0 {
+		return nil
+	}
+	out := make([]wire.ResultRecord, len(rs))
+	for i, r := range rs {
+		out[i] = toWireRecord(r)
+	}
+	return out
+}
+
+// featureRing is a bounded ring buffer of recent observations with features,
+// powering re-identification search without unbounded memory.
+type featureRing struct {
+	buf  []wire.Observation
+	next int
+	full bool
+}
+
+func newFeatureRing(size int) *featureRing {
+	return &featureRing{buf: make([]wire.Observation, size)}
+}
+
+func (r *featureRing) add(obs *wire.Observation) {
+	if len(obs.Feature) == 0 {
+		return
+	}
+	r.buf[r.next] = *obs
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+func (r *featureRing) scan(fn func(*wire.Observation)) {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		fn(&r.buf[i])
+	}
+}
+
+// worldGuess returns a bounding box around this worker's cameras, used to
+// seed continuous-query geometry checks.
+func (w *Worker) worldGuess() geo.Rect {
+	out := geo.EmptyRect()
+	for _, c := range w.cameras {
+		out = out.Union(c.Bounds())
+	}
+	return out
+}

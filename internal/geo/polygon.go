@@ -1,0 +1,276 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// Polygon is a simple polygon given by its vertices in order (either
+// winding). The closing edge from the last vertex back to the first is
+// implicit. A polygon with fewer than three vertices is degenerate: it has
+// zero area and contains no points.
+type Polygon []Point
+
+// Area returns the unsigned area of the polygon (shoelace formula).
+func (pg Polygon) Area() float64 { return math.Abs(pg.SignedArea()) }
+
+// SignedArea returns the signed area: positive when the vertices wind
+// counter-clockwise.
+func (pg Polygon) SignedArea() float64 {
+	if len(pg) < 3 {
+		return 0
+	}
+	var sum float64
+	for i, p := range pg {
+		q := pg[(i+1)%len(pg)]
+		sum += p.Cross(q)
+	}
+	return sum / 2
+}
+
+// Centroid returns the area centroid of the polygon. For degenerate polygons
+// it falls back to the vertex mean.
+func (pg Polygon) Centroid() Point {
+	a := pg.SignedArea()
+	if len(pg) == 0 {
+		return Point{}
+	}
+	if math.Abs(a) < 1e-12 {
+		var c Point
+		for _, p := range pg {
+			c = c.Add(p)
+		}
+		return c.Scale(1 / float64(len(pg)))
+	}
+	var cx, cy float64
+	for i, p := range pg {
+		q := pg[(i+1)%len(pg)]
+		w := p.Cross(q)
+		cx += (p.X + q.X) * w
+		cy += (p.Y + q.Y) * w
+	}
+	return Point{cx / (6 * a), cy / (6 * a)}
+}
+
+// Bounds returns the axis-aligned bounding rectangle of the polygon.
+func (pg Polygon) Bounds() Rect {
+	out := EmptyRect()
+	for _, p := range pg {
+		out = out.UnionPoint(p)
+	}
+	return out
+}
+
+// Contains reports whether p is inside the polygon, using the ray-casting
+// parity rule. Points exactly on an edge may report either side; callers that
+// need edge tolerance should expand the polygon first.
+func (pg Polygon) Contains(p Point) bool {
+	if len(pg) < 3 {
+		return false
+	}
+	in := false
+	j := len(pg) - 1
+	for i := 0; i < len(pg); i++ {
+		a, b := pg[i], pg[j]
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			xAtY := a.X + (p.Y-a.Y)/(b.Y-a.Y)*(b.X-a.X)
+			if p.X < xAtY {
+				in = !in
+			}
+		}
+		j = i
+	}
+	return in
+}
+
+// IntersectsRect reports whether the polygon and rectangle share any point.
+func (pg Polygon) IntersectsRect(r Rect) bool {
+	if len(pg) < 3 || r.IsEmpty() {
+		return false
+	}
+	if !pg.Bounds().Intersects(r) {
+		return false
+	}
+	// Any polygon vertex inside the rect, or rect corner inside the polygon.
+	for _, p := range pg {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	for _, c := range r.Corners() {
+		if pg.Contains(c) {
+			return true
+		}
+	}
+	// Finally, any edge crossing.
+	rc := r.Corners()
+	for i := range pg {
+		a, b := pg[i], pg[(i+1)%len(pg)]
+		for j := 0; j < 4; j++ {
+			if SegmentsIntersect(a, b, rc[j], rc[(j+1)%4]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IntersectsPolygon reports whether two polygons share any point.
+func (pg Polygon) IntersectsPolygon(other Polygon) bool {
+	if len(pg) < 3 || len(other) < 3 {
+		return false
+	}
+	if !pg.Bounds().Intersects(other.Bounds()) {
+		return false
+	}
+	if other.Contains(pg[0]) || pg.Contains(other[0]) {
+		return true
+	}
+	for i := range pg {
+		a, b := pg[i], pg[(i+1)%len(pg)]
+		for j := range other {
+			c, d := other[j], other[(j+1)%len(other)]
+			if SegmentsIntersect(a, b, c, d) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Translate returns a copy of the polygon shifted by d.
+func (pg Polygon) Translate(d Point) Polygon {
+	out := make(Polygon, len(pg))
+	for i, p := range pg {
+		out[i] = p.Add(d)
+	}
+	return out
+}
+
+// orient classifies the turn a→b→c: >0 counter-clockwise, <0 clockwise,
+// 0 collinear (within epsilon).
+func orient(a, b, c Point) int {
+	v := b.Sub(a).Cross(c.Sub(a))
+	const eps = 1e-12
+	switch {
+	case v > eps:
+		return 1
+	case v < -eps:
+		return -1
+	}
+	return 0
+}
+
+// onSegment reports whether collinear point p lies on segment ab.
+func onSegment(a, b, p Point) bool {
+	return math.Min(a.X, b.X)-1e-12 <= p.X && p.X <= math.Max(a.X, b.X)+1e-12 &&
+		math.Min(a.Y, b.Y)-1e-12 <= p.Y && p.Y <= math.Max(a.Y, b.Y)+1e-12
+}
+
+// SegmentsIntersect reports whether the closed segments ab and cd share a
+// point, including touching endpoints and collinear overlap.
+func SegmentsIntersect(a, b, c, d Point) bool {
+	o1 := orient(a, b, c)
+	o2 := orient(a, b, d)
+	o3 := orient(c, d, a)
+	o4 := orient(c, d, b)
+	if o1 != o2 && o3 != o4 {
+		return true
+	}
+	switch {
+	case o1 == 0 && onSegment(a, b, c):
+		return true
+	case o2 == 0 && onSegment(a, b, d):
+		return true
+	case o3 == 0 && onSegment(c, d, a):
+		return true
+	case o4 == 0 && onSegment(c, d, b):
+		return true
+	}
+	return false
+}
+
+// ConvexHull returns the convex hull of the given points in counter-clockwise
+// order (Andrew's monotone chain). Duplicates and collinear boundary points
+// are dropped. Inputs with fewer than three distinct points return what
+// exists.
+func ConvexHull(pts []Point) Polygon {
+	if len(pts) == 0 {
+		return nil
+	}
+	ps := make([]Point, len(pts))
+	copy(ps, pts)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+	// Deduplicate.
+	uniq := ps[:1]
+	for _, p := range ps[1:] {
+		if p != uniq[len(uniq)-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	ps = uniq
+	if len(ps) < 3 {
+		return Polygon(ps)
+	}
+	hull := make([]Point, 0, 2*len(ps))
+	// Lower hull.
+	for _, p := range ps {
+		for len(hull) >= 2 && orient(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(ps) - 2; i >= 0; i-- {
+		p := ps[i]
+		for len(hull) >= lower && orient(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return Polygon(hull[:len(hull)-1])
+}
+
+// Sector returns a polygon approximating the circular sector with the given
+// apex, central direction (radians), half-angle (radians), and radius. The
+// arc is approximated with segs chord segments (segs < 1 is treated as 1).
+// This is the canonical camera field-of-view shape.
+func Sector(apex Point, direction, halfAngle, radius float64, segs int) Polygon {
+	if segs < 1 {
+		segs = 1
+	}
+	if halfAngle <= 0 || radius <= 0 {
+		return nil
+	}
+	out := make(Polygon, 0, segs+2)
+	out = append(out, apex)
+	start := direction - halfAngle
+	step := 2 * halfAngle / float64(segs)
+	for i := 0; i <= segs; i++ {
+		a := start + float64(i)*step
+		sin, cos := math.Sincos(a)
+		out = append(out, Point{apex.X + radius*cos, apex.Y + radius*sin})
+	}
+	return out
+}
+
+// Circle returns a regular polygon with segs vertices approximating the
+// circle of the given center and radius.
+func Circle(center Point, radius float64, segs int) Polygon {
+	if segs < 3 {
+		segs = 3
+	}
+	out := make(Polygon, segs)
+	for i := range out {
+		a := 2 * math.Pi * float64(i) / float64(segs)
+		sin, cos := math.Sincos(a)
+		out[i] = Point{center.X + radius*cos, center.Y + radius*sin}
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(5)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 6 {
+		t.Errorf("Value = %d, want 6", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("Value = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Errorf("Value = %d, want 6", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations: 1ms .. 100ms.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	// Bucketed quantiles have bounded relative error (~19%).
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		relErr := math.Abs(float64(got-c.want)) / float64(c.want)
+		if relErr > 0.25 {
+			t.Errorf("Quantile(%v) = %v, want ≈ %v (relErr %.2f)", c.q, got, c.want, relErr)
+		}
+	}
+	if got := h.Quantile(0); got != time.Millisecond {
+		t.Errorf("Quantile(0) = %v, want exact min", got)
+	}
+	if got := h.Quantile(1); got != 100*time.Millisecond {
+		t.Errorf("Quantile(1) = %v, want exact max", got)
+	}
+	mean := h.Mean()
+	if mean < 45*time.Millisecond || mean > 56*time.Millisecond {
+		t.Errorf("Mean = %v, want ≈ 50.5ms", mean)
+	}
+}
+
+func TestHistogramSnapshotMonotone(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if !(s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Errorf("quantiles not monotone: %v", s)
+	}
+	if s.Count != 1000 {
+		t.Errorf("Count = %d", s.Count)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	if h.Count() != 1 {
+		t.Fatal("negative observation dropped")
+	}
+	if h.Quantile(1) != 0 {
+		t.Errorf("negative clamped to %v, want 0", h.Quantile(1))
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(time.Hour * 100) // beyond the last bucket
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatal("observations lost")
+	}
+	if s.Max != 100*time.Hour {
+		t.Errorf("Max = %v", s.Max)
+	}
+}
+
+func TestHistogramTime(t *testing.T) {
+	var h Histogram
+	h.Time(func() { time.Sleep(time.Millisecond) })
+	if h.Count() != 1 {
+		t.Fatal("Time did not record")
+	}
+	if h.Quantile(1) < time.Millisecond {
+		t.Errorf("timed duration %v < 1ms", h.Quantile(1))
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 1; j <= 500; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 2000 {
+		t.Errorf("Count = %d, want 2000", h.Count())
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	m.Mark(10)
+	m.Mark(20)
+	if m.Count() != 30 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	if m.Rate() <= 0 {
+		t.Error("Rate should be positive after marks")
+	}
+	m.Reset()
+	if m.Count() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ingest.events").Add(7)
+	r.Counter("ingest.events").Add(3) // same counter
+	r.Gauge("workers.live").Set(4)
+	r.Histogram("query.latency").Observe(time.Millisecond)
+
+	s := r.Snapshot()
+	if s.Counters["ingest.events"] != 10 {
+		t.Errorf("counter = %d", s.Counters["ingest.events"])
+	}
+	if s.Gauges["workers.live"] != 4 {
+		t.Errorf("gauge = %d", s.Gauges["workers.live"])
+	}
+	if s.Histograms["query.latency"].Count != 1 {
+		t.Errorf("histogram count = %d", s.Histograms["query.latency"].Count)
+	}
+	keys := s.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("Keys = %v", keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.Fatal("keys not sorted")
+		}
+	}
+}
+
+func TestRegistryConcurrentCreate(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 800 {
+		t.Errorf("shared counter = %d, want 800", got)
+	}
+}

@@ -1,0 +1,235 @@
+// Package sim generates the ground truth the framework is evaluated against:
+// a world of moving objects under pluggable mobility models, and the
+// per-camera observation streams a real deployment's analytics would emit.
+// Everything is deterministic under a seed, which is what makes the
+// experiment suite reproducible (DESIGN.md §4).
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"stcam/internal/geo"
+)
+
+// Mobility advances an object's kinematic state. Implementations must be
+// deterministic given the rng stream.
+type Mobility interface {
+	// Init sets the object's starting position and internal state.
+	Init(o *Object, rng *rand.Rand)
+	// Step advances the object by dt seconds.
+	Step(o *Object, dtSeconds float64, rng *rand.Rand)
+}
+
+// RandomWaypoint is the classic mobility model: pick a uniform waypoint, walk
+// to it at a uniform-random speed, repeat. An optional hotspot rectangle
+// attracts a fraction of waypoint choices, producing the skewed load
+// experiments R5 uses.
+type RandomWaypoint struct {
+	World       geo.Rect
+	MinSpeed    float64 // m/s
+	MaxSpeed    float64 // m/s
+	Hotspot     geo.Rect
+	HotspotProb float64 // probability a waypoint is drawn from Hotspot
+	Pause       float64 // seconds to dwell at each waypoint
+}
+
+var _ Mobility = (*RandomWaypoint)(nil)
+
+// Init implements Mobility.
+func (m *RandomWaypoint) Init(o *Object, rng *rand.Rand) {
+	o.Pos = m.randPoint(rng, false)
+	o.waypoint = m.randPoint(rng, true)
+	o.speed = m.randSpeed(rng)
+	o.pause = 0
+}
+
+// Step implements Mobility.
+func (m *RandomWaypoint) Step(o *Object, dt float64, rng *rand.Rand) {
+	if o.pause > 0 {
+		o.pause -= dt
+		if o.pause > 0 {
+			return
+		}
+		dt = -o.pause // spend the remainder of the tick moving
+		o.pause = 0
+	}
+	for dt > 0 {
+		toGo := o.waypoint.Sub(o.Pos)
+		dist := toGo.Norm()
+		travel := o.speed * dt
+		if travel < dist {
+			o.Pos = o.Pos.Add(toGo.Scale(travel / dist))
+			return
+		}
+		// Reached the waypoint: consume the time, pick the next leg.
+		o.Pos = o.waypoint
+		if o.speed > 0 {
+			dt -= dist / o.speed
+		} else {
+			dt = 0
+		}
+		o.waypoint = m.randPoint(rng, true)
+		o.speed = m.randSpeed(rng)
+		if m.Pause > 0 {
+			o.pause = m.Pause
+			return
+		}
+	}
+}
+
+func (m *RandomWaypoint) randPoint(rng *rand.Rand, allowHotspot bool) geo.Point {
+	r := m.World
+	if allowHotspot && m.HotspotProb > 0 && !m.Hotspot.IsEmpty() && rng.Float64() < m.HotspotProb {
+		r = m.Hotspot
+	}
+	return geo.Pt(
+		r.Min.X+rng.Float64()*r.Width(),
+		r.Min.Y+rng.Float64()*r.Height(),
+	)
+}
+
+func (m *RandomWaypoint) randSpeed(rng *rand.Rand) float64 {
+	lo, hi := m.MinSpeed, m.MaxSpeed
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// RoadGrid moves objects along a Manhattan lattice with the given block
+// spacing: objects travel along roads and turn at intersections. This is the
+// urban-traffic model behind the "city camera network" workloads — it yields
+// the corridor transit patterns cross-camera tracking exploits.
+type RoadGrid struct {
+	World    geo.Rect
+	Spacing  float64 // block size, meters
+	MinSpeed float64
+	MaxSpeed float64
+	TurnProb float64 // probability of turning at an intersection (default 0.5)
+}
+
+var _ Mobility = (*RoadGrid)(nil)
+
+// Init implements Mobility.
+func (m *RoadGrid) Init(o *Object, rng *rand.Rand) {
+	sp := m.spacing()
+	// Start at a random intersection.
+	nx := int(m.World.Width() / sp)
+	ny := int(m.World.Height() / sp)
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	o.Pos = geo.Pt(
+		m.World.Min.X+float64(rng.Intn(nx+1))*sp,
+		m.World.Min.Y+float64(rng.Intn(ny+1))*sp,
+	)
+	o.dir = [4]geo.Point{{X: 1}, {X: -1}, {Y: 1}, {Y: -1}}[rng.Intn(4)]
+	o.dir = m.nextDir(o, rng) // bounce off the boundary if the draw points out
+	o.speed = m.randSpeed(rng)
+	o.legLeft = sp
+}
+
+// Step implements Mobility.
+func (m *RoadGrid) Step(o *Object, dt float64, rng *rand.Rand) {
+	sp := m.spacing()
+	for dt > 0 {
+		travel := o.speed * dt
+		if travel < o.legLeft {
+			o.Pos = o.Pos.Add(o.dir.Scale(travel))
+			o.legLeft -= travel
+			return
+		}
+		// Reach the intersection.
+		o.Pos = o.Pos.Add(o.dir.Scale(o.legLeft))
+		dt -= o.legLeft / o.speed
+		o.legLeft = sp
+		o.dir = m.nextDir(o, rng)
+		o.speed = m.randSpeed(rng)
+	}
+}
+
+func (m *RoadGrid) nextDir(o *Object, rng *rand.Rand) geo.Point {
+	turnProb := m.TurnProb
+	if turnProb <= 0 {
+		turnProb = 0.5
+	}
+	dir := o.dir
+	if rng.Float64() < turnProb {
+		// Turn left or right.
+		if rng.Intn(2) == 0 {
+			dir = geo.Pt(-dir.Y, dir.X)
+		} else {
+			dir = geo.Pt(dir.Y, -dir.X)
+		}
+	}
+	// Bounce off the world boundary instead of leaving it.
+	next := o.Pos.Add(dir.Scale(m.spacing()))
+	if !m.World.Contains(next) {
+		dir = dir.Scale(-1)
+		next = o.Pos.Add(dir.Scale(m.spacing()))
+		if !m.World.Contains(next) {
+			// Corner: turn perpendicular.
+			dir = geo.Pt(-dir.Y, dir.X)
+			if !m.World.Contains(o.Pos.Add(dir.Scale(m.spacing()))) {
+				dir = dir.Scale(-1)
+			}
+		}
+	}
+	return dir
+}
+
+func (m *RoadGrid) spacing() float64 {
+	if m.Spacing <= 0 {
+		return 100
+	}
+	return m.Spacing
+}
+
+func (m *RoadGrid) randSpeed(rng *rand.Rand) float64 {
+	lo, hi := m.MinSpeed, m.MaxSpeed
+	if lo <= 0 {
+		lo = 5
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// Linear moves objects in a fixed direction at a fixed speed, wrapping around
+// the world torus-style. It is the minimal deterministic model used by unit
+// tests that need exactly predictable ground truth.
+type Linear struct {
+	World geo.Rect
+	Vel   geo.Point // m/s
+}
+
+var _ Mobility = (*Linear)(nil)
+
+// Init implements Mobility.
+func (m *Linear) Init(o *Object, rng *rand.Rand) {
+	o.Pos = geo.Pt(
+		m.World.Min.X+rng.Float64()*m.World.Width(),
+		m.World.Min.Y+rng.Float64()*m.World.Height(),
+	)
+}
+
+// Step implements Mobility.
+func (m *Linear) Step(o *Object, dt float64, _ *rand.Rand) {
+	o.Pos = o.Pos.Add(m.Vel.Scale(dt))
+	// Wrap into the world.
+	w, h := m.World.Width(), m.World.Height()
+	if w > 0 {
+		o.Pos.X = m.World.Min.X + math.Mod(math.Mod(o.Pos.X-m.World.Min.X, w)+w, w)
+	}
+	if h > 0 {
+		o.Pos.Y = m.World.Min.Y + math.Mod(math.Mod(o.Pos.Y-m.World.Min.Y, h)+h, h)
+	}
+}

@@ -1,0 +1,266 @@
+package spatial
+
+import (
+	"container/heap"
+
+	"stcam/internal/geo"
+)
+
+// Quadtree is a point-region quadtree over a fixed world rectangle: leaves
+// hold up to a bucket capacity of items and split into four quadrants when
+// they overflow (until a maximum depth, after which leaves grow unbounded).
+//
+// Points outside the world rectangle are legal: they are kept in a flat
+// overflow list that every query scans. This keeps tree pruning sound (node
+// bounds really do bound their contents) while never losing data when the
+// world estimate was too small. Workloads are expected to keep out-of-world
+// points rare.
+type Quadtree struct {
+	root    *qnode
+	outside []Item
+	bucket  int
+	maxD    int
+	n       int
+}
+
+type qnode struct {
+	bounds   geo.Rect
+	items    []Item
+	children *[4]qnode
+	depth    int
+}
+
+const (
+	defaultQuadBucket = 16
+	defaultQuadDepth  = 20
+)
+
+var _ Index = (*Quadtree)(nil)
+
+// NewQuadtree returns a quadtree covering world. Bucket and maxDepth of 0
+// select the defaults (16, 20).
+func NewQuadtree(world geo.Rect, bucket, maxDepth int) *Quadtree {
+	if world.IsEmpty() {
+		panic("spatial: quadtree world must be non-empty")
+	}
+	if bucket <= 0 {
+		bucket = defaultQuadBucket
+	}
+	if maxDepth <= 0 {
+		maxDepth = defaultQuadDepth
+	}
+	return &Quadtree{
+		root:   &qnode{bounds: world},
+		bucket: bucket,
+		maxD:   maxDepth,
+	}
+}
+
+// Insert implements Index.
+func (q *Quadtree) Insert(id uint64, p geo.Point) {
+	it := Item{ID: id, P: p}
+	if !q.root.bounds.Contains(p) {
+		q.outside = append(q.outside, it)
+		q.n++
+		return
+	}
+	q.insert(q.root, it)
+	q.n++
+}
+
+func (q *Quadtree) insert(n *qnode, it Item) {
+	for n.children != nil {
+		n = n.child(it.P)
+	}
+	n.items = append(n.items, it)
+	if len(n.items) > q.bucket && n.depth < q.maxD {
+		q.split(n)
+	}
+}
+
+// child returns the quadrant of n that p falls in. The quadrant bit layout
+// matches Rect.Quadrants (SW, SE, NW, NE).
+func (n *qnode) child(p geo.Point) *qnode {
+	c := n.bounds.Center()
+	i := 0
+	if p.X >= c.X {
+		i |= 1
+	}
+	if p.Y >= c.Y {
+		i |= 2
+	}
+	return &n.children[i]
+}
+
+func (q *Quadtree) split(n *qnode) {
+	quads := n.bounds.Quadrants()
+	n.children = &[4]qnode{}
+	for i := range n.children {
+		n.children[i] = qnode{bounds: quads[i], depth: n.depth + 1}
+	}
+	items := n.items
+	n.items = nil
+	for _, it := range items {
+		c := n.child(it.P)
+		c.items = append(c.items, it)
+	}
+	// A degenerate distribution can land everything in one child; keep
+	// splitting so the bucket invariant holds (bounded by maxD).
+	for i := range n.children {
+		c := &n.children[i]
+		if len(c.items) > q.bucket && c.depth < q.maxD {
+			q.split(c)
+		}
+	}
+}
+
+// Delete implements Index.
+func (q *Quadtree) Delete(id uint64, p geo.Point) bool {
+	if !q.root.bounds.Contains(p) {
+		for i, it := range q.outside {
+			if it.ID == id && it.P == p {
+				last := len(q.outside) - 1
+				q.outside[i] = q.outside[last]
+				q.outside = q.outside[:last]
+				q.n--
+				return true
+			}
+		}
+		return false
+	}
+	n := q.root
+	for n.children != nil {
+		n = n.child(p)
+	}
+	for i, it := range n.items {
+		if it.ID == id && it.P == p {
+			last := len(n.items) - 1
+			n.items[i] = n.items[last]
+			n.items = n.items[:last]
+			q.n--
+			return true
+		}
+	}
+	return false
+}
+
+// Update implements Index.
+func (q *Quadtree) Update(id uint64, old, new geo.Point) bool {
+	if !q.Delete(id, old) {
+		return false
+	}
+	q.Insert(id, new)
+	return true
+}
+
+// Range implements Index.
+func (q *Quadtree) Range(r geo.Rect, fn func(Item) bool) {
+	if r.IsEmpty() {
+		return
+	}
+	for _, it := range q.outside {
+		if r.Contains(it.P) {
+			if !fn(it) {
+				return
+			}
+		}
+	}
+	q.rangeNode(q.root, r, fn)
+}
+
+func (q *Quadtree) rangeNode(n *qnode, r geo.Rect, fn func(Item) bool) bool {
+	if !n.bounds.Intersects(r) {
+		return true
+	}
+	if n.children == nil {
+		for _, it := range n.items {
+			if r.Contains(it.P) {
+				if !fn(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := range n.children {
+		if !q.rangeNode(&n.children[i], r, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// KNN implements Index with best-first search over nodes ordered by MINDIST.
+func (q *Quadtree) KNN(qp geo.Point, k int) []Neighbor {
+	acc := newKNNAcc(k)
+	if k <= 0 || q.n == 0 {
+		return acc.results()
+	}
+	for _, it := range q.outside {
+		acc.offer(Neighbor{Item: it, Dist2: qp.Dist2(it.P)})
+	}
+	pq := &nodePQ{}
+	heap.Push(pq, nodeEntry{node: q.root, dist2: q.root.bounds.Dist2To(qp)})
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(nodeEntry)
+		if acc.full() && e.dist2 > acc.worstDist2() {
+			break
+		}
+		n := e.node
+		if n.children == nil {
+			for _, it := range n.items {
+				acc.offer(Neighbor{Item: it, Dist2: qp.Dist2(it.P)})
+			}
+			continue
+		}
+		for i := range n.children {
+			c := &n.children[i]
+			d := c.bounds.Dist2To(qp)
+			if !acc.full() || d <= acc.worstDist2() {
+				heap.Push(pq, nodeEntry{node: c, dist2: d})
+			}
+		}
+	}
+	return acc.results()
+}
+
+// Len implements Index.
+func (q *Quadtree) Len() int { return q.n }
+
+// Depth returns the maximum depth of any leaf, a diagnostic for skew.
+func (q *Quadtree) Depth() int {
+	var walk func(n *qnode) int
+	walk = func(n *qnode) int {
+		if n.children == nil {
+			return n.depth
+		}
+		max := n.depth
+		for i := range n.children {
+			if d := walk(&n.children[i]); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	return walk(q.root)
+}
+
+// nodeEntry and nodePQ implement the best-first frontier.
+type nodeEntry struct {
+	node  *qnode
+	dist2 float64
+}
+
+type nodePQ []nodeEntry
+
+func (p nodePQ) Len() int            { return len(p) }
+func (p nodePQ) Less(i, j int) bool  { return p[i].dist2 < p[j].dist2 }
+func (p nodePQ) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *nodePQ) Push(x interface{}) { *p = append(*p, x.(nodeEntry)) }
+func (p *nodePQ) Pop() interface{} {
+	old := *p
+	n := len(old)
+	x := old[n-1]
+	*p = old[:n-1]
+	return x
+}

@@ -1,0 +1,584 @@
+package spatial
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"stcam/internal/geo"
+)
+
+// RTree is an R-tree over points with Guttman quadratic node splitting and an
+// STR (sort-tile-recursive) bulk loader. It adapts to any data distribution
+// without a world rectangle, at the cost of heavier inserts than the grid.
+type RTree struct {
+	root   *rnode
+	minE   int
+	maxE   int
+	n      int
+	height int
+}
+
+// rnode is a tree node. Leaves carry items; internal nodes carry children.
+// Exactly one of items/children is used, selected by leaf.
+type rnode struct {
+	bounds   geo.Rect
+	items    []Item
+	children []*rnode
+	leaf     bool
+}
+
+const (
+	defaultRTreeMax = 32
+)
+
+var _ Index = (*RTree)(nil)
+
+// NewRTree returns an empty R-tree. maxEntries of 0 selects the default (32);
+// the minimum fill is maxEntries*2/5, the R*-tree recommendation.
+func NewRTree(maxEntries int) *RTree {
+	if maxEntries <= 0 {
+		maxEntries = defaultRTreeMax
+	}
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	return &RTree{
+		root:   &rnode{leaf: true, bounds: geo.EmptyRect()},
+		maxE:   maxEntries,
+		minE:   maxEntries * 2 / 5,
+		height: 1,
+	}
+}
+
+// BulkLoadRTree builds an R-tree over items using STR packing, which yields
+// near-optimal space utilization and query performance for static data.
+// maxEntries of 0 selects the default.
+func BulkLoadRTree(items []Item, maxEntries int) *RTree {
+	t := NewRTree(maxEntries)
+	if len(items) == 0 {
+		return t
+	}
+	leavesItems := strPack(items, t.maxE)
+	level := make([]*rnode, len(leavesItems))
+	for i, chunk := range leavesItems {
+		n := &rnode{leaf: true, items: chunk, bounds: geo.EmptyRect()}
+		for _, it := range chunk {
+			n.bounds = n.bounds.UnionPoint(it.P)
+		}
+		level[i] = n
+	}
+	height := 1
+	for len(level) > 1 {
+		level = strPackNodes(level, t.maxE)
+		height++
+	}
+	t.root = level[0]
+	t.n = len(items)
+	t.height = height
+	return t
+}
+
+// strPack sorts items into tiles of at most maxE by x then y.
+func strPack(items []Item, maxE int) [][]Item {
+	sorted := make([]Item, len(items))
+	copy(sorted, items)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].P.X < sorted[j].P.X })
+	nLeaves := (len(sorted) + maxE - 1) / maxE
+	nSlices := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	sliceSize := nSlices * maxE
+	var out [][]Item
+	for s := 0; s < len(sorted); s += sliceSize {
+		e := s + sliceSize
+		if e > len(sorted) {
+			e = len(sorted)
+		}
+		slice := sorted[s:e]
+		sort.Slice(slice, func(i, j int) bool { return slice[i].P.Y < slice[j].P.Y })
+		for o := 0; o < len(slice); o += maxE {
+			oe := o + maxE
+			if oe > len(slice) {
+				oe = len(slice)
+			}
+			chunk := make([]Item, oe-o)
+			copy(chunk, slice[o:oe])
+			out = append(out, chunk)
+		}
+	}
+	return out
+}
+
+// strPackNodes groups child nodes into parents of at most maxE using the same
+// tiling on node centers.
+func strPackNodes(nodes []*rnode, maxE int) []*rnode {
+	sorted := make([]*rnode, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].bounds.Center().X < sorted[j].bounds.Center().X
+	})
+	nParents := (len(sorted) + maxE - 1) / maxE
+	nSlices := int(math.Ceil(math.Sqrt(float64(nParents))))
+	sliceSize := nSlices * maxE
+	var out []*rnode
+	for s := 0; s < len(sorted); s += sliceSize {
+		e := s + sliceSize
+		if e > len(sorted) {
+			e = len(sorted)
+		}
+		slice := sorted[s:e]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].bounds.Center().Y < slice[j].bounds.Center().Y
+		})
+		for o := 0; o < len(slice); o += maxE {
+			oe := o + maxE
+			if oe > len(slice) {
+				oe = len(slice)
+			}
+			parent := &rnode{bounds: geo.EmptyRect()}
+			parent.children = append(parent.children, slice[o:oe]...)
+			for _, c := range parent.children {
+				parent.bounds = parent.bounds.Union(c.bounds)
+			}
+			out = append(out, parent)
+		}
+	}
+	return out
+}
+
+// Insert implements Index.
+func (t *RTree) Insert(id uint64, p geo.Point) {
+	it := Item{ID: id, P: p}
+	leaf, path := t.chooseLeaf(p)
+	leaf.items = append(leaf.items, it)
+	leaf.bounds = leaf.bounds.UnionPoint(p)
+	for _, a := range path {
+		a.bounds = a.bounds.UnionPoint(p)
+	}
+	if len(leaf.items) > t.maxE {
+		t.splitUp(leaf, path)
+	}
+	t.n++
+}
+
+// chooseLeaf descends to the leaf needing least area enlargement, returning
+// the leaf and the ancestor path (root first, leaf's parent last).
+func (t *RTree) chooseLeaf(p geo.Point) (*rnode, []*rnode) {
+	var path []*rnode
+	n := t.root
+	for !n.leaf {
+		path = append(path, n)
+		var best *rnode
+		bestEnl, bestArea := math.Inf(1), math.Inf(1)
+		for _, c := range n.children {
+			area := c.bounds.Area()
+			enl := c.bounds.UnionPoint(p).Area() - area
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = c, enl, area
+			}
+		}
+		n = best
+	}
+	return n, path
+}
+
+// splitUp splits an overflowing node and propagates splits up the path.
+func (t *RTree) splitUp(n *rnode, path []*rnode) {
+	for {
+		sibling := t.split(n)
+		if len(path) == 0 {
+			// Root split: grow the tree.
+			newRoot := &rnode{
+				children: []*rnode{n, sibling},
+				bounds:   n.bounds.Union(sibling.bounds),
+			}
+			t.root = newRoot
+			t.height++
+			return
+		}
+		parent := path[len(path)-1]
+		path = path[:len(path)-1]
+		parent.children = append(parent.children, sibling)
+		if len(parent.children) <= t.maxE {
+			return
+		}
+		n = parent
+	}
+}
+
+// split performs Guttman quadratic split on n in place, returning the new
+// sibling node.
+func (t *RTree) split(n *rnode) *rnode {
+	if n.leaf {
+		groupA, groupB := quadraticSplitItems(n.items, t.minE)
+		n.items = groupA
+		n.bounds = itemsBounds(groupA)
+		return &rnode{leaf: true, items: groupB, bounds: itemsBounds(groupB)}
+	}
+	groupA, groupB := quadraticSplitNodes(n.children, t.minE)
+	n.children = groupA
+	n.bounds = nodesBounds(groupA)
+	return &rnode{children: groupB, bounds: nodesBounds(groupB)}
+}
+
+func itemsBounds(items []Item) geo.Rect {
+	b := geo.EmptyRect()
+	for _, it := range items {
+		b = b.UnionPoint(it.P)
+	}
+	return b
+}
+
+func nodesBounds(nodes []*rnode) geo.Rect {
+	b := geo.EmptyRect()
+	for _, n := range nodes {
+		b = b.Union(n.bounds)
+	}
+	return b
+}
+
+// quadraticSplitItems partitions items into two groups using Guttman's
+// quadratic pick-seeds / pick-next with a minimum fill.
+func quadraticSplitItems(items []Item, minFill int) ([]Item, []Item) {
+	seedA, seedB := pickSeeds(len(items), func(i, j int) float64 {
+		r := geo.Rect{Min: items[i].P, Max: items[i].P}.UnionPoint(items[j].P)
+		return r.Area()
+	})
+	var a, b []Item
+	ba, bb := geo.EmptyRect(), geo.EmptyRect()
+	a = append(a, items[seedA])
+	ba = ba.UnionPoint(items[seedA].P)
+	b = append(b, items[seedB])
+	bb = bb.UnionPoint(items[seedB].P)
+	remaining := make([]Item, 0, len(items)-2)
+	for i, it := range items {
+		if i != seedA && i != seedB {
+			remaining = append(remaining, it)
+		}
+	}
+	for len(remaining) > 0 {
+		// Force assignment if one group must take everything to reach fill.
+		if len(a)+len(remaining) == minFill {
+			for _, it := range remaining {
+				a = append(a, it)
+				ba = ba.UnionPoint(it.P)
+			}
+			break
+		}
+		if len(b)+len(remaining) == minFill {
+			for _, it := range remaining {
+				b = append(b, it)
+				bb = bb.UnionPoint(it.P)
+			}
+			break
+		}
+		// Pick the entry with maximum preference for one group.
+		bestI, bestDiff := -1, -1.0
+		var bestToA bool
+		for i, it := range remaining {
+			dA := ba.UnionPoint(it.P).Area() - ba.Area()
+			dB := bb.UnionPoint(it.P).Area() - bb.Area()
+			diff := math.Abs(dA - dB)
+			if diff > bestDiff {
+				bestDiff, bestI, bestToA = diff, i, dA < dB
+			}
+		}
+		it := remaining[bestI]
+		remaining[bestI] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		if bestToA {
+			a = append(a, it)
+			ba = ba.UnionPoint(it.P)
+		} else {
+			b = append(b, it)
+			bb = bb.UnionPoint(it.P)
+		}
+	}
+	return a, b
+}
+
+func quadraticSplitNodes(nodes []*rnode, minFill int) ([]*rnode, []*rnode) {
+	seedA, seedB := pickSeeds(len(nodes), func(i, j int) float64 {
+		u := nodes[i].bounds.Union(nodes[j].bounds)
+		return u.Area() - nodes[i].bounds.Area() - nodes[j].bounds.Area()
+	})
+	var a, b []*rnode
+	ba, bb := geo.EmptyRect(), geo.EmptyRect()
+	a = append(a, nodes[seedA])
+	ba = ba.Union(nodes[seedA].bounds)
+	b = append(b, nodes[seedB])
+	bb = bb.Union(nodes[seedB].bounds)
+	remaining := make([]*rnode, 0, len(nodes)-2)
+	for i, n := range nodes {
+		if i != seedA && i != seedB {
+			remaining = append(remaining, n)
+		}
+	}
+	for len(remaining) > 0 {
+		if len(a)+len(remaining) == minFill {
+			for _, n := range remaining {
+				a = append(a, n)
+				ba = ba.Union(n.bounds)
+			}
+			break
+		}
+		if len(b)+len(remaining) == minFill {
+			for _, n := range remaining {
+				b = append(b, n)
+				bb = bb.Union(n.bounds)
+			}
+			break
+		}
+		bestI, bestDiff := -1, -1.0
+		var bestToA bool
+		for i, n := range remaining {
+			dA := ba.Union(n.bounds).Area() - ba.Area()
+			dB := bb.Union(n.bounds).Area() - bb.Area()
+			diff := math.Abs(dA - dB)
+			if diff > bestDiff {
+				bestDiff, bestI, bestToA = diff, i, dA < dB
+			}
+		}
+		n := remaining[bestI]
+		remaining[bestI] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+		if bestToA {
+			a = append(a, n)
+			ba = ba.Union(n.bounds)
+		} else {
+			b = append(b, n)
+			bb = bb.Union(n.bounds)
+		}
+	}
+	return a, b
+}
+
+// pickSeeds returns the pair (i, j) maximizing the waste function.
+func pickSeeds(n int, waste func(i, j int) float64) (int, int) {
+	bestI, bestJ, bestW := 0, 1, math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if w := waste(i, j); w > bestW {
+				bestI, bestJ, bestW = i, j, w
+			}
+		}
+	}
+	return bestI, bestJ
+}
+
+// Delete implements Index. Underfull nodes are condensed: their remaining
+// entries are reinserted, per Guttman's CondenseTree.
+func (t *RTree) Delete(id uint64, p geo.Point) bool {
+	leaf, path := t.findLeaf(t.root, nil, id, p)
+	if leaf == nil {
+		return false
+	}
+	for i, it := range leaf.items {
+		if it.ID == id && it.P == p {
+			last := len(leaf.items) - 1
+			leaf.items[i] = leaf.items[last]
+			leaf.items = leaf.items[:last]
+			break
+		}
+	}
+	t.n--
+	t.condense(leaf, path)
+	return true
+}
+
+func (t *RTree) findLeaf(n *rnode, path []*rnode, id uint64, p geo.Point) (*rnode, []*rnode) {
+	if !n.bounds.Contains(p) {
+		return nil, nil
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if it.ID == id && it.P == p {
+				return n, path
+			}
+		}
+		return nil, nil
+	}
+	for _, c := range n.children {
+		if leaf, lp := t.findLeaf(c, append(path, n), id, p); leaf != nil {
+			return leaf, lp
+		}
+	}
+	return nil, nil
+}
+
+func (t *RTree) condense(n *rnode, path []*rnode) {
+	var orphanItems []Item
+	var orphanNodes []*rnode
+	for level := len(path); level >= 0; level-- {
+		var parent *rnode
+		if level > 0 {
+			parent = path[level-1]
+		}
+		under := false
+		if n.leaf {
+			under = len(n.items) < t.minE
+		} else {
+			under = len(n.children) < t.minE
+		}
+		if parent != nil && under {
+			// Remove n from parent and orphan its entries.
+			for i, c := range parent.children {
+				if c == n {
+					last := len(parent.children) - 1
+					parent.children[i] = parent.children[last]
+					parent.children = parent.children[:last]
+					break
+				}
+			}
+			if n.leaf {
+				orphanItems = append(orphanItems, n.items...)
+			} else {
+				orphanNodes = append(orphanNodes, n.children...)
+			}
+		} else {
+			// Tighten bounds.
+			if n.leaf {
+				n.bounds = itemsBounds(n.items)
+			} else {
+				n.bounds = nodesBounds(n.children)
+			}
+		}
+		n = parent
+		if n == nil {
+			break
+		}
+	}
+	// Shrink the root if it has a single child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+		t.height--
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = &rnode{leaf: true, bounds: geo.EmptyRect()}
+		t.height = 1
+	}
+	// Reinsert orphans. Subtree orphans are walked down to their items;
+	// point data makes full-subtree reinsertion cheap and simple.
+	for _, it := range orphanItems {
+		t.reinsertItem(it)
+	}
+	for _, on := range orphanNodes {
+		collectItems(on, func(it Item) { t.reinsertItem(it) })
+	}
+}
+
+func (t *RTree) reinsertItem(it Item) {
+	leaf, path := t.chooseLeaf(it.P)
+	leaf.items = append(leaf.items, it)
+	leaf.bounds = leaf.bounds.UnionPoint(it.P)
+	for _, a := range path {
+		a.bounds = a.bounds.UnionPoint(it.P)
+	}
+	if len(leaf.items) > t.maxE {
+		t.splitUp(leaf, path)
+	}
+}
+
+func collectItems(n *rnode, fn func(Item)) {
+	if n.leaf {
+		for _, it := range n.items {
+			fn(it)
+		}
+		return
+	}
+	for _, c := range n.children {
+		collectItems(c, fn)
+	}
+}
+
+// Update implements Index.
+func (t *RTree) Update(id uint64, old, new geo.Point) bool {
+	if !t.Delete(id, old) {
+		return false
+	}
+	t.Insert(id, new)
+	return true
+}
+
+// Range implements Index.
+func (t *RTree) Range(r geo.Rect, fn func(Item) bool) {
+	if r.IsEmpty() {
+		return
+	}
+	t.rangeNode(t.root, r, fn)
+}
+
+func (t *RTree) rangeNode(n *rnode, r geo.Rect, fn func(Item) bool) bool {
+	if !n.bounds.Intersects(r) {
+		return true
+	}
+	if n.leaf {
+		for _, it := range n.items {
+			if r.Contains(it.P) {
+				if !fn(it) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !t.rangeNode(c, r, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// KNN implements Index with best-first MINDIST search.
+func (t *RTree) KNN(q geo.Point, k int) []Neighbor {
+	acc := newKNNAcc(k)
+	if k <= 0 || t.n == 0 {
+		return acc.results()
+	}
+	pq := &rnodePQ{}
+	heap.Push(pq, rnodeEntry{node: t.root, dist2: t.root.bounds.Dist2To(q)})
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(rnodeEntry)
+		if acc.full() && e.dist2 > acc.worstDist2() {
+			break
+		}
+		if e.node.leaf {
+			for _, it := range e.node.items {
+				acc.offer(Neighbor{Item: it, Dist2: q.Dist2(it.P)})
+			}
+			continue
+		}
+		for _, c := range e.node.children {
+			d := c.bounds.Dist2To(q)
+			if !acc.full() || d <= acc.worstDist2() {
+				heap.Push(pq, rnodeEntry{node: c, dist2: d})
+			}
+		}
+	}
+	return acc.results()
+}
+
+// Len implements Index.
+func (t *RTree) Len() int { return t.n }
+
+// Height returns the tree height (1 for a lone leaf root).
+func (t *RTree) Height() int { return t.height }
+
+type rnodeEntry struct {
+	node  *rnode
+	dist2 float64
+}
+
+type rnodePQ []rnodeEntry
+
+func (p rnodePQ) Len() int            { return len(p) }
+func (p rnodePQ) Less(i, j int) bool  { return p[i].dist2 < p[j].dist2 }
+func (p rnodePQ) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *rnodePQ) Push(x interface{}) { *p = append(*p, x.(rnodeEntry)) }
+func (p *rnodePQ) Pop() interface{} {
+	old := *p
+	n := len(old)
+	x := old[n-1]
+	*p = old[:n-1]
+	return x
+}

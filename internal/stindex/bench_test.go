@@ -1,0 +1,86 @@
+package stindex
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"stcam/internal/geo"
+)
+
+// Micro-benchmarks for the per-worker store hot paths. The macro experiment
+// suite (R1/R2) measures these through the full distributed stack; these
+// isolate the index itself.
+
+func storeWith(n int) (*Store, *rand.Rand) {
+	s := NewStore(Config{CellSize: 50, BucketWidth: 10 * time.Second})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		s.Insert(Record{
+			ObsID:    uint64(i + 1),
+			TargetID: uint64(i%500 + 1),
+			Pos:      geo.Pt(rng.Float64()*2000, rng.Float64()*2000),
+			Time:     t0.Add(time.Duration(i) * 10 * time.Millisecond),
+		})
+	}
+	return s, rng
+}
+
+func BenchmarkStoreInsert(b *testing.B) {
+	s := NewStore(Config{CellSize: 50, BucketWidth: 10 * time.Second})
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(Record{
+			ObsID:    uint64(i + 1),
+			TargetID: uint64(i%500 + 1),
+			Pos:      geo.Pt(rng.Float64()*2000, rng.Float64()*2000),
+			Time:     t0.Add(time.Duration(i) * time.Millisecond),
+		})
+	}
+}
+
+func BenchmarkStoreRange(b *testing.B) {
+	s, rng := storeWith(100000)
+	from, to := t0, t0.Add(time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := geo.Pt(rng.Float64()*2000, rng.Float64()*2000)
+		s.RangeQuery(geo.RectAround(c, 100), from, to)
+	}
+}
+
+func BenchmarkStoreKNN(b *testing.B) {
+	s, rng := storeWith(100000)
+	from, to := t0, t0.Add(time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.KNN(geo.Pt(rng.Float64()*2000, rng.Float64()*2000), from, to, 10)
+	}
+}
+
+func BenchmarkStoreHeatmap(b *testing.B) {
+	s, _ := storeWith(100000)
+	from, to := t0, t0.Add(time.Hour)
+	world := geo.RectOf(0, 0, 2000, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Heatmap(world, from, to, 100, nil)
+	}
+}
+
+func BenchmarkHistogramFeedback(b *testing.B) {
+	world := geo.RectOf(0, 0, 2000, 2000)
+	h := NewSTHistogram(world, 20, 20)
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := geo.Pt(rng.Float64()*2000, rng.Float64()*2000)
+		h.Feedback(geo.RectAround(c, 150), rng.Float64()*0.1)
+	}
+}

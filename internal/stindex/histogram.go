@@ -1,0 +1,195 @@
+package stindex
+
+import (
+	"math"
+	"sync"
+
+	"stcam/internal/geo"
+)
+
+// STHistogram estimates the selectivity of spatial range predicates from
+// query feedback rather than by scanning the data: every executed range query
+// reports its actual selectivity, and the histogram redistributes the error
+// over the grid cells the query covered, weighted by overlap ("queries as
+// spots of light"). Cells never touched by a query keep the uniform prior.
+//
+// The coordinator uses the estimates to order predicates in multi-predicate
+// queries and to route load; experiment R11 measures how fast the estimate
+// converges with feedback volume.
+type STHistogram struct {
+	world geo.Rect
+	nx    int
+	ny    int
+
+	mu   sync.RWMutex
+	dens []float64 // estimated density (selectivity mass) per cell; sums to ~1
+	conf []float64 // accumulated feedback weight ("light") per cell
+}
+
+// NewSTHistogram returns a histogram over the world with nx × ny cells,
+// initialized to the uniform distribution. Dimensions < 1 are clamped to 1.
+func NewSTHistogram(world geo.Rect, nx, ny int) *STHistogram {
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	h := &STHistogram{
+		world: world,
+		nx:    nx,
+		ny:    ny,
+		dens:  make([]float64, nx*ny),
+		conf:  make([]float64, nx*ny),
+	}
+	u := 1 / float64(nx*ny)
+	for i := range h.dens {
+		h.dens[i] = u
+	}
+	return h
+}
+
+// cellRect returns the rectangle of cell (i, j).
+func (h *STHistogram) cellRect(i, j int) geo.Rect {
+	w := h.world.Width() / float64(h.nx)
+	ht := h.world.Height() / float64(h.ny)
+	x0 := h.world.Min.X + float64(i)*w
+	y0 := h.world.Min.Y + float64(j)*ht
+	return geo.RectOf(x0, y0, x0+w, y0+ht)
+}
+
+// overlapCells visits each cell overlapping r with the fraction of the cell
+// covered by r.
+func (h *STHistogram) overlapCells(r geo.Rect, fn func(idx int, frac float64)) {
+	clipped := r.Intersect(h.world)
+	if clipped.IsEmpty() {
+		return
+	}
+	w := h.world.Width() / float64(h.nx)
+	ht := h.world.Height() / float64(h.ny)
+	i0 := int(math.Floor((clipped.Min.X - h.world.Min.X) / w))
+	i1 := int(math.Ceil((clipped.Max.X-h.world.Min.X)/w)) - 1
+	j0 := int(math.Floor((clipped.Min.Y - h.world.Min.Y) / ht))
+	j1 := int(math.Ceil((clipped.Max.Y-h.world.Min.Y)/ht)) - 1
+	clampi := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	i0, i1 = clampi(i0, h.nx-1), clampi(i1, h.nx-1)
+	j0, j1 = clampi(j0, h.ny-1), clampi(j1, h.ny-1)
+	for i := i0; i <= i1; i++ {
+		for j := j0; j <= j1; j++ {
+			cell := h.cellRect(i, j)
+			ov := cell.Intersect(clipped)
+			if ov.IsEmpty() || cell.Area() == 0 {
+				continue
+			}
+			fn(j*h.nx+i, ov.Area()/cell.Area())
+		}
+	}
+}
+
+// Estimate returns the predicted selectivity (fraction of the population) of
+// the range predicate r.
+func (h *STHistogram) Estimate(r geo.Rect) float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.estimateLocked(r)
+}
+
+func (h *STHistogram) estimateLocked(r geo.Rect) float64 {
+	var sum float64
+	h.overlapCells(r, func(idx int, frac float64) {
+		sum += h.dens[idx] * frac
+	})
+	return sum
+}
+
+// Feedback reports the actual selectivity observed for an executed range
+// query. The difference between actual and estimated mass is distributed
+// over the covered cells proportionally to their overlap fraction, and the
+// histogram is renormalized to unit mass (the "unity invariant").
+func (h *STHistogram) Feedback(r geo.Rect, actual float64) {
+	if actual < 0 {
+		actual = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	est := h.estimateLocked(r)
+	diff := actual - est
+	var totalFrac float64
+	h.overlapCells(r, func(_ int, frac float64) { totalFrac += frac })
+	if totalFrac == 0 {
+		return
+	}
+	h.overlapCells(r, func(idx int, frac float64) {
+		share := frac / totalFrac
+		h.dens[idx] += diff * share
+		if h.dens[idx] < 0 {
+			h.dens[idx] = 0
+		}
+		h.conf[idx] += frac
+	})
+	// Renormalize the *unlit* mass so the total stays 1: lit cells carry
+	// observed truth; dark cells share the remainder uniformly-proportional.
+	var litMass, darkMass float64
+	for i := range h.dens {
+		if h.conf[i] > 0 {
+			litMass += h.dens[i]
+		} else {
+			darkMass += h.dens[i]
+		}
+	}
+	want := 1 - litMass
+	if want < 0 {
+		// Observed mass exceeds 1 (skew + noise): scale lit mass down.
+		if litMass > 0 {
+			for i := range h.dens {
+				if h.conf[i] > 0 {
+					h.dens[i] /= litMass
+				} else {
+					h.dens[i] = 0
+				}
+			}
+		}
+		return
+	}
+	if darkMass > 0 {
+		scale := want / darkMass
+		for i := range h.dens {
+			if h.conf[i] == 0 {
+				h.dens[i] *= scale
+			}
+		}
+	}
+}
+
+// LitFraction returns the fraction of cells that have received any feedback —
+// the "illumination" of the histogram.
+func (h *STHistogram) LitFraction() float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	lit := 0
+	for _, c := range h.conf {
+		if c > 0 {
+			lit++
+		}
+	}
+	return float64(lit) / float64(len(h.conf))
+}
+
+// TotalMass returns the histogram's total density (≈ 1 by construction).
+func (h *STHistogram) TotalMass() float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var sum float64
+	for _, d := range h.dens {
+		sum += d
+	}
+	return sum
+}

@@ -1,0 +1,123 @@
+package stindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stcam/internal/geo"
+)
+
+func TestHistogramUniformPrior(t *testing.T) {
+	world := geo.RectOf(0, 0, 100, 100)
+	h := NewSTHistogram(world, 10, 10)
+	// A quarter of the world should estimate 0.25 under the uniform prior.
+	if got := h.Estimate(geo.RectOf(0, 0, 50, 50)); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("quarter estimate = %v, want 0.25", got)
+	}
+	if got := h.Estimate(world); math.Abs(got-1) > 1e-9 {
+		t.Errorf("full-world estimate = %v, want 1", got)
+	}
+	// Out-of-world queries estimate 0.
+	if got := h.Estimate(geo.RectOf(200, 200, 300, 300)); got != 0 {
+		t.Errorf("out-of-world estimate = %v", got)
+	}
+	if got := h.TotalMass(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("TotalMass = %v", got)
+	}
+	if got := h.LitFraction(); got != 0 {
+		t.Errorf("LitFraction before feedback = %v", got)
+	}
+}
+
+func TestHistogramFeedbackMovesEstimate(t *testing.T) {
+	world := geo.RectOf(0, 0, 100, 100)
+	h := NewSTHistogram(world, 10, 10)
+	q := geo.RectOf(0, 0, 20, 20) // uniform prior says 0.04
+	h.Feedback(q, 0.5)            // actually half the objects live here
+	got := h.Estimate(q)
+	if math.Abs(got-0.5) > 0.01 {
+		t.Errorf("estimate after feedback = %v, want ≈ 0.5", got)
+	}
+	// Mass stays normalized and other regions shrink correspondingly.
+	if m := h.TotalMass(); math.Abs(m-1) > 1e-6 {
+		t.Errorf("TotalMass = %v", m)
+	}
+	rest := h.Estimate(geo.RectOf(20, 20, 100, 100))
+	if rest > 0.5 {
+		t.Errorf("unlit remainder = %v, want <= 0.5", rest)
+	}
+	if lf := h.LitFraction(); math.Abs(lf-0.04) > 1e-9 {
+		t.Errorf("LitFraction = %v, want 0.04", lf)
+	}
+}
+
+func TestHistogramPartialOverlapFeedback(t *testing.T) {
+	world := geo.RectOf(0, 0, 100, 100)
+	h := NewSTHistogram(world, 10, 10)
+	// Query straddling a cell boundary at half depth: overlap fractions < 1.
+	q := geo.RectOf(5, 0, 15, 10)
+	h.Feedback(q, 0.2)
+	got := h.Estimate(q)
+	if math.Abs(got-0.2) > 0.15 {
+		t.Errorf("estimate = %v, want ≈ 0.2", got)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	world := geo.RectOf(0, 0, 100, 100)
+	h := NewSTHistogram(world, 4, 4)
+	h.Feedback(geo.RectOf(0, 0, 50, 50), -3)
+	if got := h.Estimate(geo.RectOf(0, 0, 50, 50)); got != 0 {
+		t.Errorf("negative feedback estimate = %v, want 0", got)
+	}
+}
+
+// TestHistogramConvergesWithFeedback encodes experiment R11's shape: with
+// more feedback queries, estimates of a skewed distribution get closer to
+// truth.
+func TestHistogramConvergesWithFeedback(t *testing.T) {
+	world := geo.RectOf(0, 0, 1000, 1000)
+	hot := geo.RectOf(0, 0, 200, 200)
+	// Ground truth: 70% of mass in the hotspot, 30% spread uniformly outside.
+	trueSel := func(q geo.Rect) float64 {
+		inHot := q.Intersect(hot).Area() / hot.Area() * 0.7
+		full := q.Intersect(world).Area()
+		hotPart := q.Intersect(hot).Area()
+		outside := (full - hotPart) / (world.Area() - hot.Area()) * 0.3
+		return inHot + outside
+	}
+	probe := geo.RectOf(50, 50, 150, 150) // inside the hotspot
+
+	errAfter := func(nFeedback int) float64 {
+		h := NewSTHistogram(world, 20, 20)
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < nFeedback; i++ {
+			c := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+			q := geo.RectAround(c, 30+rng.Float64()*120).Intersect(world)
+			h.Feedback(q, trueSel(q))
+		}
+		return math.Abs(h.Estimate(probe) - trueSel(probe))
+	}
+
+	e0 := errAfter(0)
+	e500 := errAfter(500)
+	if e500 >= e0 {
+		t.Errorf("feedback did not reduce error: e0=%v e500=%v", e0, e500)
+	}
+	if e500 > 0.1 {
+		t.Errorf("error after 500 feedbacks = %v, want < 0.1", e500)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	world := geo.RectOf(0, 0, 100, 100)
+	h := NewSTHistogram(world, 0, 0) // clamped to 1×1
+	if got := h.Estimate(world); math.Abs(got-1) > 1e-9 {
+		t.Errorf("1x1 estimate = %v", got)
+	}
+	h.Feedback(geo.RectOf(200, 0, 300, 100), 0.5) // disjoint: no-op
+	if got := h.TotalMass(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("mass changed by disjoint feedback: %v", got)
+	}
+}

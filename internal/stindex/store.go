@@ -1,0 +1,448 @@
+// Package stindex implements the per-worker spatio-temporal observation
+// store: a uniform spatial grid whose cells hold time-bucketed observation
+// records, plus a per-target history index and a feedback-driven selectivity
+// histogram. It answers the snapshot query repertoire of the framework —
+// spatio-temporal range, k-nearest within a time window, target history and
+// trajectory reconstruction — and supports retention eviction.
+package stindex
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"stcam/internal/geo"
+	"stcam/internal/temporal"
+)
+
+// Record is one indexed observation. TargetID is the identity assigned by
+// the tracking/association layer (0 when unassociated).
+type Record struct {
+	ObsID    uint64
+	TargetID uint64
+	Camera   uint32
+	Pos      geo.Point
+	Time     time.Time
+}
+
+// Neighbor is a kNN result record with its squared distance to the query.
+type Neighbor struct {
+	Record
+	Dist2 float64
+}
+
+// Config sets the store geometry.
+type Config struct {
+	CellSize    float64       // spatial grid cell, meters (default 50)
+	BucketWidth time.Duration // temporal bucket width (default 10s)
+	Retention   time.Duration // 0 → keep everything until EvictBefore is called
+}
+
+func (c *Config) fill() {
+	if c.CellSize <= 0 {
+		c.CellSize = 50
+	}
+	if c.BucketWidth <= 0 {
+		c.BucketWidth = 10 * time.Second
+	}
+}
+
+// Store is the spatio-temporal index. Safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	cells    map[cellKey]*temporal.BucketStore[Record]
+	byTarget map[uint64][]Record // time-ordered per target
+	n        int
+	latest   time.Time
+}
+
+type cellKey struct{ cx, cy int32 }
+
+// NewStore returns an empty store with the given configuration.
+func NewStore(cfg Config) *Store {
+	cfg.fill()
+	return &Store{
+		cfg:      cfg,
+		cells:    make(map[cellKey]*temporal.BucketStore[Record]),
+		byTarget: make(map[uint64][]Record),
+	}
+}
+
+// Config returns the effective configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Len returns the number of stored records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// Latest returns the most recent record time seen (zero when empty).
+func (s *Store) Latest() time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.latest
+}
+
+func (s *Store) keyOf(p geo.Point) cellKey {
+	return cellKey{
+		cx: int32(math.Floor(p.X / s.cfg.CellSize)),
+		cy: int32(math.Floor(p.Y / s.cfg.CellSize)),
+	}
+}
+
+// Insert adds a record. When Retention is configured, insertion of a record
+// newer than everything seen also evicts expired data opportunistically.
+func (s *Store) Insert(rec Record) {
+	s.mu.Lock()
+	key := s.keyOf(rec.Pos)
+	cell, ok := s.cells[key]
+	if !ok {
+		cell = temporal.NewBucketStore[Record](s.cfg.BucketWidth)
+		s.cells[key] = cell
+	}
+	cell.Add(rec.Time, rec)
+	s.n++
+	advanced := rec.Time.After(s.latest)
+	if advanced {
+		s.latest = rec.Time
+	}
+	if rec.TargetID != 0 {
+		hist := s.byTarget[rec.TargetID]
+		// Insert keeping time order; appends are the common case.
+		if n := len(hist); n == 0 || !rec.Time.Before(hist[n-1].Time) {
+			s.byTarget[rec.TargetID] = append(hist, rec)
+		} else {
+			i := sort.Search(n, func(i int) bool { return hist[i].Time.After(rec.Time) })
+			hist = append(hist, Record{})
+			copy(hist[i+1:], hist[i:])
+			hist[i] = rec
+			s.byTarget[rec.TargetID] = hist
+		}
+	}
+	var cutoff time.Time
+	if s.cfg.Retention > 0 && advanced {
+		cutoff = s.latest.Add(-s.cfg.Retention)
+	}
+	s.mu.Unlock()
+	if !cutoff.IsZero() {
+		s.EvictBefore(cutoff)
+	}
+}
+
+// RangeQuery returns the records inside r with time in [from, to], ordered by
+// time then ObsID.
+func (s *Store) RangeQuery(r geo.Rect, from, to time.Time) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r.IsEmpty() || to.Before(from) || s.n == 0 {
+		return nil
+	}
+	var out []Record
+	s.forEachCellIn(r, func(cell *temporal.BucketStore[Record]) {
+		cell.Window(from, to, func(_ time.Time, rec Record) bool {
+			if r.Contains(rec.Pos) {
+				out = append(out, rec)
+			}
+			return true
+		})
+	})
+	sortRecords(out)
+	return out
+}
+
+// Count returns the number of records inside r with time in [from, to]
+// without materializing them.
+func (s *Store) Count(r geo.Rect, from, to time.Time) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r.IsEmpty() || to.Before(from) || s.n == 0 {
+		return 0
+	}
+	count := 0
+	s.forEachCellIn(r, func(cell *temporal.BucketStore[Record]) {
+		cell.Window(from, to, func(_ time.Time, rec Record) bool {
+			if r.Contains(rec.Pos) {
+				count++
+			}
+			return true
+		})
+	})
+	return count
+}
+
+// forEachCellIn visits every materialized cell overlapping r. Caller holds
+// the read lock.
+func (s *Store) forEachCellIn(r geo.Rect, fn func(*temporal.BucketStore[Record])) {
+	lo, hi := s.keyOf(r.Min), s.keyOf(r.Max)
+	nx, ny := int64(hi.cx)-int64(lo.cx)+1, int64(hi.cy)-int64(lo.cy)+1
+	if nx*ny > int64(len(s.cells))*2 {
+		bounds := r
+		for key, cell := range s.cells {
+			cellRect := s.cellRect(key)
+			if cellRect.Intersects(bounds) {
+				fn(cell)
+			}
+		}
+		return
+	}
+	for cx := lo.cx; cx <= hi.cx; cx++ {
+		for cy := lo.cy; cy <= hi.cy; cy++ {
+			if cell, ok := s.cells[cellKey{cx, cy}]; ok {
+				fn(cell)
+			}
+		}
+	}
+}
+
+func (s *Store) cellRect(k cellKey) geo.Rect {
+	cs := s.cfg.CellSize
+	return geo.RectOf(float64(k.cx)*cs, float64(k.cy)*cs, float64(k.cx+1)*cs, float64(k.cy+1)*cs)
+}
+
+// KNN returns the k records nearest to q among those with time in [from, to],
+// ascending by distance with ObsID tie-break. It expands rings of grid cells
+// outward from q, pruning once the k-th distance beats the next ring.
+func (s *Store) KNN(q geo.Point, from, to time.Time, k int) []Neighbor {
+	return s.KNNFunc(q, from, to, k, nil)
+}
+
+// KNNFunc is KNN with a candidate predicate: records for which keep returns
+// false are skipped (nil keeps everything). The worker uses it to answer from
+// primary-camera data only when replication is on.
+func (s *Store) KNNFunc(q geo.Point, from, to time.Time, k int, keep func(Record) bool) []Neighbor {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if k <= 0 || s.n == 0 || to.Before(from) {
+		return nil
+	}
+	center := s.keyOf(q)
+	maxRing := 1
+	for key := range s.cells {
+		dx := int(key.cx) - int(center.cx)
+		if dx < 0 {
+			dx = -dx
+		}
+		dy := int(key.cy) - int(center.cy)
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx > maxRing {
+			maxRing = dx
+		}
+		if dy > maxRing {
+			maxRing = dy
+		}
+	}
+	var best []Neighbor // max-heap by (Dist2, ObsID)
+	less := func(a, b Neighbor) bool {
+		if a.Dist2 != b.Dist2 {
+			return a.Dist2 < b.Dist2
+		}
+		return a.ObsID < b.ObsID
+	}
+	offer := func(n Neighbor) {
+		if len(best) < k {
+			best = append(best, n)
+			for i := len(best) - 1; i > 0; {
+				p := (i - 1) / 2
+				if less(best[p], best[i]) {
+					best[p], best[i] = best[i], best[p]
+					i = p
+				} else {
+					break
+				}
+			}
+			return
+		}
+		if less(n, best[0]) {
+			best[0] = n
+			i := 0
+			for {
+				l, r := 2*i+1, 2*i+2
+				largest := i
+				if l < len(best) && less(best[largest], best[l]) {
+					largest = l
+				}
+				if r < len(best) && less(best[largest], best[r]) {
+					largest = r
+				}
+				if largest == i {
+					break
+				}
+				best[i], best[largest] = best[largest], best[i]
+				i = largest
+			}
+		}
+	}
+	scan := func(key cellKey) {
+		cell, ok := s.cells[key]
+		if !ok {
+			return
+		}
+		cell.Window(from, to, func(_ time.Time, rec Record) bool {
+			if keep == nil || keep(rec) {
+				offer(Neighbor{Record: rec, Dist2: q.Dist2(rec.Pos)})
+			}
+			return true
+		})
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		if ring > 0 && len(best) == k {
+			minDist := float64(ring-1) * s.cfg.CellSize
+			if minDist > 0 && minDist*minDist > best[0].Dist2 {
+				break
+			}
+		}
+		if ring == 0 {
+			scan(center)
+			continue
+		}
+		lo := int(center.cx) - ring
+		hi := int(center.cx) + ring
+		for cx := lo; cx <= hi; cx++ {
+			scan(cellKey{int32(cx), center.cy - int32(ring)})
+			scan(cellKey{int32(cx), center.cy + int32(ring)})
+		}
+		for cy := int(center.cy) - ring + 1; cy <= int(center.cy)+ring-1; cy++ {
+			scan(cellKey{center.cx - int32(ring), int32(cy)})
+			scan(cellKey{center.cx + int32(ring), int32(cy)})
+		}
+	}
+	sort.Slice(best, func(i, j int) bool { return less(best[i], best[j]) })
+	return best
+}
+
+// HeatCell accumulates the observation count of one heatmap cell.
+type HeatCell struct {
+	CX, CY int32
+	Count  int64
+}
+
+// Heatmap aggregates observation density over r and [from, to] into square
+// cells of the given size, applying the optional keep predicate. Only
+// non-empty cells are returned, unordered.
+func (s *Store) Heatmap(r geo.Rect, from, to time.Time, cellSize float64, keep func(Record) bool) []HeatCell {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r.IsEmpty() || to.Before(from) || s.n == 0 || cellSize <= 0 {
+		return nil
+	}
+	acc := make(map[[2]int32]int64)
+	s.forEachCellIn(r, func(cell *temporal.BucketStore[Record]) {
+		cell.Window(from, to, func(_ time.Time, rec Record) bool {
+			if !r.Contains(rec.Pos) {
+				return true
+			}
+			if keep != nil && !keep(rec) {
+				return true
+			}
+			key := [2]int32{
+				int32(math.Floor(rec.Pos.X / cellSize)),
+				int32(math.Floor(rec.Pos.Y / cellSize)),
+			}
+			acc[key]++
+			return true
+		})
+	})
+	out := make([]HeatCell, 0, len(acc))
+	for key, n := range acc {
+		out = append(out, HeatCell{CX: key[0], CY: key[1], Count: n})
+	}
+	return out
+}
+
+// TargetHistory returns the records associated with a target in [from, to],
+// time-ordered.
+func (s *Store) TargetHistory(id uint64, from, to time.Time) []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hist := s.byTarget[id]
+	if len(hist) == 0 || to.Before(from) {
+		return nil
+	}
+	lo := sort.Search(len(hist), func(i int) bool { return !hist[i].Time.Before(from) })
+	hi := sort.Search(len(hist), func(i int) bool { return hist[i].Time.After(to) })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Record, hi-lo)
+	copy(out, hist[lo:hi])
+	return out
+}
+
+// TargetCount returns the number of records associated with a target.
+func (s *Store) TargetCount(id uint64) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byTarget[id])
+}
+
+// Trajectory reconstructs a target's path over [from, to] from its indexed
+// observations.
+func (s *Store) Trajectory(id uint64, from, to time.Time) geo.Trajectory {
+	recs := s.TargetHistory(id, from, to)
+	var tr geo.Trajectory
+	for _, rec := range recs {
+		tr.Append(rec.Time, rec.Pos)
+	}
+	return tr
+}
+
+// Targets returns the IDs with at least one associated record, sorted.
+func (s *Store) Targets() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]uint64, 0, len(s.byTarget))
+	for id := range s.byTarget {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EvictBefore removes every record older than cutoff, returning the count.
+func (s *Store) EvictBefore(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for key, cell := range s.cells {
+		removed += cell.EvictBefore(cutoff)
+		if cell.Len() == 0 {
+			delete(s.cells, key)
+		}
+	}
+	for id, hist := range s.byTarget {
+		lo := sort.Search(len(hist), func(i int) bool { return !hist[i].Time.Before(cutoff) })
+		if lo == 0 {
+			continue
+		}
+		if lo == len(hist) {
+			delete(s.byTarget, id)
+			continue
+		}
+		s.byTarget[id] = append([]Record(nil), hist[lo:]...)
+	}
+	s.n -= removed
+	return removed
+}
+
+// CellCount returns the number of materialized spatial cells.
+func (s *Store) CellCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.cells)
+}
+
+func sortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if !recs[i].Time.Equal(recs[j].Time) {
+			return recs[i].Time.Before(recs[j].Time)
+		}
+		return recs[i].ObsID < recs[j].ObsID
+	})
+}

@@ -1,0 +1,175 @@
+package temporal
+
+import (
+	"sort"
+	"time"
+)
+
+// BucketStore partitions a stream of timestamped values into fixed-width time
+// buckets and supports window queries plus retention-based eviction. It is
+// the time dimension of the framework's spatio-temporal index: each grid cell
+// owns one BucketStore of observation references.
+//
+// The zero value is not usable; construct with NewBucketStore. Not safe for
+// concurrent use.
+type BucketStore[V any] struct {
+	width   time.Duration
+	buckets map[int64][]entry[V]
+	n       int
+	minB    int64 // lowest live bucket (valid when n > 0)
+	maxB    int64 // highest live bucket (valid when n > 0)
+}
+
+type entry[V any] struct {
+	t time.Time
+	v V
+}
+
+// NewBucketStore returns a store with the given bucket width. A non-positive
+// width panics: bucket width is a construction-time constant.
+func NewBucketStore[V any](width time.Duration) *BucketStore[V] {
+	if width <= 0 {
+		panic("temporal: bucket width must be positive")
+	}
+	return &BucketStore[V]{
+		width:   width,
+		buckets: make(map[int64][]entry[V]),
+	}
+}
+
+// Width returns the bucket width.
+func (s *BucketStore[V]) Width() time.Duration { return s.width }
+
+// Len returns the number of stored values.
+func (s *BucketStore[V]) Len() int { return s.n }
+
+// BucketCount returns the number of materialized buckets.
+func (s *BucketStore[V]) BucketCount() int { return len(s.buckets) }
+
+func (s *BucketStore[V]) bucketOf(t time.Time) int64 {
+	ns := t.UnixNano()
+	w := int64(s.width)
+	b := ns / w
+	if ns < 0 && ns%w != 0 {
+		b-- // floor division for pre-epoch times
+	}
+	return b
+}
+
+// Add stores v at time t.
+func (s *BucketStore[V]) Add(t time.Time, v V) {
+	b := s.bucketOf(t)
+	if s.n == 0 {
+		s.minB, s.maxB = b, b
+	} else {
+		if b < s.minB {
+			s.minB = b
+		}
+		if b > s.maxB {
+			s.maxB = b
+		}
+	}
+	s.buckets[b] = append(s.buckets[b], entry[V]{t: t, v: v})
+	s.n++
+}
+
+// Window calls fn for every value with time in [from, to] until fn returns
+// false. Values within a bucket are visited in insertion order.
+func (s *BucketStore[V]) Window(from, to time.Time, fn func(t time.Time, v V) bool) {
+	if s.n == 0 || to.Before(from) {
+		return
+	}
+	lo, hi := s.bucketOf(from), s.bucketOf(to)
+	if lo < s.minB {
+		lo = s.minB
+	}
+	if hi > s.maxB {
+		hi = s.maxB
+	}
+	for b := lo; b <= hi; b++ {
+		for _, e := range s.buckets[b] {
+			if !e.t.Before(from) && !e.t.After(to) {
+				if !fn(e.t, e.v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// WindowSlice returns the values in [from, to] ordered by time (stable for
+// equal timestamps).
+func (s *BucketStore[V]) WindowSlice(from, to time.Time) []V {
+	type tv struct {
+		t time.Time
+		v V
+	}
+	var tmp []tv
+	s.Window(from, to, func(t time.Time, v V) bool {
+		tmp = append(tmp, tv{t, v})
+		return true
+	})
+	sort.SliceStable(tmp, func(i, j int) bool { return tmp[i].t.Before(tmp[j].t) })
+	out := make([]V, len(tmp))
+	for i, e := range tmp {
+		out[i] = e.v
+	}
+	return out
+}
+
+// EvictBefore removes every value with time strictly before cutoff and
+// returns the number removed. Whole-bucket drops are O(1) per bucket; only
+// the boundary bucket is filtered element-wise.
+func (s *BucketStore[V]) EvictBefore(cutoff time.Time) int {
+	if s.n == 0 {
+		return 0
+	}
+	cutB := s.bucketOf(cutoff)
+	removed := 0
+	for b := s.minB; b < cutB && b <= s.maxB; b++ {
+		if es, ok := s.buckets[b]; ok {
+			removed += len(es)
+			delete(s.buckets, b)
+		}
+	}
+	// Boundary bucket: drop entries before the cutoff instant.
+	if es, ok := s.buckets[cutB]; ok {
+		kept := es[:0]
+		for _, e := range es {
+			if e.t.Before(cutoff) {
+				removed++
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.buckets, cutB)
+		} else {
+			s.buckets[cutB] = kept
+		}
+	}
+	s.n -= removed
+	if s.n == 0 {
+		s.minB, s.maxB = 0, 0
+	} else if cutB > s.minB {
+		s.minB = cutB
+		for {
+			if _, ok := s.buckets[s.minB]; ok || s.minB >= s.maxB {
+				break
+			}
+			s.minB++
+		}
+	}
+	return removed
+}
+
+// Span returns the time range [earliest bucket start, latest bucket end)
+// currently materialized, and false when the store is empty.
+func (s *BucketStore[V]) Span() (time.Time, time.Time, bool) {
+	if s.n == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	start := time.Unix(0, s.minB*int64(s.width))
+	end := time.Unix(0, (s.maxB+1)*int64(s.width))
+	return start, end, true
+}

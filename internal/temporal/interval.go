@@ -1,0 +1,243 @@
+// Package temporal provides the time-axis data structures of the framework:
+// an interval tree for stabbing and overlap queries over time intervals, and
+// a bucketed time-series store with retention-window eviction.
+package temporal
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Interval is a closed time interval [Start, End] tagged with a value ID.
+// Zero-length intervals (Start == End) are legal and behave as instants.
+type Interval struct {
+	Start, End time.Time
+	ID         uint64
+}
+
+// Overlaps reports whether two closed intervals share at least one instant.
+func (iv Interval) Overlaps(other Interval) bool {
+	return !iv.Start.After(other.End) && !other.Start.After(iv.End)
+}
+
+// Contains reports whether t lies within the closed interval.
+func (iv Interval) Contains(t time.Time) bool {
+	return !t.Before(iv.Start) && !t.After(iv.End)
+}
+
+// Duration returns End - Start.
+func (iv Interval) Duration() time.Duration { return iv.End.Sub(iv.Start) }
+
+// IntervalTree is a treap keyed on interval start, augmented with the maximum
+// end time per subtree, giving O(log n + m) stabbing and overlap queries.
+// It is not safe for concurrent use.
+type IntervalTree struct {
+	root *itNode
+	rng  *rand.Rand
+	n    int
+}
+
+type itNode struct {
+	iv          Interval
+	prio        int64
+	maxEnd      time.Time
+	left, right *itNode
+}
+
+// NewIntervalTree returns an empty tree. The seed determines treap priorities
+// only (structure, not contents); any fixed seed gives deterministic tests.
+func NewIntervalTree(seed int64) *IntervalTree {
+	return &IntervalTree{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Len returns the number of stored intervals.
+func (t *IntervalTree) Len() int { return t.n }
+
+// Insert adds an interval. Intervals with End before Start are normalized by
+// swapping. Duplicates (same bounds and ID) are stored independently.
+func (t *IntervalTree) Insert(iv Interval) {
+	if iv.End.Before(iv.Start) {
+		iv.Start, iv.End = iv.End, iv.Start
+	}
+	n := &itNode{iv: iv, prio: t.rng.Int63(), maxEnd: iv.End}
+	t.root = insertNode(t.root, n)
+	t.n++
+}
+
+func ivLess(a, b Interval) bool {
+	if !a.Start.Equal(b.Start) {
+		return a.Start.Before(b.Start)
+	}
+	if !a.End.Equal(b.End) {
+		return a.End.Before(b.End)
+	}
+	return a.ID < b.ID
+}
+
+func insertNode(root, n *itNode) *itNode {
+	if root == nil {
+		return n
+	}
+	if ivLess(n.iv, root.iv) {
+		root.left = insertNode(root.left, n)
+		if root.left.prio > root.prio {
+			root = rotateRight(root)
+		}
+	} else {
+		root.right = insertNode(root.right, n)
+		if root.right.prio > root.prio {
+			root = rotateLeft(root)
+		}
+	}
+	root.update()
+	return root
+}
+
+func (n *itNode) update() {
+	n.maxEnd = n.iv.End
+	if n.left != nil && n.left.maxEnd.After(n.maxEnd) {
+		n.maxEnd = n.left.maxEnd
+	}
+	if n.right != nil && n.right.maxEnd.After(n.maxEnd) {
+		n.maxEnd = n.right.maxEnd
+	}
+}
+
+func rotateRight(n *itNode) *itNode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.update()
+	l.update()
+	return l
+}
+
+func rotateLeft(n *itNode) *itNode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.update()
+	r.update()
+	return r
+}
+
+// Delete removes one interval equal to iv (same bounds and ID), returning
+// whether it was found.
+func (t *IntervalTree) Delete(iv Interval) bool {
+	if iv.End.Before(iv.Start) {
+		iv.Start, iv.End = iv.End, iv.Start
+	}
+	var deleted bool
+	t.root, deleted = deleteNode(t.root, iv)
+	if deleted {
+		t.n--
+	}
+	return deleted
+}
+
+func deleteNode(root *itNode, iv Interval) (*itNode, bool) {
+	if root == nil {
+		return nil, false
+	}
+	var deleted bool
+	switch {
+	case ivLess(iv, root.iv):
+		root.left, deleted = deleteNode(root.left, iv)
+	case ivLess(root.iv, iv):
+		root.right, deleted = deleteNode(root.right, iv)
+	default:
+		// Found: rotate down until a leaf, then drop.
+		return dropNode(root), true
+	}
+	if deleted {
+		root.update()
+	}
+	return root, deleted
+}
+
+func dropNode(n *itNode) *itNode {
+	// With one side empty, promote the other side wholesale.
+	if n.left == nil {
+		return n.right
+	}
+	if n.right == nil {
+		return n.left
+	}
+	// Otherwise rotate the higher-priority child up and recurse.
+	if n.left.prio > n.right.prio {
+		n = rotateRight(n)
+		n.right = dropNode(n.right)
+	} else {
+		n = rotateLeft(n)
+		n.left = dropNode(n.left)
+	}
+	n.update()
+	return n
+}
+
+// Stab calls fn for every interval containing t until fn returns false.
+func (t *IntervalTree) Stab(at time.Time, fn func(Interval) bool) {
+	stab(t.root, at, fn)
+}
+
+func stab(n *itNode, at time.Time, fn func(Interval) bool) bool {
+	if n == nil || at.After(n.maxEnd) {
+		return true
+	}
+	if !stab(n.left, at, fn) {
+		return false
+	}
+	if n.iv.Contains(at) {
+		if !fn(n.iv) {
+			return false
+		}
+	}
+	if at.Before(n.iv.Start) {
+		return true // right subtree starts even later
+	}
+	return stab(n.right, at, fn)
+}
+
+// Overlap calls fn for every interval overlapping [from, to] until fn returns
+// false.
+func (t *IntervalTree) Overlap(from, to time.Time, fn func(Interval) bool) {
+	if to.Before(from) {
+		from, to = to, from
+	}
+	q := Interval{Start: from, End: to}
+	overlap(t.root, q, fn)
+}
+
+func overlap(n *itNode, q Interval, fn func(Interval) bool) bool {
+	if n == nil || q.Start.After(n.maxEnd) {
+		return true
+	}
+	if !overlap(n.left, q, fn) {
+		return false
+	}
+	if n.iv.Overlaps(q) {
+		if !fn(n.iv) {
+			return false
+		}
+	}
+	if q.End.Before(n.iv.Start) {
+		return true
+	}
+	return overlap(n.right, q, fn)
+}
+
+// All returns every stored interval in start order.
+func (t *IntervalTree) All() []Interval {
+	out := make([]Interval, 0, t.n)
+	var walk func(n *itNode)
+	walk = func(n *itNode) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, n.iv)
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}

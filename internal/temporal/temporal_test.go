@@ -1,0 +1,373 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+
+func at(d time.Duration) time.Time { return t0.Add(d) }
+
+func iv(start, end time.Duration, id uint64) Interval {
+	return Interval{Start: at(start), End: at(end), ID: id}
+}
+
+func TestIntervalOverlapsContains(t *testing.T) {
+	a := iv(0, 10*time.Second, 1)
+	tests := []struct {
+		name string
+		b    Interval
+		want bool
+	}{
+		{"inside", iv(2*time.Second, 5*time.Second, 2), true},
+		{"covering", iv(-time.Second, 20*time.Second, 2), true},
+		{"left-touch", iv(-5*time.Second, 0, 2), true},
+		{"right-touch", iv(10*time.Second, 15*time.Second, 2), true},
+		{"left-disjoint", iv(-5*time.Second, -time.Second, 2), false},
+		{"right-disjoint", iv(11*time.Second, 15*time.Second, 2), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := a.Overlaps(tt.b); got != tt.want {
+				t.Errorf("Overlaps = %v, want %v", got, tt.want)
+			}
+			if got := tt.b.Overlaps(a); got != tt.want {
+				t.Errorf("Overlaps (sym) = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if !a.Contains(at(0)) || !a.Contains(at(10*time.Second)) || !a.Contains(at(5*time.Second)) {
+		t.Error("Contains should be boundary-inclusive")
+	}
+	if a.Contains(at(-time.Nanosecond)) || a.Contains(at(10*time.Second+time.Nanosecond)) {
+		t.Error("Contains out of bounds")
+	}
+}
+
+func TestIntervalTreeBasic(t *testing.T) {
+	tr := NewIntervalTree(1)
+	ivs := []Interval{
+		iv(0, 10*time.Second, 1),
+		iv(5*time.Second, 15*time.Second, 2),
+		iv(20*time.Second, 30*time.Second, 3),
+		iv(0, time.Minute, 4),
+	}
+	for _, v := range ivs {
+		tr.Insert(v)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := map[uint64]bool{}
+	tr.Stab(at(7*time.Second), func(v Interval) bool {
+		got[v.ID] = true
+		return true
+	})
+	want := map[uint64]bool{1: true, 2: true, 4: true}
+	if len(got) != len(want) {
+		t.Fatalf("Stab(7s) = %v, want %v", got, want)
+	}
+	for id := range want {
+		if !got[id] {
+			t.Errorf("Stab missing id %d", id)
+		}
+	}
+	got = map[uint64]bool{}
+	tr.Overlap(at(12*time.Second), at(25*time.Second), func(v Interval) bool {
+		got[v.ID] = true
+		return true
+	})
+	want = map[uint64]bool{2: true, 3: true, 4: true}
+	if len(got) != len(want) {
+		t.Fatalf("Overlap = %v, want %v", got, want)
+	}
+}
+
+func TestIntervalTreeDelete(t *testing.T) {
+	tr := NewIntervalTree(2)
+	a := iv(0, 10*time.Second, 1)
+	b := iv(0, 10*time.Second, 2) // same bounds, different ID
+	tr.Insert(a)
+	tr.Insert(b)
+	if !tr.Delete(a) {
+		t.Fatal("delete a failed")
+	}
+	if tr.Delete(a) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	var ids []uint64
+	tr.Stab(at(5*time.Second), func(v Interval) bool {
+		ids = append(ids, v.ID)
+		return true
+	})
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Errorf("after delete, stab = %v", ids)
+	}
+}
+
+func TestIntervalTreeNormalizesReversed(t *testing.T) {
+	tr := NewIntervalTree(3)
+	tr.Insert(Interval{Start: at(10 * time.Second), End: at(0), ID: 7})
+	found := false
+	tr.Stab(at(5*time.Second), func(v Interval) bool {
+		found = v.ID == 7
+		return true
+	})
+	if !found {
+		t.Error("reversed interval not normalized")
+	}
+	if !tr.Delete(Interval{Start: at(10 * time.Second), End: at(0), ID: 7}) {
+		t.Error("delete with reversed bounds failed")
+	}
+}
+
+func TestIntervalTreeEarlyStop(t *testing.T) {
+	tr := NewIntervalTree(4)
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(iv(0, time.Hour, i))
+	}
+	count := 0
+	tr.Stab(at(time.Minute), func(Interval) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+// TestIntervalTreeMatchesBrute cross-checks stab and overlap against a linear
+// scan over random workloads, including deletions.
+func TestIntervalTreeMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := NewIntervalTree(5)
+	var live []Interval
+	nextID := uint64(1)
+	for step := 0; step < 2000; step++ {
+		switch {
+		case rng.Float64() < 0.5 || len(live) == 0:
+			start := time.Duration(rng.Intn(3600)) * time.Second
+			length := time.Duration(rng.Intn(600)) * time.Second
+			v := iv(start, start+length, nextID)
+			nextID++
+			tr.Insert(v)
+			live = append(live, v)
+		case rng.Float64() < 0.3:
+			i := rng.Intn(len(live))
+			if !tr.Delete(live[i]) {
+				t.Fatalf("step %d: delete failed", step)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		default:
+			if rng.Intn(2) == 0 {
+				q := at(time.Duration(rng.Intn(4000)) * time.Second)
+				want := map[uint64]int{}
+				for _, v := range live {
+					if v.Contains(q) {
+						want[v.ID]++
+					}
+				}
+				got := map[uint64]int{}
+				tr.Stab(q, func(v Interval) bool {
+					got[v.ID]++
+					return true
+				})
+				if len(got) != len(want) {
+					t.Fatalf("step %d: stab size %d, want %d", step, len(got), len(want))
+				}
+				for id, c := range want {
+					if got[id] != c {
+						t.Fatalf("step %d: stab id %d count %d, want %d", step, id, got[id], c)
+					}
+				}
+			} else {
+				from := time.Duration(rng.Intn(4000)) * time.Second
+				to := from + time.Duration(rng.Intn(900))*time.Second
+				q := Interval{Start: at(from), End: at(to)}
+				want := map[uint64]int{}
+				for _, v := range live {
+					if v.Overlaps(q) {
+						want[v.ID]++
+					}
+				}
+				got := map[uint64]int{}
+				tr.Overlap(q.Start, q.End, func(v Interval) bool {
+					got[v.ID]++
+					return true
+				})
+				if len(got) != len(want) {
+					t.Fatalf("step %d: overlap size %d, want %d", step, len(got), len(want))
+				}
+			}
+		}
+		if tr.Len() != len(live) {
+			t.Fatalf("step %d: Len %d != %d", step, tr.Len(), len(live))
+		}
+	}
+	// All() returns intervals sorted by start.
+	all := tr.All()
+	if len(all) != len(live) {
+		t.Fatalf("All returned %d, want %d", len(all), len(live))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Start.Before(all[i-1].Start) {
+			t.Fatal("All not sorted by start")
+		}
+	}
+}
+
+func TestBucketStoreBasic(t *testing.T) {
+	s := NewBucketStore[int](time.Minute)
+	if s.Len() != 0 || s.BucketCount() != 0 {
+		t.Fatal("fresh store not empty")
+	}
+	s.Add(at(30*time.Second), 1)
+	s.Add(at(90*time.Second), 2)
+	s.Add(at(95*time.Second), 3)
+	s.Add(at(10*time.Minute), 4)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.BucketCount() != 3 {
+		t.Fatalf("BucketCount = %d, want 3", s.BucketCount())
+	}
+	got := s.WindowSlice(at(0), at(2*time.Minute))
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("WindowSlice = %v", got)
+	}
+	// Window boundaries are inclusive.
+	got = s.WindowSlice(at(90*time.Second), at(95*time.Second))
+	if len(got) != 2 {
+		t.Errorf("inclusive window = %v", got)
+	}
+	// Inverted window yields nothing.
+	if got := s.WindowSlice(at(time.Hour), at(0)); len(got) != 0 {
+		t.Errorf("inverted window = %v", got)
+	}
+}
+
+func TestBucketStoreEvict(t *testing.T) {
+	s := NewBucketStore[int](time.Minute)
+	for i := 0; i < 600; i++ {
+		s.Add(at(time.Duration(i)*time.Second), i)
+	}
+	removed := s.EvictBefore(at(5 * time.Minute))
+	if removed != 300 {
+		t.Fatalf("EvictBefore removed %d, want 300", removed)
+	}
+	if s.Len() != 300 {
+		t.Fatalf("Len = %d, want 300", s.Len())
+	}
+	if got := s.WindowSlice(at(0), at(4*time.Minute)); len(got) != 0 {
+		t.Errorf("evicted window still returns %d values", len(got))
+	}
+	got := s.WindowSlice(at(5*time.Minute), at(20*time.Minute))
+	if len(got) != 300 {
+		t.Errorf("surviving window has %d values", len(got))
+	}
+	// Evict at a mid-bucket instant: only entries strictly before go.
+	removed = s.EvictBefore(at(5*time.Minute + 30*time.Second))
+	if removed != 30 {
+		t.Errorf("mid-bucket evict removed %d, want 30", removed)
+	}
+	// Evicting everything resets the store.
+	s.EvictBefore(at(time.Hour))
+	if s.Len() != 0 {
+		t.Errorf("Len after full evict = %d", s.Len())
+	}
+	s.Add(at(2*time.Hour), 99)
+	if got := s.WindowSlice(at(0), at(3*time.Hour)); len(got) != 1 || got[0] != 99 {
+		t.Errorf("store unusable after full evict: %v", got)
+	}
+}
+
+func TestBucketStoreEarlyStop(t *testing.T) {
+	s := NewBucketStore[int](time.Second)
+	for i := 0; i < 100; i++ {
+		s.Add(at(time.Duration(i)*time.Millisecond*10), i)
+	}
+	count := 0
+	s.Window(at(0), at(time.Hour), func(time.Time, int) bool {
+		count++
+		return count < 4
+	})
+	if count != 4 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestBucketStoreSpan(t *testing.T) {
+	s := NewBucketStore[string](time.Minute)
+	if _, _, ok := s.Span(); ok {
+		t.Fatal("empty store has a span")
+	}
+	s.Add(at(90*time.Second), "x")
+	start, end, ok := s.Span()
+	if !ok {
+		t.Fatal("span missing")
+	}
+	if !start.Equal(at(time.Minute)) || !end.Equal(at(2*time.Minute)) {
+		t.Errorf("span = [%v, %v)", start, end)
+	}
+}
+
+func TestBucketStorePreEpoch(t *testing.T) {
+	s := NewBucketStore[int](time.Minute)
+	old := time.Unix(-3601, 0) // before the Unix epoch
+	s.Add(old, 1)
+	s.Add(old.Add(30*time.Second), 2)
+	got := s.WindowSlice(old.Add(-time.Minute), old.Add(time.Minute))
+	if len(got) != 2 {
+		t.Errorf("pre-epoch window = %v", got)
+	}
+}
+
+func TestBucketStorePanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBucketStore(0) did not panic")
+		}
+	}()
+	NewBucketStore[int](0)
+}
+
+// Property: Window(from,to) returns exactly the added values with timestamps
+// inside the window, for random adds and random windows.
+func TestPropBucketStoreWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewBucketStore[int](7 * time.Second)
+	type rec struct {
+		t time.Time
+		v int
+	}
+	var recs []rec
+	for i := 0; i < 1000; i++ {
+		tm := at(time.Duration(rng.Intn(100000)) * time.Millisecond)
+		s.Add(tm, i)
+		recs = append(recs, rec{tm, i})
+	}
+	for q := 0; q < 200; q++ {
+		from := at(time.Duration(rng.Intn(110000)) * time.Millisecond)
+		to := from.Add(time.Duration(rng.Intn(20000)) * time.Millisecond)
+		want := map[int]bool{}
+		for _, r := range recs {
+			if !r.t.Before(from) && !r.t.After(to) {
+				want[r.v] = true
+			}
+		}
+		got := map[int]bool{}
+		s.Window(from, to, func(_ time.Time, v int) bool {
+			got[v] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("window %v..%v: got %d, want %d", from, to, len(got), len(want))
+		}
+	}
+}

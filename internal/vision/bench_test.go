@@ -1,0 +1,37 @@
+package vision
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkCosine64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := NewRandomFeature(rng, 64)
+	y := NewRandomFeature(rng, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Cosine(x, y)
+	}
+}
+
+func BenchmarkGalleryMatch1000(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	g := NewGallery()
+	var probeBase Feature
+	for id := uint64(1); id <= 1000; id++ {
+		f := NewRandomFeature(rng, 64)
+		if id == 500 {
+			probeBase = f
+		}
+		g.Enroll(id, f)
+	}
+	probe := probeBase.Perturb(rng, 0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Match(probe, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

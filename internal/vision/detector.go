@@ -1,0 +1,156 @@
+package vision
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"stcam/internal/camera"
+	"stcam/internal/geo"
+)
+
+// Detection is one analytics event: camera X saw something at world position
+// P at time T, with appearance F. TrueID carries the simulator's ground-truth
+// identity for evaluation; it is zero for false positives and would be absent
+// in production.
+type Detection struct {
+	ObsID   uint64 // unique observation id (assigned by the detector)
+	Camera  camera.ID
+	Time    time.Time
+	Pos     geo.Point
+	Feature Feature
+	TrueID  uint64
+}
+
+// DetectorConfig sets the error model of the simulated analytics pipeline.
+type DetectorConfig struct {
+	PosNoise     float64 // stddev of world-position error, meters
+	FeatureNoise float64 // stddev of per-component embedding noise
+	FalseNegRate float64 // probability a visible object produces no detection
+	FalsePosRate float64 // expected spurious detections per camera per frame
+	FeatureDim   int     // embedding dimension (0 → DefaultFeatureDim)
+	Seed         int64
+}
+
+// Detector turns ground-truth world state into detection events. It is safe
+// for concurrent use (the per-camera simulation loops share one detector).
+type Detector struct {
+	cfg DetectorConfig
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	nextID uint64
+}
+
+// NewDetector returns a detector with the given error model.
+func NewDetector(cfg DetectorConfig) *Detector {
+	if cfg.FeatureDim <= 0 {
+		cfg.FeatureDim = DefaultFeatureDim
+	}
+	return &Detector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Config returns the detector's error model.
+func (d *Detector) Config() DetectorConfig { return d.cfg }
+
+// Observe produces the detection (if any) of one ground-truth object by one
+// camera at one instant. The second return is false when the object is not
+// visible or a false negative was drawn.
+func (d *Detector) Observe(cam *camera.Camera, objID uint64, truePos geo.Point, trueFeat Feature, t time.Time) (Detection, bool) {
+	if !cam.Sees(truePos) {
+		return Detection{}, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cfg.FalseNegRate > 0 && d.rng.Float64() < d.cfg.FalseNegRate {
+		return Detection{}, false
+	}
+	pos := truePos
+	if d.cfg.PosNoise > 0 {
+		pos = pos.Add(geo.Pt(
+			d.rng.NormFloat64()*d.cfg.PosNoise,
+			d.rng.NormFloat64()*d.cfg.PosNoise,
+		))
+	}
+	feat := trueFeat
+	if d.cfg.FeatureNoise > 0 && len(trueFeat) > 0 {
+		feat = trueFeat.Perturb(d.rng, d.cfg.FeatureNoise)
+	} else if len(trueFeat) > 0 {
+		feat = trueFeat.Clone()
+	}
+	d.nextID++
+	return Detection{
+		ObsID:   d.nextID,
+		Camera:  cam.ID,
+		Time:    t,
+		Pos:     pos,
+		Feature: feat,
+		TrueID:  objID,
+	}, true
+}
+
+// FalsePositives draws the spurious detections for one camera frame: a
+// Poisson(FalsePosRate) count of detections at random positions inside the
+// FOV bounding box (rejection-sampled into the FOV) with random features.
+func (d *Detector) FalsePositives(cam *camera.Camera, t time.Time) []Detection {
+	if d.cfg.FalsePosRate <= 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := poisson(d.rng, d.cfg.FalsePosRate)
+	if n == 0 {
+		return nil
+	}
+	b := cam.Bounds()
+	out := make([]Detection, 0, n)
+	for i := 0; i < n; i++ {
+		var p geo.Point
+		found := false
+		for try := 0; try < 32; try++ {
+			p = geo.Pt(
+				b.Min.X+d.rng.Float64()*b.Width(),
+				b.Min.Y+d.rng.Float64()*b.Height(),
+			)
+			if cam.Sees(p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		d.nextID++
+		out = append(out, Detection{
+			ObsID:   d.nextID,
+			Camera:  cam.ID,
+			Time:    t,
+			Pos:     p,
+			Feature: NewRandomFeature(d.rng, d.cfg.FeatureDim),
+			TrueID:  0,
+		})
+	}
+	return out
+}
+
+// poisson draws from Poisson(lambda) by inversion (Knuth); adequate for the
+// small rates used here.
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k // defensive bound for absurd lambdas
+		}
+	}
+}

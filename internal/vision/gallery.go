@@ -1,0 +1,140 @@
+package vision
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Match is one re-identification candidate: a gallery identity and its
+// similarity to the probe.
+type Match struct {
+	ID    uint64
+	Score float64 // cosine similarity in [-1, 1]
+}
+
+// Gallery is a set of known identities with reference features, supporting
+// rank-k re-identification queries. Multiple reference features per identity
+// are averaged into a prototype (the standard "centroid gallery" scheme).
+// Safe for concurrent use.
+type Gallery struct {
+	mu     sync.RWMutex
+	protos map[uint64]Feature
+	counts map[uint64]int
+}
+
+// ErrEmptyGallery is returned by Match when no identities are enrolled.
+var ErrEmptyGallery = errors.New("vision: empty gallery")
+
+// NewGallery returns an empty gallery.
+func NewGallery() *Gallery {
+	return &Gallery{
+		protos: make(map[uint64]Feature),
+		counts: make(map[uint64]int),
+	}
+}
+
+// Enroll adds a reference feature for an identity, updating its prototype as
+// the running mean of enrolled features (re-normalized).
+func (g *Gallery) Enroll(id uint64, f Feature) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	proto, ok := g.protos[id]
+	if !ok {
+		g.protos[id] = f.Clone()
+		g.counts[id] = 1
+		return
+	}
+	n := float32(g.counts[id])
+	for i := range proto {
+		if i < len(f) {
+			proto[i] = (proto[i]*n + f[i]) / (n + 1)
+		}
+	}
+	proto.normalize()
+	g.counts[id]++
+}
+
+// Remove drops an identity, returning whether it existed.
+func (g *Gallery) Remove(id uint64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.protos[id]; !ok {
+		return false
+	}
+	delete(g.protos, id)
+	delete(g.counts, id)
+	return true
+}
+
+// Len returns the number of enrolled identities.
+func (g *Gallery) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.protos)
+}
+
+// Match returns the top-k identities by similarity to the probe, descending,
+// ties broken by ascending ID.
+func (g *Gallery) Match(probe Feature, k int) ([]Match, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if len(g.protos) == 0 {
+		return nil, ErrEmptyGallery
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	matches := make([]Match, 0, len(g.protos))
+	for id, proto := range g.protos {
+		matches = append(matches, Match{ID: id, Score: Cosine(probe, proto)})
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Score != matches[j].Score {
+			return matches[i].Score > matches[j].Score
+		}
+		return matches[i].ID < matches[j].ID
+	})
+	if k < len(matches) {
+		matches = matches[:k]
+	}
+	return matches, nil
+}
+
+// Associator performs online identity association for tracking: a probe
+// either matches an enrolled identity above the threshold or founds a new
+// identity. This is how cross-camera tracking decides whether a detection at
+// a neighboring camera is "the same target".
+type Associator struct {
+	gallery   *Gallery
+	threshold float64
+
+	mu     sync.Mutex
+	nextID uint64
+}
+
+// NewAssociator returns an associator over its own gallery with the given
+// acceptance threshold (cosine similarity).
+func NewAssociator(threshold float64) *Associator {
+	return &Associator{gallery: NewGallery(), threshold: threshold, nextID: 1}
+}
+
+// Gallery exposes the underlying gallery (for enrollment of known targets).
+func (a *Associator) Gallery() *Gallery { return a.gallery }
+
+// Associate matches the probe against known identities; on success it
+// re-enrolls the probe (online adaptation) and returns (id, true). Otherwise
+// it mints a new identity and returns (newID, false).
+func (a *Associator) Associate(probe Feature) (uint64, bool) {
+	matches, err := a.gallery.Match(probe, 1)
+	if err == nil && len(matches) == 1 && matches[0].Score >= a.threshold {
+		a.gallery.Enroll(matches[0].ID, probe)
+		return matches[0].ID, true
+	}
+	a.mu.Lock()
+	id := a.nextID
+	a.nextID++
+	a.mu.Unlock()
+	a.gallery.Enroll(id, probe)
+	return id, false
+}

@@ -1,0 +1,853 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"stcam/internal/geo"
+)
+
+// The codec is a hand-rolled binary format rather than encoding/gob: message
+// framing must be explicit for request multiplexing, the format must be
+// stable across connections (gob's stream type-dictionary is per-connection
+// state), and ingest batches are hot enough that reflection costs matter.
+//
+// Frame layout: 4-byte big-endian length, 1-byte kind, payload. The length
+// covers kind + payload.
+
+// MaxFrameSize bounds a single frame; larger frames are rejected on both
+// sides to keep a corrupt or malicious peer from forcing huge allocations.
+const MaxFrameSize = 64 << 20
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+
+// Envelope pairs a message kind with its decoded payload.
+type Envelope struct {
+	Kind    MsgKind
+	Payload any
+}
+
+// WriteMessage encodes and writes one framed message.
+func WriteMessage(w io.Writer, kind MsgKind, payload any) error {
+	body, err := Marshal(kind, payload)
+	if err != nil {
+		return err
+	}
+	var hdr [5]byte
+	if len(body)+1 > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
+	hdr[4] = byte(kind)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("wire: write body: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads and decodes one framed message.
+func ReadMessage(r io.Reader) (Envelope, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Envelope{}, err // io.EOF passes through for clean shutdown
+	}
+	size := binary.BigEndian.Uint32(hdr[:4])
+	if size < 1 || size > MaxFrameSize {
+		return Envelope{}, ErrFrameTooLarge
+	}
+	kind := MsgKind(hdr[4])
+	body := make([]byte, size-1)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Envelope{}, fmt.Errorf("wire: read body: %w", err)
+	}
+	payload, err := Unmarshal(kind, body)
+	if err != nil {
+		return Envelope{}, err
+	}
+	return Envelope{Kind: kind, Payload: payload}, nil
+}
+
+// Marshal encodes a payload for the given kind.
+func Marshal(kind MsgKind, payload any) ([]byte, error) {
+	e := &encoder{}
+	switch m := payload.(type) {
+	case *Register:
+		e.str(string(m.Node))
+		e.str(m.Addr)
+		e.varint(int64(m.Capacity))
+	case *RegisterAck:
+		e.boolean(m.Accepted)
+		e.str(m.Reason)
+	case *Heartbeat:
+		e.str(string(m.Node))
+		e.u64(m.Seq)
+		e.f64(m.Load)
+		e.varint(int64(m.Stored))
+		e.varint(int64(m.Cameras))
+	case *HeartbeatAck:
+		e.u64(m.Epoch)
+	case *IngestBatch:
+		e.u32(m.Camera)
+		e.timestamp(m.FrameTime)
+		e.varint(int64(len(m.Observations)))
+		for i := range m.Observations {
+			e.observation(&m.Observations[i])
+		}
+	case *IngestAck:
+		e.varint(int64(m.Accepted))
+		e.varint(int64(m.Rejected))
+	case *RangeQuery:
+		e.u64(m.QueryID)
+		e.rect(m.Rect)
+		e.window(m.Window)
+		e.varint(int64(m.Limit))
+	case *RangeResult:
+		e.u64(m.QueryID)
+		e.varint(int64(len(m.Records)))
+		for i := range m.Records {
+			e.record(&m.Records[i])
+		}
+		e.boolean(m.Truncated)
+	case *KNNQuery:
+		e.u64(m.QueryID)
+		e.point(m.Center)
+		e.window(m.Window)
+		e.varint(int64(m.K))
+	case *KNNResult:
+		e.u64(m.QueryID)
+		e.varint(int64(len(m.Records)))
+		for i := range m.Records {
+			e.record(&m.Records[i].ResultRecord)
+			e.f64(m.Records[i].Dist2)
+		}
+	case *CountQuery:
+		e.u64(m.QueryID)
+		e.rect(m.Rect)
+		e.window(m.Window)
+	case *CountResult:
+		e.u64(m.QueryID)
+		e.varint(int64(m.Count))
+	case *TrajectoryQuery:
+		e.u64(m.QueryID)
+		e.u64(m.TargetID)
+		e.window(m.Window)
+	case *TrajectoryResult:
+		e.u64(m.QueryID)
+		e.varint(int64(len(m.Records)))
+		for i := range m.Records {
+			e.record(&m.Records[i])
+		}
+	case *InstallContinuous:
+		e.u64(m.QueryID)
+		e.varint(int64(m.Kind))
+		e.rect(m.Rect)
+		e.varint(int64(m.Threshold))
+	case *RemoveContinuous:
+		e.u64(m.QueryID)
+	case *ContinuousUpdate:
+		e.u64(m.QueryID)
+		e.timestamp(m.Time)
+		e.varint(int64(len(m.Positive)))
+		for i := range m.Positive {
+			e.record(&m.Positive[i])
+		}
+		e.varint(int64(len(m.Negative)))
+		for i := range m.Negative {
+			e.record(&m.Negative[i])
+		}
+		e.varint(int64(m.Count))
+	case *AssignCameras:
+		e.u64(m.Epoch)
+		e.cameraInfos(m.Cameras)
+		e.cameraInfos(m.Replicas)
+	case *AssignAck:
+		e.u64(m.Epoch)
+		e.varint(int64(m.Accepted))
+	case *TrackStart:
+		e.u64(m.TrackID)
+		e.u32(m.Camera)
+		e.feature(m.Feature)
+		e.timestamp(m.Time)
+	case *TrackPrime:
+		e.u64(m.TrackID)
+		e.varint(int64(len(m.Cameras)))
+		for _, c := range m.Cameras {
+			e.u32(c)
+		}
+		e.feature(m.Feature)
+		e.timestamp(m.Expires)
+	case *TrackHandoff:
+		e.u64(m.TrackID)
+		e.u32(m.FromCamera)
+		e.u32(m.ToCamera)
+		e.feature(m.Feature)
+		e.timestamp(m.Time)
+		e.varint(int64(m.Hops))
+	case *TrackUpdate:
+		e.u64(m.TrackID)
+		e.u32(m.Camera)
+		e.point(m.Pos)
+		e.timestamp(m.Time)
+		e.boolean(m.Lost)
+	case *TrackStop:
+		e.u64(m.TrackID)
+	case *HeatmapQuery:
+		e.u64(m.QueryID)
+		e.rect(m.Rect)
+		e.window(m.Window)
+		e.f64(m.CellSize)
+	case *HeatmapResult:
+		e.u64(m.QueryID)
+		e.f64(m.CellSize)
+		e.varint(int64(len(m.Cells)))
+		for _, c := range m.Cells {
+			e.varint(int64(c.CX))
+			e.varint(int64(c.CY))
+			e.varint(c.Count)
+		}
+	case *FilterQuery:
+		e.u64(m.QueryID)
+		e.rect(m.Rect)
+		e.window(m.Window)
+		e.u64(m.TargetID)
+		e.varint(int64(len(m.Cameras)))
+		for _, c := range m.Cameras {
+			e.u32(c)
+		}
+		e.varint(int64(m.Limit))
+		e.str(m.ForcePlan)
+	case *FilterResult:
+		e.u64(m.QueryID)
+		e.varint(int64(len(m.Records)))
+		for i := range m.Records {
+			e.record(&m.Records[i])
+		}
+		e.str(m.Plan)
+		e.boolean(m.Truncated)
+	case *StatsQuery:
+		// empty payload
+	case *StatsResult:
+		e.str(string(m.Node))
+		e.kvs(m.Counters)
+		e.kvs(m.Gauges)
+	case *Error:
+		e.varint(int64(m.Code))
+		e.str(m.Message)
+	default:
+		return nil, fmt.Errorf("wire: cannot marshal %T as %v", payload, kind)
+	}
+	return e.buf, nil
+}
+
+// Unmarshal decodes a payload of the given kind.
+func Unmarshal(kind MsgKind, body []byte) (any, error) {
+	d := &decoder{buf: body}
+	var out any
+	switch kind {
+	case KindRegister:
+		m := &Register{}
+		m.Node = NodeID(d.str())
+		m.Addr = d.str()
+		m.Capacity = int(d.varint())
+		out = m
+	case KindRegisterAck:
+		m := &RegisterAck{}
+		m.Accepted = d.boolean()
+		m.Reason = d.str()
+		out = m
+	case KindHeartbeat:
+		m := &Heartbeat{}
+		m.Node = NodeID(d.str())
+		m.Seq = d.u64()
+		m.Load = d.f64()
+		m.Stored = int(d.varint())
+		m.Cameras = int(d.varint())
+		out = m
+	case KindHeartbeatAck:
+		m := &HeartbeatAck{}
+		m.Epoch = d.u64()
+		out = m
+	case KindIngestBatch:
+		m := &IngestBatch{}
+		m.Camera = d.u32()
+		m.FrameTime = d.timestamp()
+		n := d.sliceLen()
+		if n > 0 {
+			m.Observations = make([]Observation, n)
+			for i := range m.Observations {
+				d.observation(&m.Observations[i])
+			}
+		}
+		out = m
+	case KindIngestAck:
+		m := &IngestAck{}
+		m.Accepted = int(d.varint())
+		m.Rejected = int(d.varint())
+		out = m
+	case KindRangeQuery:
+		m := &RangeQuery{}
+		m.QueryID = d.u64()
+		m.Rect = d.rect()
+		m.Window = d.window()
+		m.Limit = int(d.varint())
+		out = m
+	case KindRangeResult:
+		m := &RangeResult{}
+		m.QueryID = d.u64()
+		n := d.sliceLen()
+		if n > 0 {
+			m.Records = make([]ResultRecord, n)
+			for i := range m.Records {
+				d.record(&m.Records[i])
+			}
+		}
+		m.Truncated = d.boolean()
+		out = m
+	case KindKNNQuery:
+		m := &KNNQuery{}
+		m.QueryID = d.u64()
+		m.Center = d.point()
+		m.Window = d.window()
+		m.K = int(d.varint())
+		out = m
+	case KindKNNResult:
+		m := &KNNResult{}
+		m.QueryID = d.u64()
+		n := d.sliceLen()
+		if n > 0 {
+			m.Records = make([]KNNRecord, n)
+			for i := range m.Records {
+				d.record(&m.Records[i].ResultRecord)
+				m.Records[i].Dist2 = d.f64()
+			}
+		}
+		out = m
+	case KindCountQuery:
+		m := &CountQuery{}
+		m.QueryID = d.u64()
+		m.Rect = d.rect()
+		m.Window = d.window()
+		out = m
+	case KindCountResult:
+		m := &CountResult{}
+		m.QueryID = d.u64()
+		m.Count = int(d.varint())
+		out = m
+	case KindTrajectoryQuery:
+		m := &TrajectoryQuery{}
+		m.QueryID = d.u64()
+		m.TargetID = d.u64()
+		m.Window = d.window()
+		out = m
+	case KindTrajectoryResult:
+		m := &TrajectoryResult{}
+		m.QueryID = d.u64()
+		n := d.sliceLen()
+		if n > 0 {
+			m.Records = make([]ResultRecord, n)
+			for i := range m.Records {
+				d.record(&m.Records[i])
+			}
+		}
+		out = m
+	case KindInstallContinuous:
+		m := &InstallContinuous{}
+		m.QueryID = d.u64()
+		m.Kind = ContinuousKind(d.varint())
+		m.Rect = d.rect()
+		m.Threshold = int(d.varint())
+		out = m
+	case KindRemoveContinuous:
+		m := &RemoveContinuous{}
+		m.QueryID = d.u64()
+		out = m
+	case KindContinuousUpdate:
+		m := &ContinuousUpdate{}
+		m.QueryID = d.u64()
+		m.Time = d.timestamp()
+		if n := d.sliceLen(); n > 0 {
+			m.Positive = make([]ResultRecord, n)
+			for i := range m.Positive {
+				d.record(&m.Positive[i])
+			}
+		}
+		if n := d.sliceLen(); n > 0 {
+			m.Negative = make([]ResultRecord, n)
+			for i := range m.Negative {
+				d.record(&m.Negative[i])
+			}
+		}
+		m.Count = int(d.varint())
+		out = m
+	case KindAssignCameras:
+		m := &AssignCameras{}
+		m.Epoch = d.u64()
+		m.Cameras = d.cameraInfos()
+		m.Replicas = d.cameraInfos()
+		out = m
+	case KindAssignAck:
+		m := &AssignAck{}
+		m.Epoch = d.u64()
+		m.Accepted = int(d.varint())
+		out = m
+	case KindTrackStart:
+		m := &TrackStart{}
+		m.TrackID = d.u64()
+		m.Camera = d.u32()
+		m.Feature = d.feature()
+		m.Time = d.timestamp()
+		out = m
+	case KindTrackPrime:
+		m := &TrackPrime{}
+		m.TrackID = d.u64()
+		n := d.sliceLen()
+		if n > 0 {
+			m.Cameras = make([]uint32, n)
+			for i := range m.Cameras {
+				m.Cameras[i] = d.u32()
+			}
+		}
+		m.Feature = d.feature()
+		m.Expires = d.timestamp()
+		out = m
+	case KindTrackHandoff:
+		m := &TrackHandoff{}
+		m.TrackID = d.u64()
+		m.FromCamera = d.u32()
+		m.ToCamera = d.u32()
+		m.Feature = d.feature()
+		m.Time = d.timestamp()
+		m.Hops = int(d.varint())
+		out = m
+	case KindTrackUpdate:
+		m := &TrackUpdate{}
+		m.TrackID = d.u64()
+		m.Camera = d.u32()
+		m.Pos = d.point()
+		m.Time = d.timestamp()
+		m.Lost = d.boolean()
+		out = m
+	case KindTrackStop:
+		m := &TrackStop{}
+		m.TrackID = d.u64()
+		out = m
+	case KindHeatmapQuery:
+		m := &HeatmapQuery{}
+		m.QueryID = d.u64()
+		m.Rect = d.rect()
+		m.Window = d.window()
+		m.CellSize = d.f64()
+		out = m
+	case KindHeatmapResult:
+		m := &HeatmapResult{}
+		m.QueryID = d.u64()
+		m.CellSize = d.f64()
+		if n := d.sliceLen(); n > 0 {
+			m.Cells = make([]HeatCell, n)
+			for i := range m.Cells {
+				m.Cells[i].CX = int32(d.varint())
+				m.Cells[i].CY = int32(d.varint())
+				m.Cells[i].Count = d.varint()
+			}
+		}
+		out = m
+	case KindFilterQuery:
+		m := &FilterQuery{}
+		m.QueryID = d.u64()
+		m.Rect = d.rect()
+		m.Window = d.window()
+		m.TargetID = d.u64()
+		if n := d.sliceLen(); n > 0 {
+			m.Cameras = make([]uint32, n)
+			for i := range m.Cameras {
+				m.Cameras[i] = d.u32()
+			}
+		}
+		m.Limit = int(d.varint())
+		m.ForcePlan = d.str()
+		out = m
+	case KindFilterResult:
+		m := &FilterResult{}
+		m.QueryID = d.u64()
+		if n := d.sliceLen(); n > 0 {
+			m.Records = make([]ResultRecord, n)
+			for i := range m.Records {
+				d.record(&m.Records[i])
+			}
+		}
+		m.Plan = d.str()
+		m.Truncated = d.boolean()
+		out = m
+	case KindStatsQuery:
+		out = &StatsQuery{}
+	case KindStatsResult:
+		m := &StatsResult{}
+		m.Node = NodeID(d.str())
+		m.Counters = d.kvs()
+		m.Gauges = d.kvs()
+		out = m
+	case KindError:
+		m := &Error{}
+		m.Code = int(d.varint())
+		m.Message = d.str()
+		out = m
+	default:
+		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("wire: decode %v: %w", kind, d.err)
+	}
+	return out, nil
+}
+
+// KindOf returns the MsgKind for a payload type, or 0 when unknown.
+func KindOf(payload any) MsgKind {
+	switch payload.(type) {
+	case *Register:
+		return KindRegister
+	case *RegisterAck:
+		return KindRegisterAck
+	case *Heartbeat:
+		return KindHeartbeat
+	case *HeartbeatAck:
+		return KindHeartbeatAck
+	case *IngestBatch:
+		return KindIngestBatch
+	case *IngestAck:
+		return KindIngestAck
+	case *RangeQuery:
+		return KindRangeQuery
+	case *RangeResult:
+		return KindRangeResult
+	case *KNNQuery:
+		return KindKNNQuery
+	case *KNNResult:
+		return KindKNNResult
+	case *CountQuery:
+		return KindCountQuery
+	case *CountResult:
+		return KindCountResult
+	case *TrajectoryQuery:
+		return KindTrajectoryQuery
+	case *TrajectoryResult:
+		return KindTrajectoryResult
+	case *InstallContinuous:
+		return KindInstallContinuous
+	case *RemoveContinuous:
+		return KindRemoveContinuous
+	case *ContinuousUpdate:
+		return KindContinuousUpdate
+	case *AssignCameras:
+		return KindAssignCameras
+	case *AssignAck:
+		return KindAssignAck
+	case *TrackStart:
+		return KindTrackStart
+	case *TrackPrime:
+		return KindTrackPrime
+	case *TrackHandoff:
+		return KindTrackHandoff
+	case *TrackUpdate:
+		return KindTrackUpdate
+	case *TrackStop:
+		return KindTrackStop
+	case *HeatmapQuery:
+		return KindHeatmapQuery
+	case *HeatmapResult:
+		return KindHeatmapResult
+	case *FilterQuery:
+		return KindFilterQuery
+	case *FilterResult:
+		return KindFilterResult
+	case *StatsQuery:
+		return KindStatsQuery
+	case *StatsResult:
+		return KindStatsResult
+	case *Error:
+		return KindError
+	}
+	return 0
+}
+
+// --- primitive encoders ---
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) u64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) varint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) f32(v float32) { e.u32(math.Float32bits(v)) }
+
+func (e *encoder) boolean(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+func (e *encoder) str(s string) {
+	e.varint(int64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) point(p geo.Point) {
+	e.f64(p.X)
+	e.f64(p.Y)
+}
+
+func (e *encoder) rect(r geo.Rect) {
+	e.point(r.Min)
+	e.point(r.Max)
+}
+
+func (e *encoder) timestamp(t time.Time) {
+	if t.IsZero() {
+		e.boolean(false)
+		return
+	}
+	e.boolean(true)
+	e.varint(t.Unix())
+	e.varint(int64(t.Nanosecond()))
+}
+
+func (e *encoder) window(w TimeWindow) {
+	e.timestamp(w.From)
+	e.timestamp(w.To)
+}
+
+func (e *encoder) feature(f []float32) {
+	e.varint(int64(len(f)))
+	for _, v := range f {
+		e.f32(v)
+	}
+}
+
+func (e *encoder) observation(o *Observation) {
+	e.u64(o.ObsID)
+	e.u32(o.Camera)
+	e.timestamp(o.Time)
+	e.point(o.Pos)
+	e.feature(o.Feature)
+	e.u64(o.TrueID)
+}
+
+func (e *encoder) record(r *ResultRecord) {
+	e.u64(r.ObsID)
+	e.u64(r.TargetID)
+	e.u32(r.Camera)
+	e.point(r.Pos)
+	e.timestamp(r.Time)
+}
+
+func (e *encoder) cameraInfos(cs []CameraInfo) {
+	e.varint(int64(len(cs)))
+	for i := range cs {
+		c := &cs[i]
+		e.u32(c.ID)
+		e.point(c.Pos)
+		e.f64(c.Orient)
+		e.f64(c.HalfFOV)
+		e.f64(c.Range)
+	}
+}
+
+func (e *encoder) kvs(m map[string]int64) {
+	e.varint(int64(len(m)))
+	// Deterministic order is not required on the wire; readers rebuild maps.
+	for k, v := range m {
+		e.str(k)
+		e.varint(v)
+	}
+}
+
+// --- primitive decoders ---
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+var errShortBuffer = errors.New("short buffer")
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = errShortBuffer
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.err = errShortBuffer
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) f32() float32 { return math.Float32frombits(d.u32()) }
+
+func (d *decoder) boolean() bool {
+	b := d.take(1)
+	return b != nil && b[0] != 0
+}
+
+func (d *decoder) str() string {
+	n := d.varint()
+	if n < 0 || n > int64(len(d.buf)) {
+		d.err = errShortBuffer
+		return ""
+	}
+	b := d.take(int(n))
+	return string(b)
+}
+
+// sliceLen reads a slice length and bounds-checks it against the remaining
+// buffer so corrupt lengths cannot force huge allocations.
+func (d *decoder) sliceLen() int {
+	n := d.varint()
+	if n < 0 || n > int64(len(d.buf)) {
+		d.err = errShortBuffer
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) point() geo.Point { return geo.Pt(d.f64(), d.f64()) }
+
+func (d *decoder) rect() geo.Rect {
+	return geo.Rect{Min: d.point(), Max: d.point()}
+}
+
+func (d *decoder) timestamp() time.Time {
+	if !d.boolean() {
+		return time.Time{}
+	}
+	sec := d.varint()
+	nsec := d.varint()
+	if d.err != nil {
+		return time.Time{}
+	}
+	return time.Unix(sec, nsec).UTC()
+}
+
+func (d *decoder) window() TimeWindow {
+	return TimeWindow{From: d.timestamp(), To: d.timestamp()}
+}
+
+func (d *decoder) feature() []float32 {
+	n := d.sliceLen()
+	if n == 0 {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = d.f32()
+	}
+	return out
+}
+
+func (d *decoder) observation(o *Observation) {
+	o.ObsID = d.u64()
+	o.Camera = d.u32()
+	o.Time = d.timestamp()
+	o.Pos = d.point()
+	o.Feature = d.feature()
+	o.TrueID = d.u64()
+}
+
+func (d *decoder) record(r *ResultRecord) {
+	r.ObsID = d.u64()
+	r.TargetID = d.u64()
+	r.Camera = d.u32()
+	r.Pos = d.point()
+	r.Time = d.timestamp()
+}
+
+func (d *decoder) cameraInfos() []CameraInfo {
+	n := d.sliceLen()
+	if n == 0 {
+		return nil
+	}
+	out := make([]CameraInfo, n)
+	for i := range out {
+		c := &out[i]
+		c.ID = d.u32()
+		c.Pos = d.point()
+		c.Orient = d.f64()
+		c.HalfFOV = d.f64()
+		c.Range = d.f64()
+	}
+	return out
+}
+
+func (d *decoder) kvs() map[string]int64 {
+	n := d.sliceLen()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make(map[string]int64, n)
+	for i := 0; i < n; i++ {
+		k := d.str()
+		v := d.varint()
+		if d.err != nil {
+			return nil
+		}
+		out[k] = v
+	}
+	return out
+}

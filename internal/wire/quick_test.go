@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"stcam/internal/geo"
+)
+
+// Generators for quick-based round-trip properties: structured random values
+// for the two highest-volume messages (ingest batches and range results) and
+// the full query envelope.
+
+func randTime(rng *rand.Rand) time.Time {
+	if rng.Intn(10) == 0 {
+		return time.Time{} // zero times are legal on the wire
+	}
+	return time.Unix(rng.Int63n(4e9), rng.Int63n(1e9)).UTC()
+}
+
+func randFeature(rng *rand.Rand) []float32 {
+	n := rng.Intn(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = rng.Float32()*2 - 1
+	}
+	return out
+}
+
+func randObservation(rng *rand.Rand) Observation {
+	return Observation{
+		ObsID:   rng.Uint64(),
+		Camera:  rng.Uint32(),
+		Time:    randTime(rng),
+		Pos:     geo.Pt(rng.NormFloat64()*1e4, rng.NormFloat64()*1e4),
+		Feature: randFeature(rng),
+		TrueID:  rng.Uint64(),
+	}
+}
+
+func randRecord(rng *rand.Rand) ResultRecord {
+	return ResultRecord{
+		ObsID:    rng.Uint64(),
+		TargetID: rng.Uint64(),
+		Camera:   rng.Uint32(),
+		Pos:      geo.Pt(rng.NormFloat64()*1e4, rng.NormFloat64()*1e4),
+		Time:     randTime(rng),
+	}
+}
+
+func roundTrip(t *testing.T, msg any) any {
+	t.Helper()
+	kind := KindOf(msg)
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, kind, msg); err != nil {
+		t.Fatalf("write %T: %v", msg, err)
+	}
+	env, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatalf("read %T: %v", msg, err)
+	}
+	return env.Payload
+}
+
+// TestQuickIngestBatchRoundTrip: arbitrary ingest batches survive the codec.
+func TestQuickIngestBatchRoundTrip(t *testing.T) {
+	f := func(seed int64, camID uint32, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &IngestBatch{Camera: camID, FrameTime: randTime(rng)}
+		for i := 0; i < int(n%32); i++ {
+			m.Observations = append(m.Observations, randObservation(rng))
+		}
+		got := roundTrip(t, m)
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRangeResultRoundTrip: arbitrary result sets survive the codec.
+func TestQuickRangeResultRoundTrip(t *testing.T) {
+	f := func(seed int64, qid uint64, n uint8, trunc bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &RangeResult{QueryID: qid, Truncated: trunc}
+		for i := 0; i < int(n%32); i++ {
+			m.Records = append(m.Records, randRecord(rng))
+		}
+		got := roundTrip(t, m)
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickQueriesRoundTrip: arbitrary query parameters survive the codec,
+// including NaN-free extreme floats and inverted windows.
+func TestQuickQueriesRoundTrip(t *testing.T) {
+	f := func(seed int64, qid uint64, k int16, limit int16, cell float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rect := geo.Rect{
+			Min: geo.Pt(rng.NormFloat64()*1e6, rng.NormFloat64()*1e6),
+			Max: geo.Pt(rng.NormFloat64()*1e6, rng.NormFloat64()*1e6),
+		}
+		window := TimeWindow{From: randTime(rng), To: randTime(rng)}
+		msgs := []any{
+			&RangeQuery{QueryID: qid, Rect: rect, Window: window, Limit: int(limit)},
+			&KNNQuery{QueryID: qid, Center: rect.Min, Window: window, K: int(k)},
+			&CountQuery{QueryID: qid, Rect: rect, Window: window},
+			&HeatmapQuery{QueryID: qid, Rect: rect, Window: window, CellSize: cell},
+		}
+		for _, m := range msgs {
+			if !reflect.DeepEqual(roundTrip(t, m), m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecoderNeverPanics: the decoder must reject arbitrary garbage
+// bytes with an error, never a panic or runaway allocation.
+func TestQuickDecoderNeverPanics(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		body := make([]byte, int(n%2048))
+		rng.Read(body)
+		for kind := KindRegister; kind <= KindFilterResult; kind++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("decoder panicked on kind %v: %v", kind, r)
+					}
+				}()
+				Unmarshal(kind, body) //nolint:errcheck // errors are expected; panics are not
+			}()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTruncationAlwaysErrors: every strict prefix of a valid encoding
+// fails to decode (no silent partial reads).
+func TestQuickTruncationAlwaysErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := &IngestBatch{Camera: 7, FrameTime: randTime(rng)}
+	for i := 0; i < 5; i++ {
+		m.Observations = append(m.Observations, randObservation(rng))
+	}
+	body, err := Marshal(KindIngestBatch, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(body); cut++ {
+		if _, err := Unmarshal(KindIngestBatch, body[:cut]); err == nil {
+			// A truncation that still parses must decode to fewer
+			// observations, never to corrupt data; with length-prefixed
+			// slices any cut inside the payload must error.
+			t.Fatalf("truncation at %d/%d decoded without error", cut, len(body))
+		}
+	}
+}

@@ -1,0 +1,406 @@
+// Package wire defines the message vocabulary of the cluster protocol and the
+// codec that moves it across connections. Every RPC in the framework — worker
+// registration, observation ingest, query fan-out, continuous-query updates,
+// tracking handoff — is one of the message types here, so the codec
+// round-trip property in wire_test.go covers the entire protocol surface.
+package wire
+
+import (
+	"time"
+
+	"stcam/internal/geo"
+)
+
+// NodeID identifies a cluster node (worker or coordinator).
+type NodeID string
+
+// MsgKind enumerates the protocol messages. Kinds start at 1 so the zero
+// value is detectably invalid.
+type MsgKind int
+
+// Message kinds.
+const (
+	KindRegister MsgKind = iota + 1
+	KindRegisterAck
+	KindHeartbeat
+	KindHeartbeatAck
+	KindIngestBatch
+	KindIngestAck
+	KindRangeQuery
+	KindRangeResult
+	KindKNNQuery
+	KindKNNResult
+	KindCountQuery
+	KindCountResult
+	KindTrajectoryQuery
+	KindTrajectoryResult
+	KindInstallContinuous
+	KindRemoveContinuous
+	KindContinuousUpdate
+	KindAssignCameras
+	KindAssignAck
+	KindTrackStart
+	KindTrackPrime
+	KindTrackHandoff
+	KindTrackUpdate
+	KindTrackStop
+	KindStatsQuery
+	KindStatsResult
+	KindError
+	KindHeatmapQuery
+	KindHeatmapResult
+	KindFilterQuery
+	KindFilterResult
+)
+
+var kindNames = map[MsgKind]string{
+	KindRegister:          "Register",
+	KindRegisterAck:       "RegisterAck",
+	KindHeartbeat:         "Heartbeat",
+	KindHeartbeatAck:      "HeartbeatAck",
+	KindIngestBatch:       "IngestBatch",
+	KindIngestAck:         "IngestAck",
+	KindRangeQuery:        "RangeQuery",
+	KindRangeResult:       "RangeResult",
+	KindKNNQuery:          "KNNQuery",
+	KindKNNResult:         "KNNResult",
+	KindCountQuery:        "CountQuery",
+	KindCountResult:       "CountResult",
+	KindTrajectoryQuery:   "TrajectoryQuery",
+	KindTrajectoryResult:  "TrajectoryResult",
+	KindInstallContinuous: "InstallContinuous",
+	KindRemoveContinuous:  "RemoveContinuous",
+	KindContinuousUpdate:  "ContinuousUpdate",
+	KindAssignCameras:     "AssignCameras",
+	KindAssignAck:         "AssignAck",
+	KindTrackStart:        "TrackStart",
+	KindTrackPrime:        "TrackPrime",
+	KindTrackHandoff:      "TrackHandoff",
+	KindTrackUpdate:       "TrackUpdate",
+	KindTrackStop:         "TrackStop",
+	KindStatsQuery:        "StatsQuery",
+	KindStatsResult:       "StatsResult",
+	KindError:             "Error",
+	KindHeatmapQuery:      "HeatmapQuery",
+	KindHeatmapResult:     "HeatmapResult",
+	KindFilterQuery:       "FilterQuery",
+	KindFilterResult:      "FilterResult",
+}
+
+// String implements fmt.Stringer.
+func (k MsgKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "Unknown"
+}
+
+// Observation is the wire form of a detection event.
+type Observation struct {
+	ObsID   uint64
+	Camera  uint32
+	Time    time.Time
+	Pos     geo.Point
+	Feature []float32
+	TrueID  uint64 // evaluation plumbing; zero in production traffic
+}
+
+// Register announces a worker to the coordinator.
+type Register struct {
+	Node     NodeID
+	Addr     string
+	Capacity int // relative capacity weight (1 = baseline)
+}
+
+// RegisterAck confirms registration.
+type RegisterAck struct {
+	Accepted bool
+	Reason   string
+}
+
+// Heartbeat is the liveness and load report workers send periodically.
+type Heartbeat struct {
+	Node    NodeID
+	Seq     uint64
+	Load    float64 // recent observations/second
+	Stored  int     // records currently indexed
+	Cameras int     // cameras currently owned
+}
+
+// HeartbeatAck carries the coordinator's view back (e.g. epoch changes).
+type HeartbeatAck struct {
+	Epoch uint64
+}
+
+// IngestBatch delivers observations from one camera feed to its worker.
+// FrameTime is the camera clock at frame capture: it advances the worker's
+// observation time even when the frame contained no detections (Camera 0
+// with an empty observation list is a pure clock tick addressed to the
+// worker rather than a single camera).
+type IngestBatch struct {
+	Camera       uint32
+	FrameTime    time.Time
+	Observations []Observation
+}
+
+// IngestAck acknowledges a batch.
+type IngestAck struct {
+	Accepted int
+	Rejected int
+}
+
+// TimeWindow is a closed time interval used by all queries.
+type TimeWindow struct {
+	From, To time.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w TimeWindow) Contains(t time.Time) bool {
+	return !t.Before(w.From) && !t.After(w.To)
+}
+
+// RangeQuery asks for observations in a rectangle and time window.
+type RangeQuery struct {
+	QueryID uint64
+	Rect    geo.Rect
+	Window  TimeWindow
+	Limit   int // 0 = unlimited
+}
+
+// ResultRecord is the wire form of an indexed observation in results.
+type ResultRecord struct {
+	ObsID    uint64
+	TargetID uint64
+	Camera   uint32
+	Pos      geo.Point
+	Time     time.Time
+}
+
+// RangeResult returns the matching records from one worker.
+type RangeResult struct {
+	QueryID   uint64
+	Records   []ResultRecord
+	Truncated bool
+}
+
+// KNNQuery asks for the k observations nearest to a point within a window.
+type KNNQuery struct {
+	QueryID uint64
+	Center  geo.Point
+	Window  TimeWindow
+	K       int
+}
+
+// KNNRecord is a kNN result with its distance.
+type KNNRecord struct {
+	ResultRecord
+	Dist2 float64
+}
+
+// KNNResult returns one worker's candidates.
+type KNNResult struct {
+	QueryID uint64
+	Records []KNNRecord
+}
+
+// CountQuery asks for a count of observations in a region and window.
+type CountQuery struct {
+	QueryID uint64
+	Rect    geo.Rect
+	Window  TimeWindow
+}
+
+// CountResult returns one worker's count.
+type CountResult struct {
+	QueryID uint64
+	Count   int
+}
+
+// TrajectoryQuery asks for a target's observation history.
+type TrajectoryQuery struct {
+	QueryID  uint64
+	TargetID uint64
+	Window   TimeWindow
+}
+
+// TrajectoryResult returns the target's records from one worker.
+type TrajectoryResult struct {
+	QueryID uint64
+	Records []ResultRecord
+}
+
+// ContinuousKind distinguishes the continuous-query types.
+type ContinuousKind int
+
+// Continuous query kinds.
+const (
+	ContinuousRange ContinuousKind = iota + 1
+	ContinuousCount
+)
+
+// InstallContinuous registers a standing query on a worker. Updates flow back
+// asynchronously as ContinuousUpdate messages.
+type InstallContinuous struct {
+	QueryID   uint64
+	Kind      ContinuousKind
+	Rect      geo.Rect
+	Threshold int // ContinuousCount: fire when count in Rect crosses this
+}
+
+// RemoveContinuous uninstalls a standing query.
+type RemoveContinuous struct {
+	QueryID uint64
+}
+
+// ContinuousUpdate is an incremental (+/-) answer delta: Positive lists
+// targets entering the query answer, Negative lists targets leaving it.
+type ContinuousUpdate struct {
+	QueryID  uint64
+	Time     time.Time
+	Positive []ResultRecord
+	Negative []ResultRecord
+	Count    int // ContinuousCount queries: current count
+}
+
+// AssignCameras tells a worker the set of cameras it owns (full replacement).
+// Cameras lists the worker's primary cameras; Replicas lists cameras whose
+// streams the worker additionally ingests as a standby copy. Queries answer
+// from primary data only, so replicas cost storage but never duplicate
+// results; on primary failure the coordinator promotes a replica by moving
+// the camera into its Cameras set, making the standby history authoritative.
+type AssignCameras struct {
+	Epoch    uint64
+	Cameras  []CameraInfo
+	Replicas []CameraInfo
+}
+
+// CameraInfo is the wire form of a camera registration.
+type CameraInfo struct {
+	ID      uint32
+	Pos     geo.Point
+	Orient  float64
+	HalfFOV float64
+	Range   float64
+}
+
+// AssignAck confirms a (re)assignment.
+type AssignAck struct {
+	Epoch    uint64
+	Accepted int
+}
+
+// TrackStart asks a worker to begin tracking a target seen in one of its
+// cameras, seeded with an appearance feature.
+type TrackStart struct {
+	TrackID uint64
+	Camera  uint32
+	Feature []float32
+	Time    time.Time
+}
+
+// TrackPrime warns a worker that a tracked target may appear on one of its
+// cameras soon (vision-graph handoff priming).
+type TrackPrime struct {
+	TrackID uint64
+	Cameras []uint32
+	Feature []float32
+	Expires time.Time
+}
+
+// TrackHandoff transfers ownership of a track to the worker that now sees it.
+type TrackHandoff struct {
+	TrackID    uint64
+	FromCamera uint32
+	ToCamera   uint32
+	Feature    []float32
+	Time       time.Time
+	Hops       int
+}
+
+// TrackUpdate streams a tracked target's position to the subscriber.
+type TrackUpdate struct {
+	TrackID uint64
+	Camera  uint32
+	Pos     geo.Point
+	Time    time.Time
+	Lost    bool // true when the track could not be re-acquired anywhere
+}
+
+// TrackStop cancels a track.
+type TrackStop struct {
+	TrackID uint64
+}
+
+// HeatmapQuery asks for an observation-density map: counts per square cell of
+// the given size, over a region and time window. The aggregation runs on the
+// workers; only the non-empty cells travel.
+type HeatmapQuery struct {
+	QueryID  uint64
+	Rect     geo.Rect
+	Window   TimeWindow
+	CellSize float64
+}
+
+// HeatCell is one non-empty heatmap cell, keyed by integer cell coordinates
+// (world position = cell index × cell size).
+type HeatCell struct {
+	CX, CY int32
+	Count  int64
+}
+
+// HeatmapResult returns one worker's partial density map.
+type HeatmapResult struct {
+	QueryID  uint64
+	CellSize float64
+	Cells    []HeatCell
+}
+
+// FilterQuery is a multi-predicate query: a spatial range plus optional
+// camera-set and target predicates. Workers plan the evaluation order
+// adaptively — spatial-index-first or target-history-first — using their
+// feedback-driven selectivity histogram (the adaptive-optimization design
+// the spatio-temporal streaming literature calls for).
+type FilterQuery struct {
+	QueryID   uint64
+	Rect      geo.Rect
+	Window    TimeWindow
+	TargetID  uint64   // 0 = any target
+	Cameras   []uint32 // empty = any camera
+	Limit     int
+	ForcePlan string // "" = adaptive; "spatial"/"target" force a plan (ablation)
+}
+
+// FilterResult returns the matching records plus the plan each worker chose
+// ("spatial" or "target"), for observability and the planner ablation.
+type FilterResult struct {
+	QueryID   uint64
+	Records   []ResultRecord
+	Plan      string
+	Truncated bool
+}
+
+// StatsQuery asks a worker for its metrics snapshot.
+type StatsQuery struct{}
+
+// StatsResult returns a worker's metric values by name.
+type StatsResult struct {
+	Node     NodeID
+	Counters map[string]int64
+	Gauges   map[string]int64
+}
+
+// Error is the wire form of a failed request.
+type Error struct {
+	Code    int
+	Message string
+}
+
+// Error codes.
+const (
+	CodeUnknown      = 1
+	CodeBadRequest   = 2
+	CodeNotFound     = 3
+	CodeUnavailable  = 4
+	CodeWrongEpoch   = 5
+	CodeCapacityFull = 6
+)

@@ -1,0 +1,81 @@
+package stcam_test
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"stcam"
+)
+
+// TestPublicAPIQuickstart exercises the same flow the quickstart example
+// documents, entirely through the public facade.
+func TestPublicAPIQuickstart(t *testing.T) {
+	ctx := context.Background()
+	cl, err := stcam.NewLocalCluster(2, nil, stcam.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	cams := []stcam.CameraInfo{
+		{ID: 1, Pos: stcam.Pt(250, 250), HalfFOV: math.Pi, Range: 400},
+		{ID: 2, Pos: stcam.Pt(750, 750), HalfFOV: math.Pi, Range: 400},
+	}
+	if err := cl.Coordinator.AddCameras(ctx, cams, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	at := stcam.SimStart
+	addr, ok := cl.Coordinator.RouteFor(1)
+	if !ok {
+		t.Fatal("no route for camera 1")
+	}
+	ing := stcam.NewIngester(cl.Coordinator, cl.Transport)
+	if _, err := ing.IngestDetections(ctx, []stcam.Detection{
+		{ObsID: 1, Camera: 1, Pos: stcam.Pt(200, 200), Time: at},
+		{ObsID: 2, Camera: 2, Pos: stcam.Pt(800, 800), Time: at.Add(time.Second)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = addr
+
+	window := stcam.TimeWindow{From: at, To: at.Add(time.Minute)}
+	recs, err := cl.Coordinator.Range(ctx, stcam.RectOf(0, 0, 1000, 1000), window, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("range = %d records, want 2", len(recs))
+	}
+	nn, err := cl.Coordinator.KNN(ctx, stcam.Pt(0, 0), window, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 1 || nn[0].ObsID != 1 {
+		t.Fatalf("knn = %+v", nn)
+	}
+}
+
+// TestPublicAPISimulation drives the simulation substrate through the facade.
+func TestPublicAPISimulation(t *testing.T) {
+	world := stcam.RectOf(0, 0, 500, 500)
+	w, err := stcam.NewWorld(stcam.WorldConfig{
+		World:      world,
+		NumObjects: 5,
+		Model:      &stcam.RandomWaypoint{World: world, MinSpeed: 5, MaxSpeed: 10},
+		Seed:       1,
+		FeatureDim: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := stcam.GridLayout(stcam.LayoutConfig{World: world, Seed: 1}, 3, 3)
+	det := stcam.NewDetector(stcam.DetectorConfig{Seed: 1, FeatureDim: 16})
+	total := 0
+	w.Run(10, net, det, func(_ int, obs []stcam.Detection) { total += len(obs) })
+	if total == 0 {
+		t.Error("simulation produced no detections")
+	}
+}
