@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race bench check fuzz
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: vet, build, and the full test suite under the race
+# detector.
+check: vet build race
+
+# bench regenerates the experiment tables at CI scale.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# fuzz gives each fuzz target a short budget (regression corpora always run
+# as part of `test`).
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzReadRPCFrame -fuzztime=10s ./internal/cluster/

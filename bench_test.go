@@ -101,6 +101,13 @@ func BenchmarkR12Trajectory(b *testing.B) {
 	b.ReportMetric(cell(tbl, 0, 4), "clean-mean-err-m")
 }
 
+func BenchmarkR14FaultSweep(b *testing.B) {
+	tbl := runExperiment(b, bench.R14FaultSweep)
+	// Headline: availability at 30% drop, resilience off (row 2) vs on (row 3).
+	b.ReportMetric(cell(tbl, 2, 3), "avail-30drop-off")
+	b.ReportMetric(cell(tbl, 3, 3), "avail-30drop-on")
+}
+
 func BenchmarkR13Planner(b *testing.B) {
 	tbl := runExperiment(b, bench.R13Planner)
 	// Headline: forced-spatial slowdown relative to adaptive (row 0, col 4

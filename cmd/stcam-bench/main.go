@@ -1,5 +1,5 @@
 // Command stcam-bench regenerates the evaluation suite from DESIGN.md §3:
-// every reconstructed table and figure (R1–R12), printed as aligned text
+// every reconstructed table and figure (R1–R14), printed as aligned text
 // tables. Results at the default scale are recorded in EXPERIMENTS.md.
 //
 //	stcam-bench                  # run everything at full scale

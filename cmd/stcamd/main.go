@@ -42,14 +42,21 @@ func run() error {
 		coordAddr = flag.String("coordinator", "127.0.0.1:7600", "coordinator address (workers)")
 		heartbeat = flag.Duration("heartbeat", time.Second, "worker heartbeat interval")
 		hbTimeout = flag.Duration("failure-timeout", 5*time.Second, "coordinator: declare workers dead after this silence")
-		retention = flag.Duration("retention", 0, "worker observation retention (0 = unlimited)")
-		sweep     = flag.Duration("sweep", time.Second, "coordinator: liveness sweep interval")
+		retention   = flag.Duration("retention", 0, "worker observation retention (0 = unlimited)")
+		sweep       = flag.Duration("sweep", time.Second, "coordinator: liveness sweep interval")
+		callTimeout = flag.Duration("call-timeout", 2*time.Second, "per-attempt RPC deadline for outbound calls (negative = unbounded)")
+		attempts    = flag.Int("call-attempts", 3, "RPC attempts per outbound call, including the first (1 = no retries)")
 	)
 	flag.Parse()
 
 	transport := stcam.NewTCP()
 	defer transport.Close()
-	opts := stcam.Options{HeartbeatTimeout: *hbTimeout, Retention: *retention}
+	opts := stcam.Options{
+		HeartbeatTimeout: *hbTimeout,
+		Retention:        *retention,
+		CallTimeout:      *callTimeout,
+		RetryPolicy:      stcam.Policy{MaxAttempts: *attempts},
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -135,5 +135,6 @@ func All() []Experiment {
 		{"R11", "ST-histogram convergence", R11Histogram},
 		{"R12", "Trajectory reconstruction vs detector noise", R12Trajectory},
 		{"R13", "Adaptive query planner ablation", R13Planner},
+		{"R14", "Query availability under injected faults", R14FaultSweep},
 	}
 }

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stcam/internal/wire"
+)
+
+// echoCluster serves a trivial handler at addr on an InProc transport and
+// returns the Faulty decorator wrapped around it.
+func echoCluster(t *testing.T, seed int64, addr string, handled *atomic.Int64) *Faulty {
+	t.Helper()
+	inner := NewInProc()
+	t.Cleanup(func() { inner.Close() })
+	_, err := inner.Serve(addr, func(ctx context.Context, from string, req any) (any, error) {
+		if handled != nil {
+			handled.Add(1)
+		}
+		return &wire.HeartbeatAck{Epoch: 1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFaulty(inner, seed)
+}
+
+func TestFaultyPassThroughWithoutProgram(t *testing.T) {
+	f := echoCluster(t, 1, "w1", nil)
+	resp, err := f.Call(context.Background(), "w1", &wire.Heartbeat{})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if _, ok := resp.(*wire.HeartbeatAck); !ok {
+		t.Fatalf("resp = %#v", resp)
+	}
+	if s := f.Injected(); s != (FaultStats{}) {
+		t.Errorf("faults injected without a program: %+v", s)
+	}
+}
+
+func TestFaultyDropDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		f := echoCluster(t, seed, "w1", nil)
+		f.SetProgram("w1", FaultProgram{Drop: 0.5})
+		out := make([]bool, 40)
+		for i := range out {
+			_, err := f.Call(context.Background(), "w1", &wire.Heartbeat{})
+			out[i] = err == nil
+		}
+		return out
+	}
+	a, b := pattern(7), pattern(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d: %v vs %v", i, a, b)
+		}
+	}
+	okA, okC := 0, 0
+	c := pattern(8)
+	same := true
+	for i := range a {
+		if a[i] {
+			okA++
+		}
+		if c[i] {
+			okC++
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical drop patterns")
+	}
+	// Roughly half should survive a 0.5 drop program.
+	for _, ok := range []int{okA, okC} {
+		if ok < 8 || ok > 32 {
+			t.Errorf("successes = %d/40 under Drop 0.5", ok)
+		}
+	}
+}
+
+func TestFaultyDropErrorIsUnreachable(t *testing.T) {
+	f := echoCluster(t, 1, "w1", nil)
+	f.SetProgram("w1", FaultProgram{Drop: 1})
+	_, err := f.Call(context.Background(), "w1", &wire.Heartbeat{})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	if s := f.Injected(); s.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", s.Dropped)
+	}
+}
+
+func TestFaultyPartitionAndClear(t *testing.T) {
+	f := echoCluster(t, 1, "w1", nil)
+	f.SetProgram("w1", FaultProgram{Partition: true})
+	if _, err := f.Call(context.Background(), "w1", &wire.Heartbeat{}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("partitioned call err = %v, want ErrUnreachable", err)
+	}
+	f.ClearProgram("w1")
+	if _, err := f.Call(context.Background(), "w1", &wire.Heartbeat{}); err != nil {
+		t.Fatalf("call after ClearProgram: %v", err)
+	}
+}
+
+func TestFaultyHangRespectsContext(t *testing.T) {
+	f := echoCluster(t, 1, "w1", nil)
+	f.SetProgram("w1", FaultProgram{Hang: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Call(ctx, "w1", &wire.Heartbeat{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Error("hang returned before the context expired")
+	}
+	if s := f.Injected(); s.Hung != 1 {
+		t.Errorf("Hung = %d, want 1", s.Hung)
+	}
+}
+
+func TestFaultyDuplicateDeliversTwice(t *testing.T) {
+	var handled atomic.Int64
+	f := echoCluster(t, 1, "w1", &handled)
+	f.SetProgram("w1", FaultProgram{Duplicate: 1})
+	if _, err := f.Call(context.Background(), "w1", &wire.Heartbeat{}); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if n := handled.Load(); n != 2 {
+		t.Errorf("handler invocations = %d, want 2", n)
+	}
+	if s := f.Injected(); s.Duplicated != 1 {
+		t.Errorf("Duplicated = %d, want 1", s.Duplicated)
+	}
+}
+
+func TestFaultyLatencyDelays(t *testing.T) {
+	f := echoCluster(t, 1, "w1", nil)
+	f.SetProgram("w1", FaultProgram{Latency: 20 * time.Millisecond})
+	start := time.Now()
+	if _, err := f.Call(context.Background(), "w1", &wire.Heartbeat{}); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("call took %v, want >= 20ms", d)
+	}
+	if s := f.Injected(); s.Delayed != 1 {
+		t.Errorf("Delayed = %d, want 1", s.Delayed)
+	}
+}
+
+// TestFaultyUnderResilient is the decorator-stacking contract: a Resilient
+// wrapped around a Faulty link with heavy drop still completes calls.
+func TestFaultyUnderResilient(t *testing.T) {
+	f := echoCluster(t, 3, "w1", nil)
+	f.SetProgram("w1", FaultProgram{Drop: 0.6})
+	r := NewResilient(f, Policy{
+		MaxAttempts:      8,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       2 * time.Millisecond,
+		FailureThreshold: -1,
+	})
+	for i := 0; i < 20; i++ {
+		if _, err := r.Call(context.Background(), "w1", &wire.Heartbeat{}); err != nil {
+			t.Fatalf("call %d failed through resilience layer: %v", i, err)
+		}
+	}
+	if s := r.Stats(); s.Retries == 0 {
+		t.Error("no retries recorded under a 0.6 drop program")
+	}
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"stcam/internal/wire"
+)
+
+// FuzzReadRPCFrame throws arbitrary bytes at the TCP frame reader: it must
+// either decode a frame or return an error — never panic, never over-allocate
+// past the frame-size cap — and every valid frame it does decode must
+// round-trip back to identical bytes.
+func FuzzReadRPCFrame(f *testing.F) {
+	// Seed with a valid frame, its truncations, and classic corruptions.
+	valid, err := appendRPCFrame(nil, 42, 1, &wire.Heartbeat{Node: "w1", Seq: 9, Load: 1.5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:4])             // header only
+	f.Add(valid[:len(valid)-2])  // truncated body
+	f.Add([]byte{})              // empty
+	f.Add([]byte{0, 0, 0, 0, 0}) // zero-length frame
+	huge := make([]byte, 8)
+	binary.BigEndian.PutUint32(huge, 0xFFFFFFFF) // oversized declared length
+	f.Add(huge)
+	flipped := append([]byte(nil), valid...)
+	flipped[13] = 200 // unknown message kind
+	f.Add(flipped)
+	badLen := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(badLen, uint32(len(valid))) // length > actual payload
+	f.Add(badLen)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqID, flags, env, err := readRPCFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode to a frame that decodes equal:
+		// the reader and writer agree on the format.
+		frame, err := appendRPCFrame(nil, reqID, flags, env.Payload)
+		if err != nil {
+			t.Fatalf("decoded payload %T does not re-encode: %v", env.Payload, err)
+		}
+		reqID2, flags2, env2, err := readRPCFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if reqID2 != reqID || flags2 != flags || env2.Kind != env.Kind {
+			t.Fatalf("round trip changed header: (%d,%d,%v) vs (%d,%d,%v)",
+				reqID, flags, env.Kind, reqID2, flags2, env2.Kind)
+		}
+		if !reflect.DeepEqual(env2.Payload, env.Payload) {
+			t.Fatalf("round trip changed payload:\n got  %#v\n want %#v", env2.Payload, env.Payload)
+		}
+	})
+}

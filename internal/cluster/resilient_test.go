@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"stcam/internal/wire"
+)
+
+// scripted is a fake Transport whose Call delegates to a script function,
+// used to drive the Resilient decorator through exact failure sequences.
+type scripted struct {
+	call func(ctx context.Context, addr string, req any) (any, error)
+}
+
+func (s *scripted) Serve(addr string, h Handler) (Server, error) { return nil, nil }
+func (s *scripted) Stats() TransportStats                        { return TransportStats{} }
+func (s *scripted) Close() error                                 { return nil }
+func (s *scripted) Call(ctx context.Context, addr string, req any) (any, error) {
+	return s.call(ctx, addr, req)
+}
+
+// fakeClock drives Resilient's injected now/sleep: sleeps advance the clock
+// instantly and are recorded, so backoff schedules are asserted exactly.
+type fakeClock struct {
+	t      time.Time
+	sleeps []time.Duration
+}
+
+func (c *fakeClock) now() time.Time { return c.t }
+func (c *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	c.sleeps = append(c.sleeps, d)
+	c.t = c.t.Add(d)
+	return ctx.Err()
+}
+
+func newTestResilient(inner Transport, p Policy) (*Resilient, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewResilient(inner, p)
+	r.now = clk.now
+	r.sleep = clk.sleep
+	return r, clk
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	want := Policy{
+		MaxAttempts:       3,
+		PerAttemptTimeout: 2 * time.Second,
+		BaseBackoff:       10 * time.Millisecond,
+		MaxBackoff:        500 * time.Millisecond,
+		Multiplier:        2,
+		Jitter:            0.2,
+		Seed:              1,
+		FailureThreshold:  5,
+		Cooldown:          time.Second,
+	}
+	if p != want {
+		t.Errorf("defaults = %+v, want %+v", p, want)
+	}
+	// Negative values disable rather than defaulting.
+	d := Policy{MaxAttempts: -1, Jitter: -1, FailureThreshold: -1}.withDefaults()
+	if d.MaxAttempts != 1 || d.Jitter != 0 || d.FailureThreshold != -1 {
+		t.Errorf("negative fields resolved to %+v", d)
+	}
+}
+
+func TestPolicyBackoffSchedules(t *testing.T) {
+	ms := time.Millisecond
+	cases := []struct {
+		name string
+		p    Policy
+		want []time.Duration // backoff before retry 1, 2, 3, ...
+	}{
+		{
+			name: "default doubling capped",
+			p:    Policy{}.withDefaults(),
+			want: []time.Duration{10 * ms, 20 * ms, 40 * ms, 80 * ms, 160 * ms, 320 * ms, 500 * ms, 500 * ms},
+		},
+		{
+			name: "constant",
+			p:    Policy{BaseBackoff: 25 * ms, Multiplier: 1}.withDefaults(),
+			want: []time.Duration{25 * ms, 25 * ms, 25 * ms, 25 * ms},
+		},
+		{
+			name: "base above cap clamps to cap",
+			p:    Policy{BaseBackoff: 50 * ms, MaxBackoff: 20 * ms}.withDefaults(),
+			want: []time.Duration{50 * ms, 50 * ms}, // MaxBackoff is raised to BaseBackoff
+		},
+		{
+			name: "aggressive multiplier",
+			p:    Policy{BaseBackoff: ms, Multiplier: 10, MaxBackoff: 300 * ms}.withDefaults(),
+			want: []time.Duration{ms, 10 * ms, 100 * ms, 300 * ms, 300 * ms},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for i, want := range tc.want {
+				if got := tc.p.backoff(i + 1); got != want {
+					t.Errorf("backoff(%d) = %v, want %v", i+1, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	const threshold = 3
+	cooldown := time.Second
+	now := time.Unix(0, 0)
+	b := &breaker{}
+
+	// Closed: failures below the threshold keep admitting calls.
+	for i := 0; i < threshold-1; i++ {
+		if !b.allow(now, cooldown) {
+			t.Fatalf("closed breaker denied call %d", i)
+		}
+		if b.onFailure(now, threshold) {
+			t.Fatalf("breaker opened after %d failures, threshold %d", i+1, threshold)
+		}
+	}
+	// The threshold-th failure opens it.
+	if !b.allow(now, cooldown) {
+		t.Fatal("closed breaker denied the threshold-crossing call")
+	}
+	if !b.onFailure(now, threshold) {
+		t.Fatal("breaker did not open at the threshold")
+	}
+	// Open: calls are rejected until the cooldown elapses.
+	if b.allow(now.Add(cooldown/2), cooldown) {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+	// After the cooldown, exactly one half-open probe is admitted.
+	probeAt := now.Add(cooldown)
+	if !b.allow(probeAt, cooldown) {
+		t.Fatal("breaker denied the half-open probe after cooldown")
+	}
+	if b.allow(probeAt, cooldown) {
+		t.Fatal("breaker admitted a second concurrent probe")
+	}
+	// A failed probe reopens immediately (no threshold accumulation).
+	if !b.onFailure(probeAt, threshold) {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	if b.allow(probeAt.Add(cooldown/2), cooldown) {
+		t.Fatal("reopened breaker admitted a call inside the new cooldown")
+	}
+	// A successful probe after the next cooldown closes it fully.
+	again := probeAt.Add(cooldown)
+	if !b.allow(again, cooldown) {
+		t.Fatal("breaker denied the second probe")
+	}
+	b.onSuccess()
+	for i := 0; i < threshold-1; i++ {
+		if !b.allow(again, cooldown) {
+			t.Fatal("closed breaker denied calls after successful probe")
+		}
+		if b.onFailure(again, threshold) {
+			t.Fatal("failure count was not reset by the successful probe")
+		}
+	}
+}
+
+func TestResilientRetriesThenSucceeds(t *testing.T) {
+	calls := 0
+	tr := &scripted{call: func(ctx context.Context, addr string, req any) (any, error) {
+		calls++
+		if calls < 3 {
+			return nil, ErrUnreachable
+		}
+		return &wire.HeartbeatAck{Epoch: 7}, nil
+	}}
+	r, clk := newTestResilient(tr, Policy{
+		MaxAttempts: 5,
+		BaseBackoff: 10 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      -1, // exact schedule
+	})
+	resp, err := r.Call(context.Background(), "w1", &wire.Heartbeat{})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if ack, ok := resp.(*wire.HeartbeatAck); !ok || ack.Epoch != 7 {
+		t.Fatalf("resp = %#v", resp)
+	}
+	if calls != 3 {
+		t.Errorf("attempts = %d, want 3", calls)
+	}
+	wantSleeps := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(clk.sleeps) != len(wantSleeps) {
+		t.Fatalf("sleeps = %v, want %v", clk.sleeps, wantSleeps)
+	}
+	for i, w := range wantSleeps {
+		if clk.sleeps[i] != w {
+			t.Errorf("sleep %d = %v, want %v", i, clk.sleeps[i], w)
+		}
+	}
+	if s := r.Stats(); s.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", s.Retries)
+	}
+}
+
+func TestResilientExhaustsAttempts(t *testing.T) {
+	calls := 0
+	tr := &scripted{call: func(ctx context.Context, addr string, req any) (any, error) {
+		calls++
+		return nil, ErrUnreachable
+	}}
+	r, _ := newTestResilient(tr, Policy{MaxAttempts: 4, FailureThreshold: -1, Jitter: -1})
+	_, err := r.Call(context.Background(), "w1", &wire.Heartbeat{})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	if calls != 4 {
+		t.Errorf("attempts = %d, want 4", calls)
+	}
+}
+
+func TestResilientRemoteErrorNotRetried(t *testing.T) {
+	calls := 0
+	tr := &scripted{call: func(ctx context.Context, addr string, req any) (any, error) {
+		calls++
+		return nil, &RemoteError{Code: wire.CodeBadRequest, Message: "no"}
+	}}
+	r, _ := newTestResilient(tr, Policy{MaxAttempts: 5})
+	_, err := r.Call(context.Background(), "w1", &wire.Heartbeat{})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if calls != 1 {
+		t.Errorf("remote error was retried: %d attempts", calls)
+	}
+	if s := r.Stats(); s.Retries != 0 {
+		t.Errorf("Retries = %d, want 0", s.Retries)
+	}
+}
+
+func TestResilientPerAttemptTimeout(t *testing.T) {
+	tr := &scripted{call: func(ctx context.Context, addr string, req any) (any, error) {
+		<-ctx.Done() // hang until the per-attempt deadline
+		return nil, ctx.Err()
+	}}
+	r, _ := newTestResilient(tr, Policy{
+		MaxAttempts:       2,
+		PerAttemptTimeout: 5 * time.Millisecond,
+		BaseBackoff:       time.Millisecond,
+		FailureThreshold:  -1,
+	})
+	_, err := r.Call(context.Background(), "w1", &wire.Heartbeat{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	s := r.Stats()
+	if s.Timeouts != 2 {
+		t.Errorf("Timeouts = %d, want 2", s.Timeouts)
+	}
+	if s.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", s.Retries)
+	}
+}
+
+func TestResilientCallerContextWins(t *testing.T) {
+	calls := 0
+	tr := &scripted{call: func(ctx context.Context, addr string, req any) (any, error) {
+		calls++
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	r, _ := newTestResilient(tr, Policy{
+		MaxAttempts:       10,
+		PerAttemptTimeout: time.Hour, // the parent deadline must cut in first
+		FailureThreshold:  -1,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := r.Call(ctx, "w1", &wire.Heartbeat{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if calls != 1 {
+		t.Errorf("attempts after caller gave up: %d, want 1", calls)
+	}
+}
+
+func TestResilientBreakerOpensAndRecovers(t *testing.T) {
+	healthy := false
+	calls := 0
+	tr := &scripted{call: func(ctx context.Context, addr string, req any) (any, error) {
+		calls++
+		if healthy {
+			return &wire.HeartbeatAck{}, nil
+		}
+		return nil, ErrUnreachable
+	}}
+	r, clk := newTestResilient(tr, Policy{
+		MaxAttempts:      1,
+		FailureThreshold: 2,
+		Cooldown:         time.Second,
+		Jitter:           -1,
+	})
+	ctx := context.Background()
+
+	// Two consecutive failures open the breaker.
+	r.Call(ctx, "w1", &wire.Heartbeat{}) //nolint:errcheck
+	r.Call(ctx, "w1", &wire.Heartbeat{}) //nolint:errcheck
+	if !r.BreakerOpen("w1") {
+		t.Fatal("breaker not open after threshold failures")
+	}
+	if s := r.Stats(); s.BreakerOpens != 1 {
+		t.Errorf("BreakerOpens = %d, want 1", s.BreakerOpens)
+	}
+
+	// Inside the cooldown: fast failure, no transport attempt.
+	before := calls
+	_, err := r.Call(ctx, "w1", &wire.Heartbeat{})
+	if !errors.Is(err, ErrCircuitOpen) || !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("fast-fail err = %v, want ErrCircuitOpen wrapping ErrUnreachable", err)
+	}
+	if calls != before {
+		t.Error("open breaker still hit the transport")
+	}
+	if s := r.Stats(); s.BreakerFastFails != 1 {
+		t.Errorf("BreakerFastFails = %d, want 1", s.BreakerFastFails)
+	}
+
+	// After the cooldown the probe goes through; a healthy peer closes it.
+	healthy = true
+	clk.t = clk.t.Add(2 * time.Second)
+	if _, err := r.Call(ctx, "w1", &wire.Heartbeat{}); err != nil {
+		t.Fatalf("probe call: %v", err)
+	}
+	if r.BreakerOpen("w1") {
+		t.Error("breaker still open after successful probe")
+	}
+
+	// Breakers are per-peer: w1's history never affected w2.
+	if r.BreakerOpen("w2") {
+		t.Error("unrelated peer's breaker open")
+	}
+}
+
+func TestResilientTripBreaker(t *testing.T) {
+	tr := &scripted{call: func(ctx context.Context, addr string, req any) (any, error) {
+		return &wire.HeartbeatAck{}, nil
+	}}
+	r, _ := newTestResilient(tr, Policy{})
+	r.TripBreaker("w9")
+	if !r.BreakerOpen("w9") {
+		t.Fatal("TripBreaker did not open the breaker")
+	}
+	if _, err := r.Call(context.Background(), "w9", &wire.Heartbeat{}); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+}
+
+func TestResilientJitterDeterministic(t *testing.T) {
+	schedule := func() []time.Duration {
+		tr := &scripted{call: func(ctx context.Context, addr string, req any) (any, error) {
+			return nil, ErrUnreachable
+		}}
+		r, clk := newTestResilient(tr, Policy{MaxAttempts: 4, Seed: 42, FailureThreshold: -1})
+		r.Call(context.Background(), "w1", &wire.Heartbeat{}) //nolint:errcheck
+		return clk.sleeps
+	}
+	a, b := schedule(), schedule()
+	if len(a) != 3 {
+		t.Fatalf("sleeps = %v, want 3 entries", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("seeded jitter not reproducible: %v vs %v", a, b)
+		}
+		pre := Policy{}.withDefaults().backoff(i + 1)
+		if a[i] > pre || a[i] < time.Duration(float64(pre)*0.8) {
+			t.Errorf("jittered sleep %d = %v outside [0.8×%v, %v]", i, a[i], pre, pre)
+		}
+	}
+}

@@ -138,12 +138,30 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 			if resp == nil {
 				resp = &wire.Error{Code: wire.CodeUnknown, Message: "handler returned no response"}
 			}
+			// Marshal the whole frame before touching the shared writer: a
+			// response that fails to encode must not leave a half-written
+			// frame that would garble every later response on this
+			// connection. Encoding failures turn into an Error response;
+			// write failures mean the stream state is unknown, so the only
+			// safe move is to drop the connection and let the client redial.
+			frame, err := appendRPCFrame(nil, reqID, flagResponse, resp)
+			if err != nil {
+				frame, err = appendRPCFrame(nil, reqID, flagResponse,
+					&wire.Error{Code: wire.CodeUnknown, Message: "response encoding failed: " + err.Error()})
+				if err != nil {
+					conn.Close()
+					return
+				}
+			}
 			writeMu.Lock()
 			defer writeMu.Unlock()
-			if err := writeRPCFrame(w, reqID, flagResponse, resp); err != nil {
+			if _, err := w.Write(frame); err != nil {
+				conn.Close()
 				return
 			}
-			w.Flush()
+			if err := w.Flush(); err != nil {
+				conn.Close()
+			}
 		}()
 	}
 }
@@ -316,29 +334,37 @@ func (c *tcpClient) call(ctx context.Context, req any) (any, error) {
 	}
 }
 
-// writeRPCFrame writes one framed RPC message.
-func writeRPCFrame(w io.Writer, reqID uint64, flags byte, payload any) error {
+// appendRPCFrame marshals one framed RPC message onto buf. Encoding happens
+// entirely off the wire, so a failure here never corrupts a connection.
+func appendRPCFrame(buf []byte, reqID uint64, flags byte, payload any) ([]byte, error) {
 	kind := wire.KindOf(payload)
 	if kind == 0 {
-		return &RemoteError{Code: wire.CodeBadRequest, Message: fmt.Sprintf("unknown message type %T", payload)}
+		return nil, &RemoteError{Code: wire.CodeBadRequest, Message: fmt.Sprintf("unknown message type %T", payload)}
 	}
 	body, err := wire.Marshal(kind, payload)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	total := rpcHeaderLen + len(body)
 	if total > wire.MaxFrameSize {
-		return wire.ErrFrameTooLarge
+		return nil, wire.ErrFrameTooLarge
 	}
 	var hdr [4 + rpcHeaderLen]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(total))
 	binary.BigEndian.PutUint64(hdr[4:12], reqID)
 	hdr[12] = flags
 	hdr[13] = byte(kind)
-	if _, err := w.Write(hdr[:]); err != nil {
+	buf = append(buf, hdr[:]...)
+	return append(buf, body...), nil
+}
+
+// writeRPCFrame marshals and writes one framed RPC message.
+func writeRPCFrame(w io.Writer, reqID uint64, flags byte, payload any) error {
+	frame, err := appendRPCFrame(nil, reqID, flags, payload)
+	if err != nil {
 		return err
 	}
-	_, err = w.Write(body)
+	_, err = w.Write(frame)
 	return err
 }
 

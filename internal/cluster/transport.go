@@ -38,12 +38,19 @@ type Transport interface {
 }
 
 // TransportStats counts traffic through a transport. Experiment R3 reads
-// Calls to compare handoff message complexity across strategies.
+// Calls to compare handoff message complexity across strategies. The
+// resilience counters are zero unless the transport is wrapped in a
+// Resilient decorator, which fills them in its Stats snapshot.
 type TransportStats struct {
 	Calls    int64
 	Errors   int64
 	BytesOut int64
 	BytesIn  int64
+
+	Retries          int64 // attempts beyond the first, per Call
+	Timeouts         int64 // attempts that hit the per-attempt deadline
+	BreakerOpens     int64 // closed/half-open → open breaker transitions
+	BreakerFastFails int64 // calls rejected by an open breaker
 }
 
 // ErrUnreachable is returned for calls to addresses with no live server.

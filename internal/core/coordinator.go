@@ -30,6 +30,7 @@ const routeSlack = 25.0
 type Coordinator struct {
 	addr        string
 	transport   cluster.Transport
+	rpc         *cluster.Resilient // resilience layer for all outbound calls
 	opts        Options
 	reg         *metrics.Registry
 	membership  *cluster.Membership
@@ -82,11 +83,13 @@ func NewCoordinator(addr string, transport cluster.Transport, p cluster.Partitio
 	if p == nil {
 		p = &cluster.SpatialPartitioner{}
 	}
+	reg := metrics.NewRegistry()
 	return &Coordinator{
 		addr:        addr,
 		transport:   transport,
+		rpc:         resilientFor(transport, opts, reg),
 		opts:        opts,
-		reg:         metrics.NewRegistry(),
+		reg:         reg,
 		membership:  cluster.NewMembership(opts.HeartbeatTimeout),
 		partitioner: p,
 		network:     camera.NewNetwork(),
@@ -159,7 +162,10 @@ func (c *Coordinator) handle(ctx context.Context, _ string, req any) (any, error
 	case *wire.Heartbeat:
 		known := c.membership.Heartbeat(m, time.Now())
 		if !known {
-			return &wire.Error{Code: wire.CodeNotFound, Message: "heartbeat from unregistered node"}, nil
+			// Distinguishable "must re-register" answer: the worker resends
+			// Register (coordinator-restart recovery) instead of hammering
+			// heartbeats that never count.
+			return &wire.Error{Code: wire.CodeMustRegister, Message: "heartbeat from unregistered node; re-register"}, nil
 		}
 		return &wire.HeartbeatAck{Epoch: c.Epoch()}, nil
 	case *wire.ContinuousUpdate:
@@ -172,11 +178,11 @@ func (c *Coordinator) handle(ctx context.Context, _ string, req any) (any, error
 		c.onTrackHandoff(m)
 		return &wire.AssignAck{}, nil
 	case *wire.RangeQuery:
-		recs, err := c.Range(ctx, m.Rect, m.Window, m.Limit)
+		recs, meta, err := c.RangeMeta(ctx, m.Rect, m.Window, m.Limit)
 		if err != nil {
 			return &wire.Error{Code: wire.CodeBadRequest, Message: err.Error()}, nil
 		}
-		return &wire.RangeResult{QueryID: m.QueryID, Records: recs}, nil
+		return &wire.RangeResult{QueryID: m.QueryID, Records: recs, Asked: meta.Asked, Answered: meta.Answered}, nil
 	case *wire.KNNQuery:
 		recs, err := c.KNN(ctx, m.Center, m.Window, m.K)
 		if err != nil {
@@ -228,7 +234,7 @@ func (c *Coordinator) handle(ctx context.Context, _ string, req any) (any, error
 		var primaryResp any
 		var primaryErr error
 		for i, addr := range addrs {
-			resp, err := c.transport.Call(ctx, addr, m)
+			resp, err := c.rpc.Call(ctx, addr, m)
 			if i == 0 {
 				primaryResp, primaryErr = resp, err
 			}
@@ -321,7 +327,7 @@ func (c *Coordinator) Reassign(ctx context.Context) error {
 	var firstErr error
 	for _, n := range nodes {
 		msg := &wire.AssignCameras{Epoch: epoch, Cameras: camsByNode[n], Replicas: replicasByNode[n]}
-		if _, err := c.transport.Call(ctx, addrByNode[n], msg); err != nil && firstErr == nil {
+		if _, err := c.rpc.Call(ctx, addrByNode[n], msg); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("core: assign to %s: %w", n, err)
 		}
 	}
@@ -474,12 +480,22 @@ func (c *Coordinator) addrsOf(nodes map[wire.NodeID]bool) []string {
 // Range runs a distributed spatio-temporal range query and merges the
 // results (time order, ObsID tie-break).
 func (c *Coordinator) Range(ctx context.Context, rect geo.Rect, window wire.TimeWindow, limit int) ([]wire.ResultRecord, error) {
+	recs, _, err := c.RangeMeta(ctx, rect, window, limit)
+	return recs, err
+}
+
+// RangeMeta is Range plus answer-completeness metadata: how many workers the
+// query fanned out to and how many answered before their deadline. A
+// completeness below 1.0 means the merged records are a partial view taken
+// during a failure or partition.
+func (c *Coordinator) RangeMeta(ctx context.Context, rect geo.Rect, window wire.TimeWindow, limit int) ([]wire.ResultRecord, QueryMeta, error) {
 	start := time.Now()
 	defer func() { c.reg.Histogram("query.range").Observe(time.Since(start)) }()
 	q := &wire.RangeQuery{QueryID: c.nextQueryID.Add(1), Rect: rect, Window: window, Limit: limit}
 	workers := c.workersFor(rect)
+	resps, meta := c.scatter(ctx, workers, q)
 	var merged []wire.ResultRecord
-	for _, resp := range c.scatter(ctx, workers, q) {
+	for _, resp := range resps {
 		if rr, ok := resp.(*wire.RangeResult); ok {
 			merged = append(merged, rr.Records...)
 		}
@@ -488,7 +504,7 @@ func (c *Coordinator) Range(ctx context.Context, rect geo.Rect, window wire.Time
 	if limit > 0 && len(merged) > limit {
 		merged = merged[:limit]
 	}
-	return merged, nil
+	return merged, meta, nil
 }
 
 // KNN runs a distributed k-nearest query: every worker returns its local
@@ -500,8 +516,9 @@ func (c *Coordinator) KNN(ctx context.Context, center geo.Point, window wire.Tim
 	start := time.Now()
 	defer func() { c.reg.Histogram("query.knn").Observe(time.Since(start)) }()
 	q := &wire.KNNQuery{QueryID: c.nextQueryID.Add(1), Center: center, Window: window, K: k}
+	resps, _ := c.scatter(ctx, c.allWorkers(), q)
 	var merged []wire.KNNRecord
-	for _, resp := range c.scatter(ctx, c.allWorkers(), q) {
+	for _, resp := range resps {
 		if kr, ok := resp.(*wire.KNNResult); ok {
 			merged = append(merged, kr.Records...)
 		}
@@ -520,14 +537,22 @@ func (c *Coordinator) KNN(ctx context.Context, center geo.Point, window wire.Tim
 
 // Count runs a distributed count query.
 func (c *Coordinator) Count(ctx context.Context, rect geo.Rect, window wire.TimeWindow) (int, error) {
+	n, _, err := c.CountMeta(ctx, rect, window)
+	return n, err
+}
+
+// CountMeta is Count plus answer-completeness metadata; a completeness below
+// 1.0 means the total undercounts (some workers never answered).
+func (c *Coordinator) CountMeta(ctx context.Context, rect geo.Rect, window wire.TimeWindow) (int, QueryMeta, error) {
 	q := &wire.CountQuery{QueryID: c.nextQueryID.Add(1), Rect: rect, Window: window}
+	resps, meta := c.scatter(ctx, c.workersFor(rect), q)
 	total := 0
-	for _, resp := range c.scatter(ctx, c.workersFor(rect), q) {
+	for _, resp := range resps {
 		if cr, ok := resp.(*wire.CountResult); ok {
 			total += cr.Count
 		}
 	}
-	return total, nil
+	return total, meta, nil
 }
 
 // Filter runs a distributed multi-predicate query (range × cameras ×
@@ -537,7 +562,8 @@ func (c *Coordinator) Filter(ctx context.Context, q wire.FilterQuery) ([]wire.Re
 	q.QueryID = c.nextQueryID.Add(1)
 	var merged []wire.ResultRecord
 	plans := make(map[string]int)
-	for _, resp := range c.scatter(ctx, c.workersFor(q.Rect), &q) {
+	resps, _ := c.scatter(ctx, c.workersFor(q.Rect), &q)
+	for _, resp := range resps {
 		if fr, ok := resp.(*wire.FilterResult); ok {
 			merged = append(merged, fr.Records...)
 			plans[fr.Plan]++
@@ -559,7 +585,8 @@ func (c *Coordinator) Heatmap(ctx context.Context, rect geo.Rect, window wire.Ti
 	}
 	q := &wire.HeatmapQuery{QueryID: c.nextQueryID.Add(1), Rect: rect, Window: window, CellSize: cellSize}
 	acc := make(map[[2]int32]int64)
-	for _, resp := range c.scatter(ctx, c.workersFor(rect), q) {
+	resps, _ := c.scatter(ctx, c.workersFor(rect), q)
+	for _, resp := range resps {
 		hr, ok := resp.(*wire.HeatmapResult)
 		if !ok {
 			continue
@@ -587,7 +614,8 @@ func (c *Coordinator) Heatmap(ctx context.Context, rect geo.Rect, window wire.Ti
 func (c *Coordinator) Trajectory(ctx context.Context, targetID uint64, window wire.TimeWindow) ([]wire.ResultRecord, error) {
 	q := &wire.TrajectoryQuery{QueryID: c.nextQueryID.Add(1), TargetID: targetID, Window: window}
 	var merged []wire.ResultRecord
-	for _, resp := range c.scatter(ctx, c.allWorkers(), q) {
+	resps, _ := c.scatter(ctx, c.allWorkers(), q)
+	for _, resp := range resps {
 		if tr, ok := resp.(*wire.TrajectoryResult); ok {
 			merged = append(merged, tr.Records...)
 		}
@@ -596,12 +624,15 @@ func (c *Coordinator) Trajectory(ctx context.Context, targetID uint64, window wi
 	return merged, nil
 }
 
-// scatter fans a request out to workers concurrently and collects the
-// non-error responses. Unreachable workers degrade the answer rather than
-// failing it (availability over completeness during partitions).
-func (c *Coordinator) scatter(ctx context.Context, addrs []string, req any) []any {
+// scatter fans a request out to workers concurrently through the resilience
+// layer and collects the non-error responses, reporting how many of the asked
+// workers actually answered. Unreachable workers degrade the answer rather
+// than failing it (availability over completeness during partitions); callers
+// that care inspect the returned QueryMeta.
+func (c *Coordinator) scatter(ctx context.Context, addrs []string, req any) ([]any, QueryMeta) {
+	meta := QueryMeta{Asked: len(addrs)}
 	if len(addrs) == 0 {
-		return nil
+		return nil, meta
 	}
 	out := make([]any, len(addrs))
 	var wg sync.WaitGroup
@@ -609,7 +640,7 @@ func (c *Coordinator) scatter(ctx context.Context, addrs []string, req any) []an
 		wg.Add(1)
 		go func(i int, addr string) {
 			defer wg.Done()
-			resp, err := c.transport.Call(ctx, addr, req)
+			resp, err := c.rpc.Call(ctx, addr, req)
 			if err != nil {
 				c.reg.Counter("scatter.errors").Inc()
 				return
@@ -624,7 +655,14 @@ func (c *Coordinator) scatter(ctx context.Context, addrs []string, req any) []an
 			ok = append(ok, r)
 		}
 	}
-	return ok
+	meta.Answered = len(ok)
+	c.reg.Counter("scatter.asked").Add(int64(meta.Asked))
+	c.reg.Counter("scatter.answered").Add(int64(meta.Answered))
+	if meta.Answered < meta.Asked {
+		c.reg.Counter("scatter.partial").Inc()
+	}
+	c.reg.Gauge("scatter.completeness_pm").Set(int64(meta.Completeness() * 1000))
+	return ok, meta
 }
 
 func sortWireRecords(rs []wire.ResultRecord) {
@@ -660,7 +698,7 @@ func (c *Coordinator) InstallContinuous(ctx context.Context, kind wire.Continuou
 func (c *Coordinator) installContinuousOnWorkers(ctx context.Context, cc *coordContinuous) {
 	addrs := c.workersFor(cc.install.Rect)
 	for _, addr := range addrs {
-		if _, err := c.transport.Call(ctx, addr, &cc.install); err != nil {
+		if _, err := c.rpc.Call(ctx, addr, &cc.install); err != nil {
 			c.reg.Counter("continuous.install_errors").Inc()
 		}
 	}
@@ -678,7 +716,7 @@ func (c *Coordinator) RemoveContinuous(ctx context.Context, id uint64) error {
 		return fmt.Errorf("core: continuous query %d not found", id)
 	}
 	for _, addr := range c.allWorkers() {
-		c.transport.Call(ctx, addr, &wire.RemoveContinuous{QueryID: id}) //nolint:errcheck // best-effort uninstall
+		c.rpc.Call(ctx, addr, &wire.RemoveContinuous{QueryID: id}) //nolint:errcheck // best-effort uninstall
 	}
 	close(cc.ch)
 	c.reg.Gauge("continuous.active").Set(int64(len(c.continuous)))
@@ -721,7 +759,7 @@ func (c *Coordinator) StartTrack(ctx context.Context, cam uint32, feature []floa
 	tr.owner = node
 	c.tracks[id] = tr
 	c.mu.Unlock()
-	if _, err := c.transport.Call(ctx, addr, &wire.TrackStart{TrackID: id, Camera: cam, Feature: feature, Time: at}); err != nil {
+	if _, err := c.rpc.Call(ctx, addr, &wire.TrackStart{TrackID: id, Camera: cam, Feature: feature, Time: at}); err != nil {
 		c.mu.Lock()
 		delete(c.tracks, id)
 		c.mu.Unlock()
@@ -744,7 +782,7 @@ func (c *Coordinator) StopTrack(ctx context.Context, id uint64) error {
 		return fmt.Errorf("core: track %d not found", id)
 	}
 	for _, addr := range c.allWorkers() {
-		c.transport.Call(ctx, addr, &wire.TrackStop{TrackID: id}) //nolint:errcheck // best-effort cancel
+		c.rpc.Call(ctx, addr, &wire.TrackStop{TrackID: id}) //nolint:errcheck // best-effort cancel
 	}
 	close(tr.ch)
 	c.reg.Gauge("tracks.active").Set(int64(c.trackCount()))
@@ -867,7 +905,7 @@ func (c *Coordinator) beginHandoff(m *wire.TrackHandoff) {
 		}
 		p := *prime
 		p.Cameras = cams
-		if _, err := c.transport.Call(ctx, mem.Addr, &p); err != nil {
+		if _, err := c.rpc.Call(ctx, mem.Addr, &p); err != nil {
 			c.reg.Counter("handoff.prime_errors").Inc()
 		} else {
 			c.reg.Counter("handoff.primes_sent").Inc()
@@ -907,7 +945,7 @@ func (c *Coordinator) completeHandoff(m *wire.TrackHandoff) {
 	// Stop the previous owner's resident copy when ownership moved.
 	if prevOwner != "" && prevOwner != newOwner {
 		if mem, k := c.membership.Get(prevOwner); k && mem.Alive {
-			c.transport.Call(context.Background(), mem.Addr, &wire.TrackStop{TrackID: m.TrackID}) //nolint:errcheck // best-effort
+			c.rpc.Call(context.Background(), mem.Addr, &wire.TrackStop{TrackID: m.TrackID}) //nolint:errcheck // best-effort
 		}
 	}
 }
@@ -946,7 +984,7 @@ func (c *Coordinator) Sweep(ctx context.Context, now time.Time) []cluster.Member
 			tr.owner = c.assignment[tr.lastCamera]
 			c.mu.Unlock()
 			msg := &wire.TrackStart{TrackID: tr.trackID, Camera: tr.lastCamera, Feature: tr.feature, Time: tr.lastSeen}
-			if _, err := c.transport.Call(ctx, addr, msg); err != nil {
+			if _, err := c.rpc.Call(ctx, addr, msg); err != nil {
 				c.reg.Counter("tracks.recover_errors").Inc()
 			} else {
 				c.reg.Counter("tracks.recovered").Inc()
@@ -962,7 +1000,8 @@ func (c *Coordinator) Alive() []cluster.Member { return c.membership.Alive() }
 // WorkerStats fetches metric snapshots from every live worker.
 func (c *Coordinator) WorkerStats(ctx context.Context) []wire.StatsResult {
 	var out []wire.StatsResult
-	for _, resp := range c.scatter(ctx, c.allWorkers(), &wire.StatsQuery{}) {
+	resps, _ := c.scatter(ctx, c.allWorkers(), &wire.StatsQuery{})
+	for _, resp := range resps {
 		if sr, ok := resp.(*wire.StatsResult); ok {
 			out = append(out, *sr)
 		}

@@ -23,10 +23,18 @@ type Cluster struct {
 // transport, registers and heartbeats each worker once, and returns the
 // running cluster. The caller must Stop it.
 func NewLocalCluster(n int, p cluster.Partitioner, opts Options) (*Cluster, error) {
+	return NewLocalClusterOver(cluster.NewInProc(), n, p, opts)
+}
+
+// NewLocalClusterOver is NewLocalCluster over a caller-supplied transport —
+// typically a cluster.Faulty decorator around an InProc, so tests and the R14
+// experiment can inject drops, latency, hangs, and partitions on specific
+// links. Cluster.Transport keeps exposing the supplied transport; every node
+// additionally wraps it in the resilience layer per opts.RetryPolicy.
+func NewLocalClusterOver(tr cluster.Transport, n int, p cluster.Partitioner, opts Options) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: cluster needs at least one worker")
 	}
-	tr := cluster.NewInProc()
 	coord := NewCoordinator("coord", tr, p, opts)
 	if err := coord.Start(); err != nil {
 		tr.Close()

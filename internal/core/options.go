@@ -9,7 +9,11 @@
 // replayable; only liveness (heartbeats, sweeps) uses the wall clock.
 package core
 
-import "time"
+import (
+	"time"
+
+	"stcam/internal/cluster"
+)
 
 // Options tunes the framework. The zero value selects the documented
 // defaults.
@@ -45,6 +49,17 @@ type Options struct {
 	// loses no history: the coordinator promotes a replica and its standby
 	// copy becomes authoritative.
 	Replicas int
+	// CallTimeout bounds each outbound RPC attempt, so one hung peer can
+	// never stall heartbeats, rebalance pushes, or query fan-out (default
+	// 2s; negative leaves attempts unbounded).
+	CallTimeout time.Duration
+	// RetryPolicy tunes the resilience layer every node wraps around its
+	// transport for outbound calls: retry attempts, backoff shape, and the
+	// per-peer circuit breaker (see cluster.Policy for fields and
+	// defaults). A zero PerAttemptTimeout inherits CallTimeout. Transport
+	// failures are retried with capped jittered backoff; remote handler
+	// errors are never retried.
+	RetryPolicy cluster.Policy
 }
 
 func (o *Options) fill() {
@@ -69,4 +84,17 @@ func (o *Options) fill() {
 	if o.FeatureLogSize <= 0 {
 		o.FeatureLogSize = 100000
 	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 2 * time.Second
+	}
+}
+
+// rpcPolicy resolves the outbound-call policy: a zero per-attempt timeout
+// inherits CallTimeout; everything else defaults inside the cluster layer.
+func (o *Options) rpcPolicy() cluster.Policy {
+	p := o.RetryPolicy
+	if p.PerAttemptTimeout == 0 {
+		p.PerAttemptTimeout = o.CallTimeout
+	}
+	return p
 }

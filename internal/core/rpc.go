@@ -1,0 +1,32 @@
+package core
+
+import (
+	"stcam/internal/cluster"
+	"stcam/internal/metrics"
+)
+
+// resilientFor wraps a node's transport in the resilience layer for
+// outbound calls, mirroring the retry/timeout/breaker counters into the
+// node's metrics registry. A transport that is already Resilient is used
+// as-is, so a caller can supply its own policy (and avoid double-wrapping).
+func resilientFor(tr cluster.Transport, opts Options, reg *metrics.Registry) *cluster.Resilient {
+	if r, ok := tr.(*cluster.Resilient); ok {
+		return r
+	}
+	return cluster.NewResilient(tr, opts.rpcPolicy(), cluster.WithRPCMetrics(reg))
+}
+
+// QueryMeta reports how complete one scatter-gather answer is.
+type QueryMeta struct {
+	Asked    int // workers the query fanned out to
+	Answered int // workers that answered before their deadline
+}
+
+// Completeness returns Answered/Asked in [0, 1]; an empty fan-out is
+// complete by definition.
+func (m QueryMeta) Completeness() float64 {
+	if m.Asked == 0 {
+		return 1
+	}
+	return float64(m.Answered) / float64(m.Asked)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -26,6 +27,7 @@ type Worker struct {
 	addr        string
 	coordAddr   string
 	transport   cluster.Transport
+	rpc         *cluster.Resilient // resilience layer for all outbound calls
 	opts        Options
 	reg         *metrics.Registry
 	idNamespace uint64
@@ -73,13 +75,15 @@ func NewWorker(id wire.NodeID, addr, coordAddr string, transport cluster.Transpo
 	opts.fill()
 	h := fnv.New32a()
 	h.Write([]byte(id))
+	reg := metrics.NewRegistry()
 	return &Worker{
 		id:          id,
 		addr:        addr,
 		coordAddr:   coordAddr,
 		transport:   transport,
+		rpc:         resilientFor(transport, opts, reg),
 		opts:        opts,
-		reg:         metrics.NewRegistry(),
+		reg:         reg,
 		idNamespace: uint64(h.Sum32()) << 32,
 		cameras:     make(map[uint32]*camera.Camera),
 		primary:     make(map[uint32]bool),
@@ -117,19 +121,29 @@ func (w *Worker) Metrics() *metrics.Registry { return w.reg }
 func (w *Worker) Store() *stindex.Store { return w.store }
 
 // Start binds the worker's server and registers with the coordinator.
+// Registration rides the resilience layer, so a coordinator that is briefly
+// unreachable is retried with backoff before Start gives up.
 func (w *Worker) Start(ctx context.Context) error {
 	srv, err := w.transport.Serve(w.addr, w.handle)
 	if err != nil {
 		return fmt.Errorf("core: worker %s serve: %w", w.id, err)
 	}
 	w.server = srv
-	resp, err := w.transport.Call(ctx, w.coordAddr, &wire.Register{Node: w.id, Addr: srv.Addr(), Capacity: 1})
-	if err != nil {
+	if err := w.register(ctx); err != nil {
 		srv.Close()
+		return err
+	}
+	return nil
+}
+
+// register announces this worker to the coordinator. Also used to recover
+// when a restarted coordinator answers heartbeats with "must re-register".
+func (w *Worker) register(ctx context.Context) error {
+	resp, err := w.rpc.Call(ctx, w.coordAddr, &wire.Register{Node: w.id, Addr: w.Addr(), Capacity: 1})
+	if err != nil {
 		return fmt.Errorf("core: worker %s register: %w", w.id, err)
 	}
 	if ack, ok := resp.(*wire.RegisterAck); !ok || !ack.Accepted {
-		srv.Close()
 		return fmt.Errorf("core: worker %s registration rejected", w.id)
 	}
 	return nil
@@ -154,8 +168,24 @@ func (w *Worker) StartHeartbeats(interval time.Duration) {
 	}()
 }
 
-// SendHeartbeat pushes one heartbeat to the coordinator.
+// SendHeartbeat pushes one heartbeat to the coordinator. A "must re-register"
+// answer — the coordinator restarted and lost its membership — triggers
+// re-registration and one heartbeat resend, so the worker rejoins instead of
+// heartbeating into the void until the next sweep kills it.
 func (w *Worker) SendHeartbeat(ctx context.Context) error {
+	err := w.sendHeartbeatOnce(ctx)
+	var re *cluster.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeMustRegister {
+		return err
+	}
+	w.reg.Counter("heartbeat.reregister").Inc()
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	return w.sendHeartbeatOnce(ctx)
+}
+
+func (w *Worker) sendHeartbeatOnce(ctx context.Context) error {
 	w.mu.Lock()
 	w.hbSeq++
 	hb := &wire.Heartbeat{
@@ -166,7 +196,7 @@ func (w *Worker) SendHeartbeat(ctx context.Context) error {
 		Cameras: len(w.cameras),
 	}
 	w.mu.Unlock()
-	_, err := w.transport.Call(ctx, w.coordAddr, hb)
+	_, err := w.rpc.Call(ctx, w.coordAddr, hb)
 	return err
 }
 
@@ -305,7 +335,7 @@ func (w *Worker) onIngest(ctx context.Context, m *wire.IngestBatch) (any, error)
 	w.mu.Unlock()
 
 	for _, p := range pushes {
-		if _, err := w.transport.Call(ctx, w.coordAddr, p); err != nil {
+		if _, err := w.rpc.Call(ctx, w.coordAddr, p); err != nil {
 			w.reg.Counter("push.errors").Inc()
 		}
 	}

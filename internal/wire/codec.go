@@ -116,6 +116,8 @@ func Marshal(kind MsgKind, payload any) ([]byte, error) {
 			e.record(&m.Records[i])
 		}
 		e.boolean(m.Truncated)
+		e.varint(int64(m.Asked))
+		e.varint(int64(m.Answered))
 	case *KNNQuery:
 		e.u64(m.QueryID)
 		e.point(m.Center)
@@ -310,6 +312,8 @@ func Unmarshal(kind MsgKind, body []byte) (any, error) {
 			}
 		}
 		m.Truncated = d.boolean()
+		m.Asked = int(d.varint())
+		m.Answered = int(d.varint())
 		out = m
 	case KindKNNQuery:
 		m := &KNNQuery{}

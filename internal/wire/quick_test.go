@@ -89,7 +89,7 @@ func TestQuickIngestBatchRoundTrip(t *testing.T) {
 func TestQuickRangeResultRoundTrip(t *testing.T) {
 	f := func(seed int64, qid uint64, n uint8, trunc bool) bool {
 		rng := rand.New(rand.NewSource(seed))
-		m := &RangeResult{QueryID: qid, Truncated: trunc}
+		m := &RangeResult{QueryID: qid, Truncated: trunc, Asked: rng.Intn(64), Answered: rng.Intn(64)}
 		for i := 0; i < int(n%32); i++ {
 			m.Records = append(m.Records, randRecord(rng))
 		}

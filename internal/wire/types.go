@@ -176,11 +176,18 @@ type ResultRecord struct {
 	Time     time.Time
 }
 
-// RangeResult returns the matching records from one worker.
+// RangeResult returns the matching records from one worker — or, on the
+// coordinator's client-facing path, the merged answer. There Asked/Answered
+// report scatter completeness: how many workers the query fanned out to and
+// how many answered before their deadline, so remote clients can tell a
+// complete answer from one degraded by a partition. Worker→coordinator
+// results leave both zero (a single node always answers for itself).
 type RangeResult struct {
 	QueryID   uint64
 	Records   []ResultRecord
 	Truncated bool
+	Asked     int
+	Answered  int
 }
 
 // KNNQuery asks for the k observations nearest to a point within a window.
@@ -403,4 +410,9 @@ const (
 	CodeUnavailable  = 4
 	CodeWrongEpoch   = 5
 	CodeCapacityFull = 6
+	// CodeMustRegister is the coordinator's answer to a heartbeat from a
+	// node it does not know (typically after a coordinator restart wiped
+	// membership): the worker must re-send Register before its heartbeats
+	// count again.
+	CodeMustRegister = 7
 )

@@ -29,7 +29,7 @@ func allMessages() []any {
 		&RangeQuery{QueryID: 11, Rect: geo.RectOf(0, 0, 100, 50), Window: TimeWindow{From: t0, To: t0.Add(time.Minute)}, Limit: 500},
 		&RangeResult{QueryID: 11, Records: []ResultRecord{
 			{ObsID: 5, TargetID: 2, Camera: 1, Pos: geo.Pt(3, 4), Time: t0},
-		}, Truncated: true},
+		}, Truncated: true, Asked: 8, Answered: 7},
 		&KNNQuery{QueryID: 12, Center: geo.Pt(10, 20), Window: TimeWindow{From: t0, To: t0.Add(time.Hour)}, K: 5},
 		&KNNResult{QueryID: 12, Records: []KNNRecord{
 			{ResultRecord: ResultRecord{ObsID: 7, Camera: 2, Pos: geo.Pt(1, 1), Time: t0}, Dist2: 2.25},

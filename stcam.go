@@ -116,6 +116,35 @@ type (
 	RoundRobinPartitioner = cluster.RoundRobinPartitioner
 )
 
+// Resilience and fault injection.
+type (
+	// Policy tunes outbound-RPC deadlines, retry/backoff, and circuit
+	// breaking; the zero value selects the documented defaults.
+	Policy = cluster.Policy
+	// Resilient decorates any Transport with deadlines, retries, and
+	// per-peer circuit breakers. Nodes wrap their transport in one
+	// automatically; wrap explicitly to share a policy across clients.
+	Resilient = cluster.Resilient
+	// Faulty decorates any Transport with deterministic, seeded fault
+	// injection (drops, latency, hangs, partitions, duplicates).
+	Faulty = cluster.Faulty
+	// FaultProgram describes the faults injected on one link.
+	FaultProgram = cluster.FaultProgram
+	// QueryMeta reports answer completeness for a scatter-gather query.
+	QueryMeta = core.QueryMeta
+)
+
+// ErrCircuitOpen is returned for calls rejected by an open circuit breaker;
+// it wraps the transport's unreachable error.
+var ErrCircuitOpen = cluster.ErrCircuitOpen
+
+// NewResilient wraps a transport with retry, deadline, and circuit-breaker
+// behaviour per the policy.
+func NewResilient(inner Transport, p Policy) *Resilient { return cluster.NewResilient(inner, p) }
+
+// NewFaulty wraps a transport with seeded fault injection.
+func NewFaulty(inner Transport, seed int64) *Faulty { return cluster.NewFaulty(inner, seed) }
+
 // NewInProc returns an in-process transport (tests, single-binary clusters).
 func NewInProc(opts ...cluster.InProcOption) *cluster.InProc { return cluster.NewInProc(opts...) }
 
@@ -137,6 +166,12 @@ func NewWorker(id NodeID, addr, coordAddr string, t Transport, opts Options) *Wo
 // NewLocalCluster assembles a coordinator plus n workers in-process.
 func NewLocalCluster(n int, p Partitioner, opts Options) (*Cluster, error) {
 	return core.NewLocalCluster(n, p, opts)
+}
+
+// NewLocalClusterOver is NewLocalCluster over a caller-supplied transport,
+// typically a Faulty decorator for failure testing.
+func NewLocalClusterOver(t Transport, n int, p Partitioner, opts Options) (*Cluster, error) {
+	return core.NewLocalClusterOver(t, n, p, opts)
 }
 
 // NewIngester returns a detection router bound to a coordinator.
