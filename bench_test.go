@@ -108,6 +108,14 @@ func BenchmarkR14FaultSweep(b *testing.B) {
 	b.ReportMetric(cell(tbl, 3, 3), "avail-30drop-on")
 }
 
+func BenchmarkR15IngestPipeline(b *testing.B) {
+	tbl := runExperiment(b, bench.R15IngestPipeline)
+	// Headline: single-worker pipelined ev/s at batch 256, depth 4 (row 5)
+	// and its serial baseline, the pair the ≥2× claim is about.
+	b.ReportMetric(cell(tbl, 5, 4), "pipelined-ev/s")
+	b.ReportMetric(cell(tbl, 5, 3), "serial-ev/s")
+}
+
 func BenchmarkR13Planner(b *testing.B) {
 	tbl := runExperiment(b, bench.R13Planner)
 	// Headline: forced-spatial slowdown relative to adaptive (row 0, col 4

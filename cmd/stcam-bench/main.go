@@ -5,10 +5,12 @@
 //	stcam-bench                  # run everything at full scale
 //	stcam-bench -exp R3,R5       # selected experiments
 //	stcam-bench -scale 0.2       # faster, smaller workloads (same shapes)
+//	stcam-bench -json out.json   # also write the tables as JSON
 //	stcam-bench -list            # show the experiment index
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +29,10 @@ func main() {
 
 func run() error {
 	var (
-		expFlag = flag.String("exp", "", "comma-separated experiment IDs (empty = all)")
-		scale   = flag.Float64("scale", 1.0, "workload scale factor")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		expFlag  = flag.String("exp", "", "comma-separated experiment IDs (empty = all)")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonPath = flag.String("json", "", "write the selected tables as JSON to this file")
 	)
 	flag.Parse()
 
@@ -66,11 +69,27 @@ func run() error {
 		}
 	}
 
+	tables := make([]*bench.Table, 0, len(selected))
 	for _, e := range selected {
 		start := time.Now()
 		tbl := e.Run(bench.Scale(*scale))
 		tbl.Fprint(os.Stdout)
 		fmt.Printf("  (%s in %s at scale %.2f)\n\n", e.ID, time.Since(start).Round(time.Millisecond), *scale)
+		tables = append(tables, tbl)
+	}
+	if *jsonPath != "" {
+		doc := struct {
+			Scale  float64        `json:"scale"`
+			Tables []*bench.Table `json:"tables"`
+		}{Scale: *scale, Tables: tables}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d table(s) to %s\n", len(tables), *jsonPath)
 	}
 	return nil
 }

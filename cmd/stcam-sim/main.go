@@ -1,7 +1,8 @@
 // Command stcam-sim drives a synthetic camera deployment and object
 // population into a running stcam cluster over TCP: it registers the cameras
-// with the coordinator, then streams each simulation tick's detections
-// through the coordinator's ingest proxy.
+// with the coordinator, then streams one multi-camera batch per simulation
+// tick through the coordinator's ingest proxy, keeping up to -pipeline
+// frames in flight.
 //
 //	stcam-sim -coordinator host:7600 -cams 8 -objects 200 -ticks 300 -rate 10
 package main
@@ -13,6 +14,8 @@ import (
 	"log"
 	"math"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"stcam"
@@ -37,6 +40,7 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		posNoise  = flag.Float64("pos-noise", 1.0, "detector position noise σ, meters")
 		fnRate    = flag.Float64("fn-rate", 0.05, "detector false-negative rate")
+		pipeline  = flag.Int("pipeline", 4, "max frames in flight through the ingest proxy (1 = fully serial)")
 	)
 	flag.Parse()
 
@@ -95,27 +99,43 @@ func run() error {
 	if *rate > 0 {
 		interval = time.Duration(float64(time.Second) / *rate)
 	}
-	sent := 0
+	if *pipeline < 1 {
+		*pipeline = 1
+	}
+	// One coalesced batch per tick, up to -pipeline frames in flight at
+	// once; the semaphore provides backpressure when the cluster falls
+	// behind the tick rate.
+	var (
+		sent int64
+		sem  = make(chan struct{}, *pipeline)
+		wg   sync.WaitGroup
+	)
 	for tick := 0; *ticks == 0 || tick < *ticks; tick++ {
 		start := time.Now()
 		w.Step()
 		byCam := w.Observe(camNet, det)
-		for camID, dets := range byCam {
-			batch := &wire.IngestBatch{Camera: uint32(camID), FrameTime: w.Now()}
+		batch := &wire.IngestBatch{FrameTime: w.Now()}
+		for _, dets := range byCam {
 			for _, d := range dets {
 				batch.Observations = append(batch.Observations, wire.Observation{
 					ObsID: d.ObsID, Camera: uint32(d.Camera), Time: d.Time,
 					Pos: d.Pos, Feature: d.Feature,
 				})
 			}
-			if _, err := transport.Call(ctx, *coordAddr, batch); err != nil {
-				log.Printf("ingest camera %d: %v", camID, err)
-				continue
-			}
-			sent += len(batch.Observations)
 		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(tick int, batch *wire.IngestBatch) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := transport.Call(ctx, *coordAddr, batch); err != nil {
+				log.Printf("ingest tick %d: %v", tick, err)
+				return
+			}
+			atomic.AddInt64(&sent, int64(len(batch.Observations)))
+		}(tick, batch)
 		if tick%50 == 0 {
-			log.Printf("tick %d: %d observations sent so far", tick, sent)
+			log.Printf("tick %d: %d observations sent so far", tick, atomic.LoadInt64(&sent))
 		}
 		if interval > 0 {
 			if rem := interval - time.Since(start); rem > 0 {
@@ -123,7 +143,8 @@ func run() error {
 			}
 		}
 	}
-	log.Printf("done: %d observations across %d ticks", sent, *ticks)
+	wg.Wait()
+	log.Printf("done: %d observations across %d ticks", atomic.LoadInt64(&sent), *ticks)
 	return nil
 }
 

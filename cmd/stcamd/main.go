@@ -46,16 +46,18 @@ func run() error {
 		sweep       = flag.Duration("sweep", time.Second, "coordinator: liveness sweep interval")
 		callTimeout = flag.Duration("call-timeout", 2*time.Second, "per-attempt RPC deadline for outbound calls (negative = unbounded)")
 		attempts    = flag.Int("call-attempts", 3, "RPC attempts per outbound call, including the first (1 = no retries)")
+		ingestDepth = flag.Int("ingest-pipeline-depth", 0, "coordinator: max concurrent worker RPCs per proxied ingest batch (0 = default)")
 	)
 	flag.Parse()
 
 	transport := stcam.NewTCP()
 	defer transport.Close()
 	opts := stcam.Options{
-		HeartbeatTimeout: *hbTimeout,
-		Retention:        *retention,
-		CallTimeout:      *callTimeout,
-		RetryPolicy:      stcam.Policy{MaxAttempts: *attempts},
+		HeartbeatTimeout:    *hbTimeout,
+		Retention:           *retention,
+		CallTimeout:         *callTimeout,
+		RetryPolicy:         stcam.Policy{MaxAttempts: *attempts},
+		IngestPipelineDepth: *ingestDepth,
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -74,6 +74,7 @@ func main() {
 	})
 	camNet := cl.Coordinator.Network()
 	ing := stcam.NewIngester(cl.Coordinator, cl.Transport)
+	defer ing.Close()
 
 	// Warm up a few ticks so the target is on camera, then flag vehicle 7.
 	suspect := w.Object(7)

@@ -76,6 +76,7 @@ func main() {
 		Seed:         12,
 	})
 	ing := stcam.NewIngester(cl.Coordinator, cl.Transport)
+	defer ing.Close()
 
 	alerted := false
 	var peak int

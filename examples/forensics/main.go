@@ -65,6 +65,7 @@ func main() {
 		Seed:         8,
 	})
 	ing := stcam.NewIngester(cl.Coordinator, cl.Transport)
+	defer ing.Close()
 	var probe stcam.Feature // the investigator's appearance sample
 	var probeTime time.Time
 	w.Run(600, cl.Coordinator.Network(), det, func(_ int, obs []stcam.Detection) {

@@ -49,6 +49,7 @@ func main() {
 
 	// 3. Ingest detections: a vehicle driving diagonally through the world.
 	ing := stcam.NewIngester(cl.Coordinator, cl.Transport)
+	defer ing.Close()
 	start := stcam.SimStart
 	var dets []stcam.Detection
 	for i := 0; i < 9; i++ {

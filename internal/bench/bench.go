@@ -136,5 +136,6 @@ func All() []Experiment {
 		{"R12", "Trajectory reconstruction vs detector noise", R12Trajectory},
 		{"R13", "Adaptive query planner ablation", R13Planner},
 		{"R14", "Query availability under injected faults", R14FaultSweep},
+		{"R15", "Pipelined ingest throughput sweep", R15IngestPipeline},
 	}
 }

@@ -4,11 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
 	"stcam/internal/baseline"
 	"stcam/internal/camera"
+	"stcam/internal/cluster"
 	"stcam/internal/core"
 	"stcam/internal/geo"
 	"stcam/internal/sim"
@@ -92,74 +92,22 @@ func wireToNetwork(cams []wire.CameraInfo) *camera.Network {
 	return net
 }
 
-// ingestAll streams the workload into a cluster, fanning batches out to the
-// owning workers concurrently (one goroutine per worker, as per-camera feed
-// processes would).
+// ingestAll streams the workload into a cluster through the pipelined
+// Ingester: frames are coalesced into one batch per owning worker and kept
+// in flight up to the pipeline depth, which is how a production feed process
+// would deliver them.
 func ingestAll(ctx context.Context, c *core.Cluster, wl *workload) (int, time.Duration) {
-	assignment := c.Coordinator.Assignment()
-	routes := make(map[uint32]string)
-	for cam := range assignment {
-		if addr, ok := c.Coordinator.RouteFor(cam); ok {
-			routes[cam] = addr
-		}
-	}
-	// Pre-group: per worker, per tick.
-	type workerFeed struct {
-		addr    string
-		batches []*wire.IngestBatch
-	}
-	feeds := make(map[string]*workerFeed)
-	for _, obs := range wl.batches {
-		perAddr := make(map[string]*wire.IngestBatch)
-		for _, d := range obs {
-			addr, ok := routes[uint32(d.Camera)]
-			if !ok {
-				continue
-			}
-			b := perAddr[addr]
-			if b == nil {
-				b = &wire.IngestBatch{Camera: uint32(d.Camera), FrameTime: d.Time}
-				perAddr[addr] = b
-			}
-			b.Observations = append(b.Observations, wire.Observation{
-				ObsID: d.ObsID, Camera: uint32(d.Camera), Time: d.Time,
-				Pos: d.Pos, Feature: d.Feature, TrueID: d.TrueID,
-			})
-		}
-		for addr, b := range perAddr {
-			f := feeds[addr]
-			if f == nil {
-				f = &workerFeed{addr: addr}
-				feeds[addr] = f
-			}
-			f.batches = append(f.batches, b)
-		}
-	}
+	ing := core.NewIngesterWith(c.Coordinator, c.Transport, core.IngesterOptions{PipelineDepth: 4})
+	defer ing.Close()
 	start := time.Now()
-	var wg sync.WaitGroup
-	var acceptedTotal int64
-	var mu sync.Mutex
-	for _, f := range feeds {
-		wg.Add(1)
-		go func(f *workerFeed) {
-			defer wg.Done()
-			local := 0
-			for _, b := range f.batches {
-				resp, err := c.Transport.Call(ctx, f.addr, b)
-				if err != nil {
-					continue
-				}
-				if ack, ok := resp.(*wire.IngestAck); ok {
-					local += ack.Accepted
-				}
-			}
-			mu.Lock()
-			acceptedTotal += int64(local)
-			mu.Unlock()
-		}(f)
+	for _, obs := range wl.batches {
+		ing.IngestDetectionsAsync(ctx, obs)
 	}
-	wg.Wait()
-	return int(acceptedTotal), time.Since(start)
+	accepted, err := ing.Flush()
+	if err != nil {
+		panic(err) // fault-free transport; cannot fail at runtime
+	}
+	return accepted, time.Since(start)
 }
 
 // R1Ingest measures ingest throughput (accepted observations/second) as the
@@ -197,6 +145,97 @@ func R1Ingest(s Scale) *Table {
 		rate := float64(accepted) / dur.Seconds()
 		t.AddRow(workers, accepted, rate, centralRate, fmt.Sprintf("%.2fx", rate/centralRate))
 		c.Stop()
+	}
+	return t
+}
+
+// chunkDetections re-frames the workload's detections into fixed-size ingest
+// frames, making batch size an independent experimental axis.
+func chunkDetections(batches [][]vision.Detection, size int) [][]vision.Detection {
+	var flat []vision.Detection
+	for _, b := range batches {
+		flat = append(flat, b...)
+	}
+	var out [][]vision.Detection
+	for i := 0; i < len(flat); i += size {
+		j := i + size
+		if j > len(flat) {
+			j = len(flat)
+		}
+		out = append(out, flat[i:j])
+	}
+	return out
+}
+
+// rpcLatency models one LAN round trip per ingest RPC. Over the raw in-proc
+// transport a call is a function invocation and coalescing has nothing to
+// amortize; a fixed per-call delay restores the cost structure the pipeline
+// exists for (and that a TCP deployment pays on every Call).
+const rpcLatency = 200 * time.Microsecond
+
+// runFramedIngest feeds pre-framed detections through a fresh cluster in the
+// given ingest mode and returns accepted observations per second. Worker
+// links carry rpcLatency per call, injected after setup so only the measured
+// ingest pays it.
+func runFramedIngest(ctx context.Context, workers int, cams []wire.CameraInfo, frames [][]vision.Detection, opts core.IngesterOptions) float64 {
+	faulty := cluster.NewFaulty(cluster.NewInProc(), 1)
+	c, err := core.NewLocalClusterOver(faulty, workers, nil, core.Options{CellSize: 50})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Stop()
+	if err := c.Coordinator.AddCameras(ctx, cams, 100); err != nil {
+		panic(err)
+	}
+	for _, w := range c.Workers {
+		faulty.SetProgram(w.Addr(), cluster.FaultProgram{Latency: rpcLatency})
+	}
+	ing := core.NewIngesterWith(c.Coordinator, c.Transport, opts)
+	defer ing.Close()
+	start := time.Now()
+	accepted := 0
+	if opts.Serial {
+		for _, f := range frames {
+			n, err := ing.IngestDetections(ctx, f)
+			if err != nil {
+				panic(err)
+			}
+			accepted += n
+		}
+	} else {
+		for _, f := range frames {
+			ing.IngestDetectionsAsync(ctx, f)
+		}
+		if accepted, err = ing.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	return float64(accepted) / time.Since(start).Seconds()
+}
+
+// R15IngestPipeline measures ingest throughput across batch size × pipeline
+// depth × worker count, with the serial one-camera-one-blocking-RPC path as
+// the baseline for every cell. Expected shape: coalescing wins as soon as a
+// frame spans several cameras (fewer, larger RPCs), and depth adds a further
+// factor by overlapping frames; the serial column is flat.
+func R15IngestPipeline(s Scale) *Table {
+	t := &Table{
+		ID:     "R15",
+		Title:  "Pipelined ingest: batch size × pipeline depth × workers",
+		Notes:  "16×16 grid; 200µs injected RPC latency; same detections re-framed per batch size; serial = one blocking RPC per camera",
+		Header: []string{"workers", "batch", "depth", "serial ev/s", "pipelined ev/s", "speedup"},
+	}
+	wl := makeWorkload(16, s.n(400), s.n(40), 2)
+	ctx := context.Background()
+	for _, workers := range []int{1, 4} {
+		for _, batch := range []int{16, 64, 256} {
+			frames := chunkDetections(wl.batches, batch)
+			serial := runFramedIngest(ctx, workers, wl.cams, frames, core.IngesterOptions{Serial: true})
+			for _, depth := range []int{1, 4} {
+				rate := runFramedIngest(ctx, workers, wl.cams, frames, core.IngesterOptions{PipelineDepth: depth})
+				t.AddRow(workers, batch, depth, serial, rate, fmt.Sprintf("%.2fx", rate/serial))
+			}
+		}
 	}
 	return t
 }

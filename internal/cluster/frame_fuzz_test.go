@@ -20,6 +20,25 @@ func FuzzReadRPCFrame(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(valid)
+	// A sequenced multi-camera ingest batch (the coalesced pipeline shape)
+	// and a clock-only tick exercise the Source/Seq encoding paths.
+	multiCam, err := appendRPCFrame(nil, 43, 0, &wire.IngestBatch{
+		Source: "ingest-1",
+		Seq:    7,
+		Observations: []wire.Observation{
+			{ObsID: 1, Camera: 3, Feature: []float32{0.25, -0.5}},
+			{ObsID: 2, Camera: 9},
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(multiCam)
+	clockOnly, err := appendRPCFrame(nil, 44, 0, &wire.IngestBatch{Source: "ingest-2", Seq: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(clockOnly)
 	f.Add(valid[:4])             // header only
 	f.Add(valid[:len(valid)-2])  // truncated body
 	f.Add([]byte{})              // empty

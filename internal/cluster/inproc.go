@@ -82,11 +82,12 @@ func (t *InProc) Call(ctx context.Context, addr string, req any) (any, error) {
 	t.stats.calls.Add(1)
 	t.mu.RLock()
 	s, ok := t.servers[addr]
+	closed := ok && s.closed // s.closed is guarded by t.mu; don't read it after RUnlock
 	blocked := t.blocked[addr]
 	wireFmt := t.wireFmt
 	latency := t.latency
 	t.mu.RUnlock()
-	if !ok || s.closed || blocked {
+	if !ok || closed || blocked {
 		t.stats.errors.Add(1)
 		return nil, ErrUnreachable
 	}

@@ -228,6 +228,8 @@ type Resilient struct {
 	timeouts     atomic.Int64
 	breakerOpens atomic.Int64
 	fastFails    atomic.Int64
+	inFlight     atomic.Int64
+	maxInFlight  atomic.Int64
 }
 
 var _ Transport = (*Resilient)(nil)
@@ -285,11 +287,26 @@ func (r *Resilient) Stats() TransportStats {
 	s.Timeouts = r.timeouts.Load()
 	s.BreakerOpens = r.breakerOpens.Load()
 	s.BreakerFastFails = r.fastFails.Load()
+	s.InFlight = r.inFlight.Load()
+	s.MaxInFlight = r.maxInFlight.Load()
 	return s
 }
 
 // Call implements Transport with retries, deadlines, and circuit breaking.
 func (r *Resilient) Call(ctx context.Context, addr string, req any) (any, error) {
+	// In-flight accounting: pipelined callers (the ingest path) read the
+	// high-water mark to confirm their concurrency window actually opened.
+	cur := r.inFlight.Add(1)
+	for {
+		max := r.maxInFlight.Load()
+		if cur <= max || r.maxInFlight.CompareAndSwap(max, cur) {
+			break
+		}
+	}
+	defer r.inFlight.Add(-1)
+	if r.reg != nil {
+		r.reg.Gauge("rpc.inflight").Set(cur)
+	}
 	p := r.policy
 	br := r.breakerFor(addr)
 	var lastErr error

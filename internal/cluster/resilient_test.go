@@ -379,3 +379,42 @@ func TestResilientJitterDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestResilientInFlightAccounting(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	inner := &scripted{call: func(ctx context.Context, addr string, req any) (any, error) {
+		entered <- struct{}{}
+		<-release
+		return &wire.HeartbeatAck{}, nil
+	}}
+	r, _ := newTestResilient(inner, Policy{MaxAttempts: 1, PerAttemptTimeout: -1})
+
+	const n = 4
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			if _, err := r.Call(context.Background(), "w1", &wire.Heartbeat{}); err != nil {
+				t.Errorf("call: %v", err)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-entered
+	}
+	if got := r.Stats().InFlight; got != n {
+		t.Fatalf("InFlight = %d with %d calls parked, want %d", got, n, n)
+	}
+	close(release)
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	s := r.Stats()
+	if s.InFlight != 0 {
+		t.Fatalf("InFlight = %d after drain, want 0", s.InFlight)
+	}
+	if s.MaxInFlight < n {
+		t.Fatalf("MaxInFlight = %d, want >= %d", s.MaxInFlight, n)
+	}
+}

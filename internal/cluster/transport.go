@@ -51,6 +51,8 @@ type TransportStats struct {
 	Timeouts         int64 // attempts that hit the per-attempt deadline
 	BreakerOpens     int64 // closed/half-open → open breaker transitions
 	BreakerFastFails int64 // calls rejected by an open breaker
+	InFlight         int64 // Calls currently executing (snapshot instant)
+	MaxInFlight      int64 // high-water mark of concurrent Calls
 }
 
 // ErrUnreachable is returned for calls to addresses with no live server.

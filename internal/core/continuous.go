@@ -111,8 +111,8 @@ func (w *Worker) onInstallContinuous(m *wire.InstallContinuous) (any, error) {
 	if m.Kind != wire.ContinuousRange && m.Kind != wire.ContinuousCount {
 		return &wire.Error{Code: wire.CodeBadRequest, Message: "continuous: unknown kind"}, nil
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.evalMu.Lock()
+	defer w.evalMu.Unlock()
 	// Re-installation of a known query (the coordinator re-pushes standing
 	// queries after every reassignment) keeps the existing answer state so
 	// in-flight memberships are not forgotten.
@@ -120,16 +120,16 @@ func (w *Worker) onInstallContinuous(m *wire.InstallContinuous) (any, error) {
 		w.continuous[m.QueryID] = newContinuousState(m)
 	}
 	w.reg.Gauge("continuous.installed").Set(int64(len(w.continuous)))
-	return &wire.AssignAck{Epoch: w.epoch, Accepted: 1}, nil
+	return &wire.AssignAck{Epoch: w.curEpoch(), Accepted: 1}, nil
 }
 
 func (w *Worker) onRemoveContinuous(m *wire.RemoveContinuous) (any, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.evalMu.Lock()
+	defer w.evalMu.Unlock()
 	if _, ok := w.continuous[m.QueryID]; !ok {
 		return &wire.Error{Code: wire.CodeNotFound, Message: "continuous: query not installed"}, nil
 	}
 	delete(w.continuous, m.QueryID)
 	w.reg.Gauge("continuous.installed").Set(int64(len(w.continuous)))
-	return &wire.AssignAck{Epoch: w.epoch, Accepted: 1}, nil
+	return &wire.AssignAck{Epoch: w.curEpoch(), Accepted: 1}, nil
 }

@@ -221,28 +221,86 @@ func (c *Coordinator) handle(ctx context.Context, _ string, req any) (any, error
 		}
 		return &wire.AssignAck{Epoch: c.Epoch(), Accepted: len(m.Cameras)}, nil
 	case *wire.IngestBatch:
-		// Ingest proxy for remote drivers: forward to the owning worker (and
-		// any replicas). Production feeds stream to workers directly; this
-		// path trades a hop for client simplicity.
-		if len(m.Observations) == 0 {
-			return &wire.IngestAck{}, nil
-		}
-		addrs := c.RoutesFor(m.Camera)
-		if len(addrs) == 0 {
-			return &wire.Error{Code: wire.CodeNotFound, Message: fmt.Sprintf("camera %d has no live owner", m.Camera)}, nil
-		}
-		var primaryResp any
-		var primaryErr error
-		for i, addr := range addrs {
-			resp, err := c.rpc.Call(ctx, addr, m)
-			if i == 0 {
-				primaryResp, primaryErr = resp, err
-			}
-		}
-		return primaryResp, primaryErr
+		return c.proxyIngest(ctx, m)
 	default:
 		return &wire.Error{Code: wire.CodeBadRequest, Message: fmt.Sprintf("coordinator: unexpected %T", req)}, nil
 	}
+}
+
+// proxyIngest is the ingest proxy for remote drivers: observations are
+// regrouped per destination worker (each observation routes by its own
+// camera, so one multi-camera batch fans out as one coalesced sub-batch per
+// worker plus its replicas) and forwarded concurrently, bounded by the
+// configured pipeline depth. Production feeds stream to workers directly;
+// this path trades a hop for client simplicity.
+//
+// Forwards are unsequenced (Source "", Seq 0): the proxy multiplexes many
+// clients onto each worker link, so a client's per-link sequence cannot
+// survive the hop without reordering. Idempotent sequenced delivery applies
+// on the direct Ingester→worker path.
+func (c *Coordinator) proxyIngest(ctx context.Context, m *wire.IngestBatch) (any, error) {
+	if len(m.Observations) == 0 {
+		return &wire.IngestAck{}, nil
+	}
+	byAddr := make(map[string][]wire.Observation)
+	unrouted := 0
+	for _, obs := range m.Observations {
+		cam := obs.Camera
+		if cam == 0 {
+			cam = m.Camera // legacy single-camera batches may omit per-obs routing
+		}
+		addrs := c.RoutesFor(cam)
+		if len(addrs) == 0 {
+			unrouted++
+			continue
+		}
+		for _, addr := range addrs {
+			byAddr[addr] = append(byAddr[addr], obs)
+		}
+	}
+	if len(byAddr) == 0 {
+		return &wire.Error{Code: wire.CodeNotFound, Message: fmt.Sprintf("no live owner for any of %d observations", len(m.Observations))}, nil
+	}
+	depth := c.opts.IngestPipelineDepth
+	if depth < 1 {
+		depth = 1
+	}
+	sem := make(chan struct{}, depth)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		merged   wire.IngestAck
+		firstErr error
+	)
+	for addr, obs := range byAddr {
+		wg.Add(1)
+		go func(addr string, obs []wire.Observation) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sub := &wire.IngestBatch{FrameTime: m.FrameTime, Observations: obs}
+			resp, err := c.rpc.Call(ctx, addr, sub)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if ack, ok := resp.(*wire.IngestAck); ok {
+				merged.Accepted += ack.Accepted
+				merged.Rejected += ack.Rejected
+				merged.Replicated += ack.Replicated
+			}
+		}(addr, obs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	merged.Rejected += unrouted
+	return &merged, nil
 }
 
 // --- camera management -----------------------------------------------------

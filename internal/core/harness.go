@@ -3,10 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"stcam/internal/cluster"
-	"stcam/internal/vision"
 	"stcam/internal/wire"
 )
 
@@ -76,97 +74,3 @@ func (c *Cluster) Worker(id wire.NodeID) *Worker {
 	return nil
 }
 
-// Ingester routes detection batches to the workers owning their cameras,
-// caching the routing table per epoch. It stands in for the per-camera feed
-// processes of a real deployment.
-type Ingester struct {
-	coord     *Coordinator
-	transport cluster.Transport
-	epoch     uint64
-	routes    map[uint32][]string // primary first, then replicas
-}
-
-// NewIngester returns an ingest router bound to a coordinator.
-func NewIngester(coord *Coordinator, transport cluster.Transport) *Ingester {
-	return &Ingester{coord: coord, transport: transport, routes: make(map[uint32][]string)}
-}
-
-// refresh rebuilds the route cache when the assignment epoch changed.
-func (ing *Ingester) refresh() {
-	epoch := ing.coord.Epoch()
-	if epoch == ing.epoch && len(ing.routes) > 0 {
-		return
-	}
-	ing.epoch = epoch
-	ing.routes = make(map[uint32][]string)
-	for cam := range ing.coord.Assignment() {
-		if addrs := ing.coord.RoutesFor(cam); len(addrs) > 0 {
-			ing.routes[cam] = addrs
-		}
-	}
-}
-
-// Tick sends an empty clock frame to every live worker, advancing their
-// observation time so track-loss detection and continuous-answer expiry run
-// even on workers whose cameras saw nothing this frame. Real deployments get
-// this for free from per-camera frame cadence.
-func (ing *Ingester) Tick(ctx context.Context, now time.Time) {
-	seen := make(map[string]bool)
-	ing.refresh()
-	for _, addrs := range ing.routes {
-		for _, addr := range addrs {
-			if seen[addr] {
-				continue
-			}
-			seen[addr] = true
-			ing.transport.Call(ctx, addr, &wire.IngestBatch{FrameTime: now}) //nolint:errcheck // clock ticks are best-effort
-		}
-	}
-}
-
-// IngestDetections groups detections by camera and delivers them to the
-// owning workers, returning the number accepted.
-func (ing *Ingester) IngestDetections(ctx context.Context, dets []vision.Detection) (int, error) {
-	ing.refresh()
-	byCam := make(map[uint32][]wire.Observation)
-	for _, d := range dets {
-		obs := wire.Observation{
-			ObsID:   d.ObsID,
-			Camera:  uint32(d.Camera),
-			Time:    d.Time,
-			Pos:     d.Pos,
-			Feature: d.Feature,
-			TrueID:  d.TrueID,
-		}
-		byCam[obs.Camera] = append(byCam[obs.Camera], obs)
-	}
-	accepted := 0
-	var firstErr error
-	for cam, obs := range byCam {
-		addrs, ok := ing.routes[cam]
-		if !ok {
-			// Assignment may have changed mid-stream; refresh once and retry.
-			ing.epoch = 0
-			ing.refresh()
-			addrs, ok = ing.routes[cam]
-			if !ok {
-				continue
-			}
-		}
-		// Primary first, then any replicas; acceptance is counted from the
-		// primary so replicated streams don't double-count.
-		for i, addr := range addrs {
-			resp, err := ing.transport.Call(ctx, addr, &wire.IngestBatch{Camera: cam, Observations: obs})
-			if err != nil {
-				if firstErr == nil && i == 0 {
-					firstErr = err
-				}
-				continue
-			}
-			if ack, ok := resp.(*wire.IngestAck); ok && i == 0 {
-				accepted += ack.Accepted
-			}
-		}
-	}
-	return accepted, firstErr
-}

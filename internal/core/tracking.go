@@ -14,10 +14,14 @@ import (
 
 func (w *Worker) onTrackStart(m *wire.TrackStart) (any, error) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if _, owned := w.cameras[m.Camera]; !owned {
+	_, owned := w.cameras[m.Camera]
+	epoch := w.epoch
+	w.mu.Unlock()
+	if !owned {
 		return &wire.Error{Code: wire.CodeNotFound, Message: "track: camera not owned"}, nil
 	}
+	w.evalMu.Lock()
+	defer w.evalMu.Unlock()
 	w.tracks[m.TrackID] = &trackState{
 		trackID:  m.TrackID,
 		camera:   m.Camera,
@@ -25,21 +29,24 @@ func (w *Worker) onTrackStart(m *wire.TrackStart) (any, error) {
 		lastSeen: m.Time,
 	}
 	w.reg.Gauge("tracks.resident").Set(int64(len(w.tracks)))
-	return &wire.AssignAck{Epoch: w.epoch, Accepted: 1}, nil
+	return &wire.AssignAck{Epoch: epoch, Accepted: 1}, nil
 }
 
 func (w *Worker) onTrackPrime(m *wire.TrackPrime) (any, error) {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	owned := make(map[uint32]bool)
 	for _, cam := range m.Cameras {
 		if _, ok := w.cameras[cam]; ok {
 			owned[cam] = true
 		}
 	}
+	epoch := w.epoch
+	w.mu.Unlock()
 	if len(owned) == 0 {
 		return &wire.Error{Code: wire.CodeNotFound, Message: "prime: no owned cameras in set"}, nil
 	}
+	w.evalMu.Lock()
+	defer w.evalMu.Unlock()
 	w.primes[m.TrackID] = &primeState{
 		trackID: m.TrackID,
 		cameras: owned,
@@ -47,12 +54,12 @@ func (w *Worker) onTrackPrime(m *wire.TrackPrime) (any, error) {
 		expires: m.Expires,
 	}
 	w.reg.Counter("tracks.primed").Inc()
-	return &wire.AssignAck{Epoch: w.epoch, Accepted: len(owned)}, nil
+	return &wire.AssignAck{Epoch: epoch, Accepted: len(owned)}, nil
 }
 
 func (w *Worker) onTrackStop(m *wire.TrackStop) (any, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.evalMu.Lock()
+	defer w.evalMu.Unlock()
 	_, hadTrack := w.tracks[m.TrackID]
 	_, hadPrime := w.primes[m.TrackID]
 	delete(w.tracks, m.TrackID)
@@ -61,12 +68,12 @@ func (w *Worker) onTrackStop(m *wire.TrackStop) (any, error) {
 	if !hadTrack && !hadPrime {
 		return &wire.Error{Code: wire.CodeNotFound, Message: "track: unknown id"}, nil
 	}
-	return &wire.AssignAck{Epoch: w.epoch, Accepted: 1}, nil
+	return &wire.AssignAck{Epoch: w.curEpoch(), Accepted: 1}, nil
 }
 
 // observeTracksLocked matches one observation against resident tracks and
 // armed primes, returning messages to push to the coordinator. Caller holds
-// w.mu.
+// w.evalMu.
 func (w *Worker) observeTracksLocked(obs *wire.Observation) []any {
 	if len(obs.Feature) == 0 {
 		return nil
@@ -134,7 +141,7 @@ func (w *Worker) observeTracksLocked(obs *wire.Observation) []any {
 // detectLostTracksLocked flags resident tracks silent past LostAfter
 // (observation time) and asks the coordinator to run a handoff. The track
 // stays resident until the coordinator confirms a claim elsewhere or stops
-// it. Caller holds w.mu.
+// it. Caller holds w.evalMu.
 func (w *Worker) detectLostTracksLocked(now time.Time) []any {
 	var pushes []any
 	for _, tr := range w.tracks {
@@ -156,7 +163,7 @@ func (w *Worker) detectLostTracksLocked(now time.Time) []any {
 }
 
 // expireContinuousLocked runs answer-set expiry for continuous queries at the
-// given observation-time horizon. Caller holds w.mu.
+// given observation-time horizon. Caller holds w.evalMu.
 func (w *Worker) expireContinuousLocked(horizon time.Time) []any {
 	var pushes []any
 	for _, cs := range w.continuous {

@@ -34,6 +34,9 @@ type Worker struct {
 
 	server cluster.Server
 
+	// mu guards the ingest stage-1 state: membership (epoch, cameras,
+	// primary), index-insert coherence (store, assoc, featureLog), delivery
+	// dedup (ingestSeqs), selectivity stats, and heartbeat state.
 	mu         sync.Mutex
 	epoch      uint64
 	cameras    map[uint32]*camera.Camera
@@ -41,12 +44,20 @@ type Worker struct {
 	store      *stindex.Store
 	assoc      *vision.Associator
 	featureLog *featureRing
-	continuous map[uint64]*continuousState
-	tracks     map[uint64]*trackState
-	primes     map[uint64]*primeState
+	ingestSeqs map[string]*ingestSeqState
 	hist       *stindex.STHistogram
 	hbSeq      uint64
 	loadMeter  *metrics.Meter
+
+	// evalMu guards the ingest stage-2 state: continuous-query answer sets,
+	// resident tracks, and armed primes, so the slow evaluation stage
+	// (appearance matching, answer-set deltas) cannot block queries or
+	// further index inserts. Lock order: mu may be acquired briefly while
+	// holding evalMu (curEpoch), never the reverse.
+	evalMu     sync.Mutex
+	continuous map[uint64]*continuousState
+	tracks     map[uint64]*trackState
+	primes     map[uint64]*primeState
 
 	lifecycle sync.WaitGroup
 	stopCh    chan struct{}
@@ -68,6 +79,21 @@ type primeState struct {
 	cameras map[uint32]bool
 	feature vision.Feature
 	expires time.Time
+}
+
+// ingestSeqState is the per-source delivery cursor for idempotent sequenced
+// ingest: the highest sequence applied and its ack, so a retried delivery is
+// answered from the original outcome without touching the index.
+type ingestSeqState struct {
+	seq uint64
+	ack wire.IngestAck
+}
+
+// stagedObs carries one accepted primary observation from ingest stage 1
+// (index insert under w.mu) to stage 2 (evaluation under w.evalMu).
+type stagedObs struct {
+	obs wire.Observation
+	rec stindex.Record
 }
 
 // NewWorker constructs a worker bound to the given transport addresses.
@@ -94,6 +120,7 @@ func NewWorker(id wire.NodeID, addr, coordAddr string, transport cluster.Transpo
 		}),
 		assoc:      vision.NewAssociator(opts.AssocThreshold),
 		featureLog: newFeatureRing(opts.FeatureLogSize),
+		ingestSeqs: make(map[string]*ingestSeqState),
 		continuous: make(map[uint64]*continuousState),
 		tracks:     make(map[uint64]*trackState),
 		primes:     make(map[uint64]*primeState),
@@ -267,21 +294,41 @@ func (w *Worker) onAssign(m *wire.AssignCameras) (any, error) {
 	return &wire.AssignAck{Epoch: m.Epoch, Accepted: len(m.Cameras) + len(m.Replicas)}, nil
 }
 
-// onIngest is the hot path: associate, index, evaluate continuous queries and
-// trackers, and push any resulting updates.
+// onIngest is the hot path, split into two stages. Stage 1, under w.mu, is
+// the short critical section: sequenced-delivery dedup, ownership check,
+// identity association, and index insert. Stage 2, under w.evalMu, is the
+// staged evaluation: continuous queries, tracking, and observation-time
+// expiry. Queries never wait behind stage 2, and stage-1 inserts from the
+// next pipelined batch overlap with this batch's evaluation.
 func (w *Worker) onIngest(ctx context.Context, m *wire.IngestBatch) (any, error) {
-	var pushes []any
-
 	w.mu.Lock()
-	accepted, rejected := 0, 0
+	sequenced := m.Source != "" && m.Seq != 0
+	if sequenced {
+		if st, ok := w.ingestSeqs[m.Source]; ok && m.Seq <= st.seq {
+			// Duplicate delivery (at-least-once sender retried, or the
+			// transport duplicated the frame): answer from the recorded
+			// outcome, never re-apply. A sequence older than the cursor has
+			// no recorded ack; it is acknowledged empty, which is still
+			// correct because its original delivery was already counted.
+			ack := wire.IngestAck{Replayed: true}
+			if m.Seq == st.seq {
+				ack = st.ack
+				ack.Replayed = true
+			}
+			w.mu.Unlock()
+			w.reg.Counter("ingest.replays").Inc()
+			return &ack, nil
+		}
+	}
+	accepted, rejected, replicated := 0, 0, 0
 	latest := m.FrameTime
+	var evals []stagedObs
 	for i := range m.Observations {
 		obs := &m.Observations[i]
 		if _, owned := w.cameras[obs.Camera]; !owned {
 			rejected++
 			continue
 		}
-		accepted++
 		if obs.Time.After(latest) {
 			latest = obs.Time
 		}
@@ -289,15 +336,16 @@ func (w *Worker) onIngest(ctx context.Context, m *wire.IngestBatch) (any, error)
 			// Standby copy: index only. The primary owner runs association,
 			// continuous queries, and tracking; running them here too would
 			// duplicate answer deltas and track updates.
+			replicated++
 			w.store.Insert(stindex.Record{
 				ObsID:  obs.ObsID,
 				Camera: obs.Camera,
 				Pos:    obs.Pos,
 				Time:   obs.Time,
 			})
-			w.reg.Counter("ingest.replica").Inc()
 			continue
 		}
+		accepted++
 		// Identity association: worker-local namespaced target IDs.
 		var targetID uint64
 		if len(obs.Feature) > 0 {
@@ -313,33 +361,69 @@ func (w *Worker) onIngest(ctx context.Context, m *wire.IngestBatch) (any, error)
 		}
 		w.store.Insert(rec)
 		w.featureLog.add(obs)
-		// Continuous queries: incremental +/- evaluation.
-		for _, cs := range w.continuous {
-			if upd := cs.observe(rec); upd != nil {
-				pushes = append(pushes, upd)
-			}
+		evals = append(evals, stagedObs{obs: *obs, rec: rec})
+	}
+	ack := wire.IngestAck{Accepted: accepted, Rejected: rejected, Replicated: replicated}
+	if sequenced {
+		st, ok := w.ingestSeqs[m.Source]
+		if !ok {
+			st = &ingestSeqState{}
+			w.ingestSeqs[m.Source] = st
 		}
-		// Tracking: resident tracks and armed primes.
-		pushes = append(pushes, w.observeTracksLocked(obs)...)
+		st.seq, st.ack = m.Seq, ack
 	}
-	if !latest.IsZero() {
-		// Track-loss detection and continuous-answer expiry advance on
-		// observation time (frame clocks included, so silence still ticks).
-		pushes = append(pushes, w.detectLostTracksLocked(latest)...)
-		pushes = append(pushes, w.expireContinuousLocked(latest.Add(-w.opts.LostAfter))...)
-	}
-	w.loadMeter.Mark(int64(accepted))
+	w.loadMeter.Mark(int64(accepted + replicated))
 	w.reg.Counter("ingest.accepted").Add(int64(accepted))
 	w.reg.Counter("ingest.rejected").Add(int64(rejected))
+	w.reg.Counter("ingest.replica").Add(int64(replicated))
 	w.reg.Gauge("store.records").Set(int64(w.store.Len()))
 	w.mu.Unlock()
 
+	pushes := w.evaluateIngest(evals, latest)
 	for _, p := range pushes {
 		if _, err := w.rpc.Call(ctx, w.coordAddr, p); err != nil {
 			w.reg.Counter("push.errors").Inc()
 		}
 	}
-	return &wire.IngestAck{Accepted: accepted, Rejected: rejected}, nil
+	return &ack, nil
+}
+
+// evaluateIngest is ingest stage 2: fold freshly indexed observations into
+// continuous-query answer sets and resident-track/prime matching, then run
+// observation-time track-loss detection and continuous-answer expiry (frame
+// clocks included, so silence still ticks). Serialized under w.evalMu —
+// batches arrive in per-sender order, so evaluation order stays
+// deterministic — and returns the updates to push to the coordinator.
+func (w *Worker) evaluateIngest(evals []stagedObs, latest time.Time) []any {
+	if len(evals) == 0 && latest.IsZero() {
+		return nil
+	}
+	w.evalMu.Lock()
+	defer w.evalMu.Unlock()
+	var pushes []any
+	for i := range evals {
+		// Continuous queries: incremental +/- evaluation.
+		for _, cs := range w.continuous {
+			if upd := cs.observe(evals[i].rec); upd != nil {
+				pushes = append(pushes, upd)
+			}
+		}
+		// Tracking: resident tracks and armed primes.
+		pushes = append(pushes, w.observeTracksLocked(&evals[i].obs)...)
+	}
+	if !latest.IsZero() {
+		pushes = append(pushes, w.detectLostTracksLocked(latest)...)
+		pushes = append(pushes, w.expireContinuousLocked(latest.Add(-w.opts.LostAfter))...)
+	}
+	return pushes
+}
+
+// curEpoch reads the current assignment epoch (handlers that answer with it
+// while holding only evalMu).
+func (w *Worker) curEpoch() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epoch
 }
 
 func (w *Worker) onRange(m *wire.RangeQuery) (any, error) {

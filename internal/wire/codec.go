@@ -96,6 +96,8 @@ func Marshal(kind MsgKind, payload any) ([]byte, error) {
 		e.u64(m.Epoch)
 	case *IngestBatch:
 		e.u32(m.Camera)
+		e.str(m.Source)
+		e.u64(m.Seq)
 		e.timestamp(m.FrameTime)
 		e.varint(int64(len(m.Observations)))
 		for i := range m.Observations {
@@ -104,6 +106,8 @@ func Marshal(kind MsgKind, payload any) ([]byte, error) {
 	case *IngestAck:
 		e.varint(int64(m.Accepted))
 		e.varint(int64(m.Rejected))
+		e.varint(int64(m.Replicated))
+		e.boolean(m.Replayed)
 	case *RangeQuery:
 		e.u64(m.QueryID)
 		e.rect(m.Rect)
@@ -280,6 +284,8 @@ func Unmarshal(kind MsgKind, body []byte) (any, error) {
 	case KindIngestBatch:
 		m := &IngestBatch{}
 		m.Camera = d.u32()
+		m.Source = d.str()
+		m.Seq = d.u64()
 		m.FrameTime = d.timestamp()
 		n := d.sliceLen()
 		if n > 0 {
@@ -293,6 +299,8 @@ func Unmarshal(kind MsgKind, body []byte) (any, error) {
 		m := &IngestAck{}
 		m.Accepted = int(d.varint())
 		m.Rejected = int(d.varint())
+		m.Replicated = int(d.varint())
+		m.Replayed = d.boolean()
 		out = m
 	case KindRangeQuery:
 		m := &RangeQuery{}

@@ -69,11 +69,35 @@ func roundTrip(t *testing.T, msg any) any {
 	return env.Payload
 }
 
-// TestQuickIngestBatchRoundTrip: arbitrary ingest batches survive the codec.
+// randSource draws an ingest sender identity; empty (unsequenced) is a legal
+// and common value.
+func randSource(rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0:
+		return ""
+	case 1:
+		return "ingest-1"
+	default:
+		b := make([]byte, 1+rng.Intn(24))
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	}
+}
+
+// TestQuickIngestBatchRoundTrip: arbitrary ingest batches survive the codec,
+// including multi-camera observation sets and sequenced (Source, Seq)
+// delivery stamps.
 func TestQuickIngestBatchRoundTrip(t *testing.T) {
 	f := func(seed int64, camID uint32, n uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
-		m := &IngestBatch{Camera: camID, FrameTime: randTime(rng)}
+		m := &IngestBatch{
+			Camera:    camID,
+			Source:    randSource(rng),
+			Seq:       rng.Uint64() >> uint(rng.Intn(64)), // includes 0 (unsequenced)
+			FrameTime: randTime(rng),
+		}
 		for i := 0; i < int(n%32); i++ {
 			m.Observations = append(m.Observations, randObservation(rng))
 		}
@@ -82,6 +106,81 @@ func TestQuickIngestBatchRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestQuickIngestAckRoundTrip: acks with the replication and replay fields
+// survive the codec.
+func TestQuickIngestAckRoundTrip(t *testing.T) {
+	f := func(accepted, rejected, replicated uint16, replayed bool) bool {
+		m := &IngestAck{
+			Accepted:   int(accepted),
+			Rejected:   int(rejected),
+			Replicated: int(replicated),
+			Replayed:   replayed,
+		}
+		return reflect.DeepEqual(roundTrip(t, m), m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIngestBatchClockOnlyRoundTrip: a pure clock tick — no camera, no
+// observations, only a frame time — is a legal batch and survives the codec.
+func TestIngestBatchClockOnlyRoundTrip(t *testing.T) {
+	m := &IngestBatch{Source: "ingest-7", Seq: 42, FrameTime: time.Unix(1700000000, 500).UTC()}
+	if got := roundTrip(t, m); !reflect.DeepEqual(got, m) {
+		t.Fatalf("clock-only batch changed in transit:\n got  %#v\n want %#v", got, m)
+	}
+	empty := &IngestBatch{}
+	if got := roundTrip(t, empty); !reflect.DeepEqual(got, empty) {
+		t.Fatalf("zero batch changed in transit:\n got  %#v\n want %#v", got, empty)
+	}
+}
+
+// TestIngestBatchMaxSizeRoundTrip: a coalesced batch in the megabyte range
+// (every camera of a large deployment in one frame) round-trips intact, and a
+// batch whose encoding exceeds MaxFrameSize is rejected with
+// ErrFrameTooLarge rather than silently truncated.
+func TestIngestBatchMaxSizeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := &IngestBatch{Source: "ingest-max", Seq: 1, FrameTime: randTime(rng)}
+	for i := 0; i < 50000; i++ {
+		m.Observations = append(m.Observations, Observation{
+			ObsID:  uint64(i + 1),
+			Camera: uint32(i % 1024),
+			Time:   time.Unix(int64(i), 0).UTC(),
+			Pos:    geo.Pt(float64(i%997), float64(i%991)),
+		})
+	}
+	body, err := Marshal(KindIngestBatch, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) < 1<<20 {
+		t.Fatalf("want a megabyte-range encoding, got %d bytes", len(body))
+	}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, KindIngestBatch, m); err != nil {
+		t.Fatal(err)
+	}
+	env, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(env.Payload, m) {
+		t.Fatal("large batch changed in transit")
+	}
+
+	// One observation's feature vector pushes the frame past the cap.
+	over := &IngestBatch{Observations: []Observation{{
+		ObsID:   1,
+		Camera:  1,
+		Feature: make([]float32, MaxFrameSize/4+1),
+	}}}
+	if err := WriteMessage(&buf, KindIngestBatch, over); err != ErrFrameTooLarge {
+		t.Fatalf("oversize batch: got %v, want ErrFrameTooLarge", err)
 	}
 }
 
@@ -157,7 +256,7 @@ func TestQuickDecoderNeverPanics(t *testing.T) {
 // fails to decode (no silent partial reads).
 func TestQuickTruncationAlwaysErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	m := &IngestBatch{Camera: 7, FrameTime: randTime(rng)}
+	m := &IngestBatch{Camera: 7, Source: "ingest-1", Seq: 3, FrameTime: randTime(rng)}
 	for i := 0; i < 5; i++ {
 		m.Observations = append(m.Observations, randObservation(rng))
 	}

@@ -132,21 +132,38 @@ type HeartbeatAck struct {
 	Epoch uint64
 }
 
-// IngestBatch delivers observations from one camera feed to its worker.
-// FrameTime is the camera clock at frame capture: it advances the worker's
-// observation time even when the frame contained no detections (Camera 0
-// with an empty observation list is a pure clock tick addressed to the
-// worker rather than a single camera).
+// IngestBatch delivers observations to a worker. Observations may span
+// multiple cameras (each Observation carries its own Camera), so an ingest
+// pipeline coalesces everything a worker owns in one frame into a single
+// RPC. FrameTime is the camera clock at frame capture: it advances the
+// worker's observation time even when the frame contained no detections
+// (Camera 0 with an empty observation list is a pure clock tick addressed to
+// the worker rather than a single camera).
+//
+// Source and Seq make delivery idempotent: a sender that retries (the
+// resilience layer is at-least-once) stamps each batch with its identity and
+// a per-worker monotonically increasing sequence number. A worker applies a
+// sequenced batch at most once; re-deliveries are acknowledged from the
+// original outcome without touching the index. Unsequenced batches
+// (Source == "" or Seq == 0) keep the plain at-least-once semantics.
 type IngestBatch struct {
-	Camera       uint32
+	Camera       uint32 // single-camera routing hint (coordinator ingest proxy); 0 for multi-camera or clock-only batches
+	Source       string // sender identity scoping Seq; "" = unsequenced
+	Seq          uint64 // per-(Source → worker) delivery sequence; 0 = unsequenced
 	FrameTime    time.Time
 	Observations []Observation
 }
 
-// IngestAck acknowledges a batch.
+// IngestAck acknowledges a batch. Accepted counts observations indexed as
+// the primary owner; Replicated counts standby copies; Rejected counts
+// observations for cameras the worker does not hold at all. Replayed marks
+// the ack of a duplicate sequenced delivery — the counts are those of the
+// original application, so retried senders never double-count.
 type IngestAck struct {
-	Accepted int
-	Rejected int
+	Accepted   int
+	Rejected   int
+	Replicated int
+	Replayed   bool
 }
 
 // TimeWindow is a closed time interval used by all queries.

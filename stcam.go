@@ -68,8 +68,11 @@ type (
 	Worker = core.Worker
 	// Cluster bundles a coordinator and workers over one transport.
 	Cluster = core.Cluster
-	// Ingester routes detection batches to the owning workers.
+	// Ingester routes detection batches to the owning workers, coalescing
+	// each frame into one sequenced RPC per worker and pipelining frames.
 	Ingester = core.Ingester
+	// IngesterOptions tunes an Ingester's pipeline depth and delivery mode.
+	IngesterOptions = core.IngesterOptions
 )
 
 // Wire-protocol types used at the public API boundary.
@@ -174,8 +177,15 @@ func NewLocalClusterOver(t Transport, n int, p Partitioner, opts Options) (*Clus
 	return core.NewLocalClusterOver(t, n, p, opts)
 }
 
-// NewIngester returns a detection router bound to a coordinator.
+// NewIngester returns a detection router bound to a coordinator, with
+// default pipelining. Call Close when done to drain the send lanes.
 func NewIngester(c *Coordinator, t Transport) *Ingester { return core.NewIngester(c, t) }
+
+// NewIngesterWith is NewIngester with explicit pipeline options (depth,
+// serial mode, sender identity).
+func NewIngesterWith(c *Coordinator, t Transport, o IngesterOptions) *Ingester {
+	return core.NewIngesterWith(c, t, o)
+}
 
 // Camera modeling.
 type (

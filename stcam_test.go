@@ -33,6 +33,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		t.Fatal("no route for camera 1")
 	}
 	ing := stcam.NewIngester(cl.Coordinator, cl.Transport)
+	defer ing.Close()
 	if _, err := ing.IngestDetections(ctx, []stcam.Detection{
 		{ObsID: 1, Camera: 1, Pos: stcam.Pt(200, 200), Time: at},
 		{ObsID: 2, Camera: 2, Pos: stcam.Pt(800, 800), Time: at.Add(time.Second)},
