@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check fuzz
+.PHONY: all build vet fmt test race bench check fuzz
 
 all: check
 
@@ -10,15 +10,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# fmt fails if any file deviates from gofmt output.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: vet, build, and the full test suite under the race
-# detector.
-check: vet build race
+# check is the CI gate: format check, vet, build, and the full test suite
+# under the race detector.
+check: fmt vet build race
 
 # bench regenerates the experiment tables at CI scale.
 bench:

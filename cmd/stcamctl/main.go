@@ -5,16 +5,21 @@
 //	stcamctl -coordinator host:7600 count -rect 0,0,500,500 -last 10m
 //	stcamctl -coordinator host:7600 trajectory -target 81604378625 -last 1h
 //	stcamctl -coordinator host:7600 heatmap -rect 0,0,1000,1000 -cell 100 -last 10m
+//	stcamctl -coordinator host:7600 top
+//	stcamctl -coordinator host:7600 stats
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"stcam"
@@ -37,7 +42,7 @@ func run(args []string) error {
 	}
 	rest := global.Args()
 	if len(rest) == 0 {
-		return fmt.Errorf("usage: stcamctl [-coordinator addr] <range|knn|count|trajectory> [flags]")
+		return fmt.Errorf("usage: stcamctl [-coordinator addr] <range|knn|count|trajectory|heatmap|stats|top> [flags]")
 	}
 	cmd, cmdArgs := rest[0], rest[1:]
 
@@ -148,8 +153,93 @@ func run(args []string) error {
 		fmt.Printf("%d non-empty cell(s)\n", len(hr.Cells))
 		return nil
 
+	case "top", "stats":
+		resp, err := transport.Call(ctx, *coordAddr, &wire.ClusterStatsQuery{})
+		if err != nil {
+			return err
+		}
+		cs, ok := resp.(*wire.ClusterStatsResult)
+		if !ok {
+			return fmt.Errorf("unexpected response %T", resp)
+		}
+		if cmd == "top" {
+			renderTop(os.Stdout, cs)
+		} else {
+			renderStats(os.Stdout, cs)
+		}
+		return nil
+
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// renderTop writes the per-worker summary table: one row per registered
+// member, live or not, with the scraped ingest/tracking/RPC figures.
+func renderTop(out io.Writer, cs *wire.ClusterStatsResult) {
+	fmt.Fprintf(out, "epoch %d, %d worker(s)\n", cs.Epoch, len(cs.Workers))
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tALIVE\tCAMS\tRATE\tACCEPTED\tTRACKS\tRECORDS\tRPCERR\tRETRY\tBRK")
+	for _, w := range cs.Workers {
+		if !w.Scraped {
+			fmt.Fprintf(tw, "%s\t%v\t%d\t%.1f/s\t-\t-\t%d\t-\t-\t-\n",
+				w.Node, w.Alive, w.Cameras, w.Load, w.Stored)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%.1f/s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			w.Node, w.Alive, w.Cameras, w.Load,
+			w.Stats.Counters["ingest.accepted"],
+			w.Stats.Gauges["tracks.resident"],
+			w.Stored,
+			w.Stats.Gauges["rpc.errors"],
+			w.Stats.Counters["rpc.retries"],
+			w.Stats.Counters["rpc.breaker_opens"])
+	}
+	tw.Flush() //nolint:errcheck // terminal output
+}
+
+// renderStats dumps every scraped metric, coordinator first, then each
+// worker: counters and gauges as name=value lines, histograms as
+// count/p50/p95/p99.
+func renderStats(out io.Writer, cs *wire.ClusterStatsResult) {
+	renderNodeStats(out, &cs.Coordinator)
+	for i := range cs.Workers {
+		w := &cs.Workers[i]
+		if !w.Scraped {
+			fmt.Fprintf(out, "\n[%s] not scraped (alive=%v)\n", w.Node, w.Alive)
+			continue
+		}
+		fmt.Fprintln(out)
+		renderNodeStats(out, &w.Stats)
+	}
+}
+
+func renderNodeStats(out io.Writer, s *wire.StatsResult) {
+	fmt.Fprintf(out, "[%s]\n", s.Node)
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if v, ok := s.Counters[n]; ok {
+			fmt.Fprintf(out, "  %s = %d\n", n, v)
+		} else {
+			fmt.Fprintf(out, "  %s = %d\n", n, s.Gauges[n])
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(out, "  %s: count=%d p50=%v p95=%v p99=%v\n",
+			n, h.Count, time.Duration(h.P50), time.Duration(h.P95), time.Duration(h.P99))
 	}
 }
 

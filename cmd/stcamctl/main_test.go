@@ -1,9 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
 	"testing"
+	"time"
 
 	"stcam"
+	"stcam/internal/wire"
 )
 
 func TestParseRect(t *testing.T) {
@@ -53,6 +59,102 @@ func TestParsePoint(t *testing.T) {
 		}
 		if err == nil && got != tt.want {
 			t.Errorf("parsePoint(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+// TestTopRendersClusterStats drives the stats aggregation end to end: a
+// 4-worker in-proc cluster with live ingest, scraped through the same
+// ClusterStatsQuery message the CLI sends, rendered by the same renderers.
+func TestTopRendersClusterStats(t *testing.T) {
+	ctx := context.Background()
+	c, err := stcam.NewLocalCluster(4, nil, stcam.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// A 4×4 omni-camera grid over a 1km square, one observation per camera.
+	var cams []stcam.CameraInfo
+	for i := 0; i < 16; i++ {
+		cams = append(cams, stcam.CameraInfo{
+			ID:      uint32(i + 1),
+			Pos:     stcam.Pt(float64(i%4)*250+125, float64(i/4)*250+125),
+			HalfFOV: math.Pi,
+			Range:   300,
+		})
+	}
+	if err := c.Coordinator.AddCameras(ctx, cams, 50); err != nil {
+		t.Fatal(err)
+	}
+	for i, ci := range cams {
+		addr, ok := c.Coordinator.RouteFor(ci.ID)
+		if !ok {
+			t.Fatalf("no route for camera %d", ci.ID)
+		}
+		batch := &wire.IngestBatch{Camera: ci.ID, Observations: []wire.Observation{
+			{ObsID: uint64(i + 1), Camera: ci.ID, Pos: ci.Pos, Time: stcam.SimStart.Add(time.Duration(i) * time.Second)},
+		}}
+		if _, err := c.Transport.Call(ctx, addr, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Heartbeats freshen the membership view (load, stored, cameras).
+	for _, w := range c.Workers {
+		if err := w.SendHeartbeat(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := c.Transport.Call(ctx, c.Coordinator.Addr(), &wire.ClusterStatsQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ok := resp.(*wire.ClusterStatsResult)
+	if !ok {
+		t.Fatalf("unexpected response %T", resp)
+	}
+	if len(cs.Workers) != 4 {
+		t.Fatalf("stats cover %d workers, want 4", len(cs.Workers))
+	}
+	var accepted, stored int64
+	for _, w := range cs.Workers {
+		if !w.Scraped || !w.Alive {
+			t.Errorf("worker %s: scraped=%v alive=%v, want both", w.Node, w.Scraped, w.Alive)
+		}
+		accepted += w.Stats.Counters["ingest.accepted"]
+		stored += int64(w.Stored)
+		if len(w.Stats.Histograms) == 0 {
+			t.Errorf("worker %s scrape has no histograms", w.Node)
+		}
+	}
+	if accepted != 16 || stored != 16 {
+		t.Errorf("aggregate accepted=%d stored=%d, want 16/16", accepted, stored)
+	}
+	if len(cs.Coordinator.Histograms) == 0 {
+		t.Error("coordinator scrape has no rpc histograms")
+	}
+
+	var top bytes.Buffer
+	renderTop(&top, cs)
+	out := top.String()
+	if !strings.Contains(out, "NODE") || !strings.Contains(out, "RPCERR") {
+		t.Fatalf("top header missing:\n%s", out)
+	}
+	for _, w := range c.Workers {
+		if !strings.Contains(out, string(w.ID())) {
+			t.Errorf("top output missing worker %s:\n%s", w.ID(), out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 6 { // epoch line + header + 4 workers
+		t.Errorf("top printed %d lines, want 6:\n%s", lines, out)
+	}
+
+	var stats bytes.Buffer
+	renderStats(&stats, cs)
+	for _, want := range []string{"[coordinator]", "[w01]", "[w04]", "ingest.accepted", "rpc.serve."} {
+		if !strings.Contains(stats.String(), want) {
+			t.Errorf("stats output missing %q", want)
 		}
 	}
 }

@@ -12,6 +12,10 @@
 // Cameras are registered by a client (cmd/stcam-sim, or any program sending
 // an AssignCameras message to the coordinator); queries go through
 // cmd/stcamctl.
+//
+// Either role can additionally expose an observability endpoint with
+// -http addr, serving Prometheus-format /metrics, /healthz, /readyz, and
+// /debug/pprof; -slow-rpc enables trace-tagged slow-call logging.
 package main
 
 import (
@@ -36,17 +40,19 @@ func main() {
 
 func run() error {
 	var (
-		role      = flag.String("role", "worker", "node role: coordinator | worker")
-		id        = flag.String("id", "", "worker node id (required for workers)")
-		addr      = flag.String("addr", ":7601", "listen address")
-		coordAddr = flag.String("coordinator", "127.0.0.1:7600", "coordinator address (workers)")
-		heartbeat = flag.Duration("heartbeat", time.Second, "worker heartbeat interval")
-		hbTimeout = flag.Duration("failure-timeout", 5*time.Second, "coordinator: declare workers dead after this silence")
+		role        = flag.String("role", "worker", "node role: coordinator | worker")
+		id          = flag.String("id", "", "worker node id (required for workers)")
+		addr        = flag.String("addr", ":7601", "listen address")
+		coordAddr   = flag.String("coordinator", "127.0.0.1:7600", "coordinator address (workers)")
+		heartbeat   = flag.Duration("heartbeat", time.Second, "worker heartbeat interval")
+		hbTimeout   = flag.Duration("failure-timeout", 5*time.Second, "coordinator: declare workers dead after this silence")
 		retention   = flag.Duration("retention", 0, "worker observation retention (0 = unlimited)")
 		sweep       = flag.Duration("sweep", time.Second, "coordinator: liveness sweep interval")
 		callTimeout = flag.Duration("call-timeout", 2*time.Second, "per-attempt RPC deadline for outbound calls (negative = unbounded)")
 		attempts    = flag.Int("call-attempts", 3, "RPC attempts per outbound call, including the first (1 = no retries)")
 		ingestDepth = flag.Int("ingest-pipeline-depth", 0, "coordinator: max concurrent worker RPCs per proxied ingest batch (0 = default)")
+		httpAddr    = flag.String("http", "", "observability HTTP address serving /metrics, /healthz, /readyz, /debug/pprof (empty = disabled)")
+		slowRPC     = flag.Duration("slow-rpc", 0, "log outbound RPCs slower than this, with trace IDs (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -58,6 +64,7 @@ func run() error {
 		CallTimeout:         *callTimeout,
 		RetryPolicy:         stcam.Policy{MaxAttempts: *attempts},
 		IngestPipelineDepth: *ingestDepth,
+		SlowRPCThreshold:    *slowRPC,
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -71,6 +78,18 @@ func run() error {
 		}
 		defer coord.Stop()
 		log.Printf("coordinator listening on %s", coord.Addr())
+		if *httpAddr != "" {
+			o, err := stcam.ServeObs(*httpAddr, stcam.ObsOptions{
+				Node:     "coordinator",
+				Snapshot: coord.StatsSnapshot,
+				Ready:    coord.Ready,
+			})
+			if err != nil {
+				return err
+			}
+			defer o.Close()
+			log.Printf("observability on http://%s/metrics", o.Addr())
+		}
 		ticker := time.NewTicker(*sweep)
 		defer ticker.Stop()
 		for {
@@ -101,6 +120,18 @@ func run() error {
 		defer w.Stop()
 		w.StartHeartbeats(*heartbeat)
 		log.Printf("worker %s listening on %s, coordinator %s", *id, w.Addr(), *coordAddr)
+		if *httpAddr != "" {
+			o, err := stcam.ServeObs(*httpAddr, stcam.ObsOptions{
+				Node:     *id,
+				Snapshot: w.StatsSnapshot,
+				Ready:    w.Ready,
+			})
+			if err != nil {
+				return err
+			}
+			defer o.Close()
+			log.Printf("observability on http://%s/metrics", o.Addr())
+		}
 		<-stop
 		log.Print("shutting down")
 		return nil

@@ -3,7 +3,6 @@ package cluster
 import (
 	"bytes"
 	"encoding/binary"
-	"reflect"
 	"testing"
 
 	"stcam/internal/wire"
@@ -12,17 +11,25 @@ import (
 // FuzzReadRPCFrame throws arbitrary bytes at the TCP frame reader: it must
 // either decode a frame or return an error — never panic, never over-allocate
 // past the frame-size cap — and every valid frame it does decode must
-// round-trip back to identical bytes.
+// round-trip back to identical bytes. Both frame versions are covered: v1
+// (no trace field) and v2 (flagTrace + 8-byte trace id).
 func FuzzReadRPCFrame(f *testing.F) {
 	// Seed with a valid frame, its truncations, and classic corruptions.
-	valid, err := appendRPCFrame(nil, 42, 1, &wire.Heartbeat{Node: "w1", Seq: 9, Load: 1.5})
+	valid, err := appendRPCFrame(nil, 42, 1, 0, &wire.Heartbeat{Node: "w1", Seq: 9, Load: 1.5})
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(valid)
+	// The same message as a v2 traced frame.
+	traced, err := appendRPCFrame(nil, 42, 1, 0xdeadbeefcafef00d, &wire.Heartbeat{Node: "w1", Seq: 9, Load: 1.5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(traced)
+	f.Add(traced[:16]) // flagTrace set but trace field truncated
 	// A sequenced multi-camera ingest batch (the coalesced pipeline shape)
 	// and a clock-only tick exercise the Source/Seq encoding paths.
-	multiCam, err := appendRPCFrame(nil, 43, 0, &wire.IngestBatch{
+	multiCam, err := appendRPCFrame(nil, 43, 0, 7, &wire.IngestBatch{
 		Source: "ingest-1",
 		Seq:    7,
 		Observations: []wire.Observation{
@@ -34,7 +41,7 @@ func FuzzReadRPCFrame(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(multiCam)
-	clockOnly, err := appendRPCFrame(nil, 44, 0, &wire.IngestBatch{Source: "ingest-2", Seq: 1})
+	clockOnly, err := appendRPCFrame(nil, 44, 0, 0, &wire.IngestBatch{Source: "ingest-2", Seq: 1})
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -54,25 +61,33 @@ func FuzzReadRPCFrame(f *testing.F) {
 	f.Add(badLen)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		reqID, flags, env, err := readRPCFrame(bytes.NewReader(data))
+		reqID, flags, traceID, env, err := readRPCFrame(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
 		// Whatever decoded must re-encode to a frame that decodes equal:
-		// the reader and writer agree on the format.
-		frame, err := appendRPCFrame(nil, reqID, flags, env.Payload)
+		// the reader and writer agree on the format. The re-encoder picks
+		// the frame version from the trace ID, so flags may gain or lose
+		// flagTrace when the input set the bit inconsistently (e.g. a
+		// traced frame whose trace field decoded to 0); mask it out of the
+		// header comparison and compare the trace ID directly.
+		frame, err := appendRPCFrame(nil, reqID, flags, traceID, env.Payload)
 		if err != nil {
 			t.Fatalf("decoded payload %T does not re-encode: %v", env.Payload, err)
 		}
-		reqID2, flags2, env2, err := readRPCFrame(bytes.NewReader(frame))
+		reqID2, flags2, traceID2, env2, err := readRPCFrame(bytes.NewReader(frame))
 		if err != nil {
 			t.Fatalf("re-encoded frame does not decode: %v", err)
 		}
-		if reqID2 != reqID || flags2 != flags || env2.Kind != env.Kind {
-			t.Fatalf("round trip changed header: (%d,%d,%v) vs (%d,%d,%v)",
-				reqID, flags, env.Kind, reqID2, flags2, env2.Kind)
+		if reqID2 != reqID || flags2&^flagTrace != flags&^flagTrace || traceID2 != traceID || env2.Kind != env.Kind {
+			t.Fatalf("round trip changed header: (%d,%d,%d,%v) vs (%d,%d,%d,%v)",
+				reqID, flags, traceID, env.Kind, reqID2, flags2, traceID2, env2.Kind)
 		}
-		if !reflect.DeepEqual(env2.Payload, env.Payload) {
+		// Compare payloads by their encoding, not reflect.DeepEqual: NaN
+		// floats round-trip byte-identically but are never reflect-equal.
+		b1, err1 := wire.Marshal(env.Kind, env.Payload)
+		b2, err2 := wire.Marshal(env2.Kind, env2.Payload)
+		if err1 != nil || err2 != nil || !bytes.Equal(b1, b2) {
 			t.Fatalf("round trip changed payload:\n got  %#v\n want %#v", env2.Payload, env.Payload)
 		}
 	})

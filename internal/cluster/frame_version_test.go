@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"stcam/internal/wire"
+)
+
+// encodeV1Frame builds a frame in the original (pre-trace) layout by hand,
+// so the compatibility tests do not depend on the current encoder.
+func encodeV1Frame(t testing.TB, reqID uint64, flags byte, payload any) []byte {
+	t.Helper()
+	kind := wire.KindOf(payload)
+	body, err := wire.Marshal(kind, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 4+rpcHeaderLen, 4+rpcHeaderLen+len(body))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(rpcHeaderLen+len(body)))
+	binary.BigEndian.PutUint64(frame[4:12], reqID)
+	frame[12] = flags
+	frame[13] = byte(kind)
+	return append(frame, body...)
+}
+
+// TestFrameV1Decode: a v1 frame (no trace field) must decode on the current
+// reader as an untraced call — old senders keep working.
+func TestFrameV1Decode(t *testing.T) {
+	msg := &wire.Heartbeat{Node: "w7", Seq: 3, Load: 0.25, Stored: 10, Cameras: 2}
+	old := encodeV1Frame(t, 99, 0, msg)
+	reqID, flags, traceID, env, err := readRPCFrame(bytes.NewReader(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqID != 99 || flags != 0 || traceID != 0 {
+		t.Fatalf("header = (%d, %d, %d), want (99, 0, 0)", reqID, flags, traceID)
+	}
+	if !reflect.DeepEqual(env.Payload, msg) {
+		t.Fatalf("payload mismatch: %#v", env.Payload)
+	}
+}
+
+// TestFrameUntracedIsV1: an untraced send must emit bytes identical to the
+// v1 layout — new senders stay readable by old receivers.
+func TestFrameUntracedIsV1(t *testing.T) {
+	msg := &wire.TrackStop{TrackID: 11}
+	got, err := appendRPCFrame(nil, 5, flagResponse, 0, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encodeV1Frame(t, 5, flagResponse, msg)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("untraced frame differs from v1 layout:\n got  %x\n want %x", got, want)
+	}
+}
+
+// TestQuickFrameHeaderRoundTrip is the versioned-header property: for any
+// (reqID, flags, traceID), encode→decode returns the same header, with the
+// trace bit tracking whether a trace ID rode along.
+func TestQuickFrameHeaderRoundTrip(t *testing.T) {
+	prop := func(reqID uint64, flags byte, traceID uint64, seq uint64) bool {
+		flags &^= flagTrace // encoder owns this bit
+		msg := &wire.Heartbeat{Node: "w1", Seq: seq}
+		frame, err := appendRPCFrame(nil, reqID, flags, traceID, msg)
+		if err != nil {
+			return false
+		}
+		reqID2, flags2, traceID2, env, err := readRPCFrame(bytes.NewReader(frame))
+		if err != nil {
+			return false
+		}
+		wantFlags := flags
+		if traceID != 0 {
+			wantFlags |= flagTrace
+		}
+		return reqID2 == reqID && flags2 == wantFlags && traceID2 == traceID &&
+			reflect.DeepEqual(env.Payload, msg)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrameTraceTruncated: flagTrace with fewer than 8 payload bytes must
+// error, not panic or misparse.
+func TestFrameTraceTruncated(t *testing.T) {
+	frame, err := appendRPCFrame(nil, 1, 0, 0xabcdef, &wire.TrackStop{TrackID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the length to claim the frame ends inside the trace field.
+	cut := frame[:4+rpcHeaderLen+4]
+	trunc := append([]byte(nil), cut...)
+	binary.BigEndian.PutUint32(trunc[0:4], uint32(len(trunc)-4))
+	if _, _, _, _, err := readRPCFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace field decoded without error")
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"stcam/internal/metrics"
+	"stcam/internal/wire"
 )
 
 // ErrCircuitOpen is returned for calls rejected by an open circuit breaker.
@@ -49,6 +51,11 @@ type Policy struct {
 	// Cooldown is how long an open breaker waits before admitting a single
 	// half-open probe call (default 1s).
 	Cooldown time.Duration
+	// SlowCallThreshold, when positive, makes every Call whose total
+	// duration (including retries and backoff) reaches it emit one
+	// structured log line carrying the trace ID. Zero disables slow-call
+	// logging.
+	SlowCallThreshold time.Duration
 }
 
 // withDefaults resolves zero fields to the documented defaults.
@@ -215,8 +222,8 @@ type Resilient struct {
 	policy Policy
 	reg    *metrics.Registry // optional mirror of the counters below
 
-	now   func() time.Time                                  // injectable for tests
-	sleep func(ctx context.Context, d time.Duration) error  // injectable for tests
+	now   func() time.Time                                 // injectable for tests
+	sleep func(ctx context.Context, d time.Duration) error // injectable for tests
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -293,7 +300,32 @@ func (r *Resilient) Stats() TransportStats {
 }
 
 // Call implements Transport with retries, deadlines, and circuit breaking.
+// Every call carries a trace ID: the caller's (via WithTrace) or a fresh one,
+// stamped into the context so the wire layer puts it on the frame. The whole
+// call (attempts + backoff) is timed into a per-message-kind latency
+// histogram when a metrics registry is attached, and calls slower than
+// Policy.SlowCallThreshold log one line with the trace ID.
 func (r *Resilient) Call(ctx context.Context, addr string, req any) (any, error) {
+	traceID := TraceFrom(ctx)
+	if traceID == 0 {
+		traceID = NewTraceID()
+		ctx = WithTrace(ctx, traceID)
+	}
+	start := r.now()
+	resp, attempts, err := r.call(ctx, addr, traceID, req)
+	elapsed := r.now().Sub(start)
+	if r.reg != nil {
+		r.reg.Histogram("rpc.call." + wire.KindOf(req).String()).Observe(elapsed)
+	}
+	if t := r.policy.SlowCallThreshold; t > 0 && elapsed >= t {
+		log.Printf("cluster: slow rpc trace=%s kind=%v peer=%s attempts=%d elapsed=%v err=%v",
+			TraceString(traceID), wire.KindOf(req), addr, attempts, elapsed, err)
+	}
+	return resp, err
+}
+
+// call runs the retry loop, returning the number of attempts made.
+func (r *Resilient) call(ctx context.Context, addr string, traceID uint64, req any) (any, int, error) {
 	// In-flight accounting: pipelined callers (the ingest path) read the
 	// high-water mark to confirm their concurrency window actually opened.
 	cur := r.inFlight.Add(1)
@@ -314,7 +346,7 @@ func (r *Resilient) Call(ctx context.Context, addr string, req any) (any, error)
 		if br != nil && !br.allow(r.now(), p.Cooldown) {
 			r.fastFails.Add(1)
 			r.count("rpc.breaker_fastfails")
-			return nil, fmt.Errorf("%w (%s)", ErrCircuitOpen, addr)
+			return nil, attempt - 1, fmt.Errorf("%w (%s)", ErrCircuitOpen, addr)
 		}
 		actx := ctx
 		cancel := func() {}
@@ -328,7 +360,7 @@ func (r *Resilient) Call(ctx context.Context, addr string, req any) (any, error)
 			if br != nil {
 				br.onSuccess()
 			}
-			return resp, nil
+			return resp, attempt, nil
 		}
 		var re *RemoteError
 		if errors.As(err, &re) {
@@ -337,7 +369,13 @@ func (r *Resilient) Call(ctx context.Context, addr string, req any) (any, error)
 			if br != nil {
 				br.onSuccess()
 			}
-			return nil, err
+			return nil, attempt, err
+		}
+		// Per-attempt trace logging rides the slow-call switch so fault-heavy
+		// test runs (which inject failures on purpose) stay quiet by default.
+		if p.SlowCallThreshold > 0 {
+			log.Printf("cluster: rpc attempt failed trace=%s kind=%v peer=%s attempt=%d/%d err=%v",
+				TraceString(traceID), wire.KindOf(req), addr, attempt, p.MaxAttempts, err)
 		}
 		if attemptTimedOut {
 			r.timeouts.Add(1)
@@ -349,15 +387,15 @@ func (r *Resilient) Call(ctx context.Context, addr string, req any) (any, error)
 		}
 		lastErr = err
 		if ctx.Err() != nil {
-			return nil, lastErr // the caller gave up; no further attempts
+			return nil, attempt, lastErr // the caller gave up; no further attempts
 		}
 		if attempt >= p.MaxAttempts {
-			return nil, lastErr
+			return nil, attempt, lastErr
 		}
 		r.retries.Add(1)
 		r.count("rpc.retries")
 		if err := r.sleep(ctx, r.jittered(p.backoff(attempt))); err != nil {
-			return nil, lastErr
+			return nil, attempt, lastErr
 		}
 	}
 }

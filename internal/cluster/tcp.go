@@ -18,10 +18,14 @@ import (
 //
 // RPC frame layout (inside the TCP stream):
 //
-//	[4B frame length][8B request id][1B flags][1B kind][payload]
+//	[4B frame length][8B request id][1B flags][1B kind][8B trace id]?[payload]
 //
-// where flags bit0 = response. The frame length covers everything after the
-// length field itself.
+// where flags bit0 = response and flags bit1 = trace id present (frame v2:
+// the 8-byte trace field sits between the kind byte and the payload). Frames
+// without bit1 are the original v1 layout, so old and new peers interoperate:
+// a v1 frame decodes as an untraced call, and untraced calls are emitted as
+// v1 frames. The frame length covers everything after the length field
+// itself.
 type TCP struct {
 	mu      sync.Mutex
 	clients map[string]*tcpClient
@@ -38,7 +42,9 @@ var _ Transport = (*TCP)(nil)
 
 const (
 	flagResponse = 1 << 0
+	flagTrace    = 1 << 1 // frame v2: 8-byte trace id follows the kind byte
 	rpcHeaderLen = 8 + 1 + 1
+	rpcTraceLen  = 8
 )
 
 // Serve implements Transport.
@@ -121,7 +127,7 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 	for {
-		reqID, flags, env, err := readRPCFrame(r)
+		reqID, flags, traceID, env, err := readRPCFrame(r)
 		if err != nil {
 			return
 		}
@@ -131,7 +137,7 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		handlers.Add(1)
 		go func() {
 			defer handlers.Done()
-			resp, err := s.handler(context.Background(), peer, env.Payload)
+			resp, err := s.handler(WithTrace(context.Background(), traceID), peer, env.Payload)
 			if err != nil {
 				resp = &wire.Error{Code: wire.CodeUnknown, Message: err.Error()}
 			}
@@ -144,9 +150,10 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 			// connection. Encoding failures turn into an Error response;
 			// write failures mean the stream state is unknown, so the only
 			// safe move is to drop the connection and let the client redial.
-			frame, err := appendRPCFrame(nil, reqID, flagResponse, resp)
+			// The response frame echoes the request's trace ID.
+			frame, err := appendRPCFrame(nil, reqID, flagResponse, traceID, resp)
 			if err != nil {
-				frame, err = appendRPCFrame(nil, reqID, flagResponse,
+				frame, err = appendRPCFrame(nil, reqID, flagResponse, traceID,
 					&wire.Error{Code: wire.CodeUnknown, Message: "response encoding failed: " + err.Error()})
 				if err != nil {
 					conn.Close()
@@ -274,7 +281,7 @@ func (c *tcpClient) close() {
 func (c *tcpClient) readLoop() {
 	r := bufio.NewReaderSize(c.conn, 64<<10)
 	for {
-		reqID, flags, env, err := readRPCFrame(r)
+		reqID, flags, _, env, err := readRPCFrame(r)
 		if err != nil {
 			c.close()
 			return
@@ -307,7 +314,7 @@ func (c *tcpClient) call(ctx context.Context, req any) (any, error) {
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeRPCFrame(c.w, id, 0, req)
+	err := writeRPCFrame(c.w, id, 0, TraceFrom(ctx), req)
 	if err == nil {
 		err = c.w.Flush()
 	}
@@ -335,8 +342,10 @@ func (c *tcpClient) call(ctx context.Context, req any) (any, error) {
 }
 
 // appendRPCFrame marshals one framed RPC message onto buf. Encoding happens
-// entirely off the wire, so a failure here never corrupts a connection.
-func appendRPCFrame(buf []byte, reqID uint64, flags byte, payload any) ([]byte, error) {
+// entirely off the wire, so a failure here never corrupts a connection. A
+// non-zero traceID selects the v2 layout (flagTrace set, 8-byte trace field);
+// traceID 0 emits the original v1 frame byte-for-byte.
+func appendRPCFrame(buf []byte, reqID uint64, flags byte, traceID uint64, payload any) ([]byte, error) {
 	kind := wire.KindOf(payload)
 	if kind == 0 {
 		return nil, &RemoteError{Code: wire.CodeBadRequest, Message: fmt.Sprintf("unknown message type %T", payload)}
@@ -345,22 +354,32 @@ func appendRPCFrame(buf []byte, reqID uint64, flags byte, payload any) ([]byte, 
 	if err != nil {
 		return nil, err
 	}
-	total := rpcHeaderLen + len(body)
+	hdrLen := rpcHeaderLen
+	if traceID != 0 {
+		flags |= flagTrace
+		hdrLen += rpcTraceLen
+	} else {
+		flags &^= flagTrace
+	}
+	total := hdrLen + len(body)
 	if total > wire.MaxFrameSize {
 		return nil, wire.ErrFrameTooLarge
 	}
-	var hdr [4 + rpcHeaderLen]byte
+	var hdr [4 + rpcHeaderLen + rpcTraceLen]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(total))
 	binary.BigEndian.PutUint64(hdr[4:12], reqID)
 	hdr[12] = flags
 	hdr[13] = byte(kind)
-	buf = append(buf, hdr[:]...)
+	if traceID != 0 {
+		binary.BigEndian.PutUint64(hdr[14:22], traceID)
+	}
+	buf = append(buf, hdr[:4+hdrLen]...)
 	return append(buf, body...), nil
 }
 
 // writeRPCFrame marshals and writes one framed RPC message.
-func writeRPCFrame(w io.Writer, reqID uint64, flags byte, payload any) error {
-	frame, err := appendRPCFrame(nil, reqID, flags, payload)
+func writeRPCFrame(w io.Writer, reqID uint64, flags byte, traceID uint64, payload any) error {
+	frame, err := appendRPCFrame(nil, reqID, flags, traceID, payload)
 	if err != nil {
 		return err
 	}
@@ -368,26 +387,34 @@ func writeRPCFrame(w io.Writer, reqID uint64, flags byte, payload any) error {
 	return err
 }
 
-// readRPCFrame reads one framed RPC message.
-func readRPCFrame(r io.Reader) (reqID uint64, flags byte, env wire.Envelope, err error) {
+// readRPCFrame reads one framed RPC message. traceID is 0 for v1 frames.
+func readRPCFrame(r io.Reader) (reqID uint64, flags byte, traceID uint64, env wire.Envelope, err error) {
 	var lenBuf [4]byte
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, 0, wire.Envelope{}, err
+		return 0, 0, 0, wire.Envelope{}, err
 	}
 	total := binary.BigEndian.Uint32(lenBuf[:])
 	if total < rpcHeaderLen || total > wire.MaxFrameSize {
-		return 0, 0, wire.Envelope{}, wire.ErrFrameTooLarge
+		return 0, 0, 0, wire.Envelope{}, wire.ErrFrameTooLarge
 	}
 	buf := make([]byte, total)
 	if _, err = io.ReadFull(r, buf); err != nil {
-		return 0, 0, wire.Envelope{}, err
+		return 0, 0, 0, wire.Envelope{}, err
 	}
 	reqID = binary.BigEndian.Uint64(buf[0:8])
 	flags = buf[8]
 	kind := wire.MsgKind(buf[9])
-	payload, err := wire.Unmarshal(kind, buf[rpcHeaderLen:])
-	if err != nil {
-		return 0, 0, wire.Envelope{}, err
+	body := buf[rpcHeaderLen:]
+	if flags&flagTrace != 0 {
+		if len(body) < rpcTraceLen {
+			return 0, 0, 0, wire.Envelope{}, io.ErrUnexpectedEOF
+		}
+		traceID = binary.BigEndian.Uint64(body[:rpcTraceLen])
+		body = body[rpcTraceLen:]
 	}
-	return reqID, flags, wire.Envelope{Kind: kind, Payload: payload}, nil
+	payload, err := wire.Unmarshal(kind, body)
+	if err != nil {
+		return 0, 0, 0, wire.Envelope{}, err
+	}
+	return reqID, flags, traceID, wire.Envelope{Kind: kind, Payload: payload}, nil
 }

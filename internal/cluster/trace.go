@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+)
+
+// Trace IDs give every RPC a correlation handle: the Resilient client stamps
+// one on each outbound call (unless the caller already put one in the
+// context), the TCP frame carries it to the server, and the server handler
+// sees it via TraceFrom. A trace ID of 0 means "no trace" everywhere, so
+// old-format frames (without the trace field) decode as untraced calls.
+
+type traceKey struct{}
+
+// WithTrace returns a context carrying the trace ID. A zero ID is a no-op.
+func WithTrace(ctx context.Context, id uint64) context.Context {
+	if id == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFrom extracts the trace ID from the context (0 when absent).
+func TraceFrom(ctx context.Context) uint64 {
+	id, _ := ctx.Value(traceKey{}).(uint64)
+	return id
+}
+
+// NewTraceID returns a fresh non-zero random trace ID.
+func NewTraceID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
+// TraceString renders a trace ID the way log lines spell it (16 hex digits).
+func TraceString(id uint64) string { return fmt.Sprintf("%016x", id) }

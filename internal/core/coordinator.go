@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -70,6 +71,7 @@ type coordTrack struct {
 	ch         chan wire.TrackUpdate
 	handoffs   int
 	path       []wire.TrackUpdate // stitched cross-camera trajectory
+	primed     map[wire.NodeID]bool
 }
 
 // maxTrackPath bounds the per-track trajectory memory; older samples are
@@ -152,8 +154,17 @@ func (c *Coordinator) Epoch() uint64 {
 // handle dispatches inbound RPCs: worker control traffic, plus the
 // client-facing query surface (remote clients send the same query messages a
 // worker answers; the coordinator scatter-gathers and returns the merged
-// result).
-func (c *Coordinator) handle(ctx context.Context, _ string, req any) (any, error) {
+// result). Each request is timed into a per-kind rpc.serve histogram so the
+// server-side latency distribution shows up in /metrics alongside the
+// client-side rpc.call one.
+func (c *Coordinator) handle(ctx context.Context, from string, req any) (any, error) {
+	start := time.Now()
+	resp, err := c.dispatch(ctx, from, req)
+	c.reg.Histogram("rpc.serve." + wire.KindOf(req).String()).Observe(time.Since(start))
+	return resp, err
+}
+
+func (c *Coordinator) dispatch(ctx context.Context, _ string, req any) (any, error) {
 	switch m := req.(type) {
 	case *wire.Register:
 		c.membership.Register(m, time.Now())
@@ -222,6 +233,8 @@ func (c *Coordinator) handle(ctx context.Context, _ string, req any) (any, error
 		return &wire.AssignAck{Epoch: c.Epoch(), Accepted: len(m.Cameras)}, nil
 	case *wire.IngestBatch:
 		return c.proxyIngest(ctx, m)
+	case *wire.ClusterStatsQuery:
+		return c.ClusterStats(ctx), nil
 	default:
 		return &wire.Error{Code: wire.CodeBadRequest, Message: fmt.Sprintf("coordinator: unexpected %T", req)}, nil
 	}
@@ -885,6 +898,8 @@ func (c *Coordinator) trackCount() int {
 func (c *Coordinator) onTrackUpdate(m *wire.TrackUpdate) {
 	c.mu.Lock()
 	tr, ok := c.tracks[m.TrackID]
+	var stale []wire.NodeID
+	var owner wire.NodeID
 	if ok {
 		tr.lastCamera = m.Camera
 		tr.lastSeen = m.Time
@@ -893,6 +908,16 @@ func (c *Coordinator) onTrackUpdate(m *wire.TrackUpdate) {
 			tr.path = append(tr.path, *m)
 			if len(tr.path) > maxTrackPath {
 				tr.path = append(tr.path[:0:0], tr.path[len(tr.path)-maxTrackPath:]...)
+			}
+			// The owner re-sighted the target while a handoff was in flight:
+			// the peer primes armed by beginHandoff are now stale. Revoke them
+			// before one matches a look-alike and forks the track.
+			if len(tr.primed) > 0 {
+				for n := range tr.primed {
+					stale = append(stale, n)
+				}
+				tr.primed = nil
+				owner = tr.owner
 			}
 		}
 	}
@@ -904,6 +929,31 @@ func (c *Coordinator) onTrackUpdate(m *wire.TrackUpdate) {
 	case tr.ch <- *m:
 	default:
 		c.reg.Counter("tracks.dropped_updates").Inc()
+	}
+	if len(stale) > 0 {
+		c.reg.Counter("handoff.aborted").Inc()
+		c.cancelPrimes(context.Background(), m.TrackID, stale, owner)
+	}
+}
+
+// cancelPrimes sends TrackStop to every node that still has a prime armed for
+// the track, except keep (the node that owns or just claimed it). Cancellation
+// is best-effort: a node whose prime already expired answers NotFound, which
+// is fine — the goal is that no armed prime outlives the handoff it served.
+func (c *Coordinator) cancelPrimes(ctx context.Context, trackID uint64, nodes []wire.NodeID, keep wire.NodeID) {
+	for _, n := range nodes {
+		if n == keep {
+			continue
+		}
+		mem, ok := c.membership.Get(n)
+		if !ok || !mem.Alive {
+			continue
+		}
+		if _, err := c.rpc.Call(ctx, mem.Addr, &wire.TrackStop{TrackID: trackID}); err != nil {
+			c.reg.Counter("handoff.prime_cancel_errors").Inc()
+		} else {
+			c.reg.Counter("handoff.primes_canceled").Inc()
+		}
 	}
 }
 
@@ -956,6 +1006,7 @@ func (c *Coordinator) beginHandoff(m *wire.TrackHandoff) {
 		Expires: m.Time.Add(c.opts.PrimeTTL),
 	}
 	ctx := context.Background()
+	var primed []wire.NodeID
 	for node, cams := range byNode {
 		mem, ok := c.membership.Get(node)
 		if !ok || !mem.Alive {
@@ -968,7 +1019,20 @@ func (c *Coordinator) beginHandoff(m *wire.TrackHandoff) {
 		} else {
 			c.reg.Counter("handoff.primes_sent").Inc()
 		}
+		// Recorded even when the RPC errored: a timed-out prime may still
+		// have armed on the peer, and cancellation is idempotent.
+		primed = append(primed, node)
 	}
+	c.mu.Lock()
+	if cur, ok := c.tracks[m.TrackID]; ok && cur == tr {
+		if tr.primed == nil {
+			tr.primed = make(map[wire.NodeID]bool, len(primed))
+		}
+		for _, n := range primed {
+			tr.primed[n] = true
+		}
+	}
+	c.mu.Unlock()
 }
 
 func (c *Coordinator) completeHandoff(m *wire.TrackHandoff) {
@@ -977,6 +1041,7 @@ func (c *Coordinator) completeHandoff(m *wire.TrackHandoff) {
 	var prevOwner, newOwner wire.NodeID
 	var prevCamera uint32
 	var prevSeen time.Time
+	var losers []wire.NodeID
 	if ok {
 		prevOwner = tr.owner
 		prevCamera = tr.lastCamera
@@ -989,6 +1054,16 @@ func (c *Coordinator) completeHandoff(m *wire.TrackHandoff) {
 		tr.lastSeen = m.Time
 		tr.feature = m.Feature
 		tr.handoffs++
+		// The race is settled: every peer that was primed but did not claim
+		// still has a live prime that could match a look-alike later. The
+		// previous owner is excluded here because the ownership-move path
+		// below already stops its resident copy (and its prime with it).
+		for n := range tr.primed {
+			if n != prevOwner {
+				losers = append(losers, n)
+			}
+		}
+		tr.primed = nil
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -1006,48 +1081,62 @@ func (c *Coordinator) completeHandoff(m *wire.TrackHandoff) {
 			c.rpc.Call(context.Background(), mem.Addr, &wire.TrackStop{TrackID: m.TrackID}) //nolint:errcheck // best-effort
 		}
 	}
+	// Revoke the losing primes (the claimant consumed its own on claim).
+	c.cancelPrimes(context.Background(), m.TrackID, losers, newOwner)
 }
 
 // --- failure handling ---------------------------------------------------------
 
 // Sweep checks worker liveness; newly dead workers trigger reassignment of
 // their cameras and re-priming of their resident tracks. Returns the members
-// that died in this sweep.
+// that died in this sweep. Orphaned tracks — owner not alive — are retried on
+// every sweep, not just the one where the owner died, so a failed recovery
+// RPC heals on the next tick instead of stranding the track.
 func (c *Coordinator) Sweep(ctx context.Context, now time.Time) []cluster.Member {
 	died := c.membership.Sweep(now)
-	if len(died) == 0 {
-		return nil
+	if len(died) > 0 {
+		c.reg.Counter("workers.died").Add(int64(len(died)))
+		if err := c.Reassign(ctx); err != nil {
+			c.reg.Counter("reassign.errors").Inc()
+		}
 	}
-	c.reg.Counter("workers.died").Add(int64(len(died)))
-	if err := c.Reassign(ctx); err != nil {
-		c.reg.Counter("reassign.errors").Inc()
-	}
-	// Tracks resident on dead workers: restart them at their last camera's
+	// Tracks whose owner is not alive: restart them at their last camera's
 	// new owner using the last known appearance.
-	deadSet := make(map[wire.NodeID]bool, len(died))
-	for _, d := range died {
-		deadSet[d.Node] = true
+	alive := make(map[wire.NodeID]bool)
+	for _, m := range c.membership.Alive() {
+		alive[m.Node] = true
 	}
 	c.mu.Lock()
 	var orphans []*coordTrack
 	for _, tr := range c.tracks {
-		if deadSet[tr.owner] {
+		if !alive[tr.owner] {
 			orphans = append(orphans, tr)
 		}
 	}
 	c.mu.Unlock()
 	for _, tr := range orphans {
-		if addr, ok := c.RouteFor(tr.lastCamera); ok {
-			c.mu.Lock()
-			tr.owner = c.assignment[tr.lastCamera]
-			c.mu.Unlock()
-			msg := &wire.TrackStart{TrackID: tr.trackID, Camera: tr.lastCamera, Feature: tr.feature, Time: tr.lastSeen}
-			if _, err := c.rpc.Call(ctx, addr, msg); err != nil {
-				c.reg.Counter("tracks.recover_errors").Inc()
-			} else {
-				c.reg.Counter("tracks.recovered").Inc()
-			}
+		addr, ok := c.RouteFor(tr.lastCamera)
+		if !ok {
+			continue
 		}
+		msg := &wire.TrackStart{TrackID: tr.trackID, Camera: tr.lastCamera, Feature: tr.feature, Time: tr.lastSeen}
+		if _, err := c.rpc.Call(ctx, addr, msg); err != nil {
+			// Ownership is committed only once the replacement worker has
+			// accepted the track. On failure the record keeps its dead owner,
+			// so the next sweep sees it as orphaned and retries, instead of
+			// the track pointing at a worker that never heard of it.
+			c.reg.Counter("tracks.recover_errors").Inc()
+			continue
+		}
+		c.mu.Lock()
+		if c.tracks[tr.trackID] == tr {
+			tr.owner = c.assignment[tr.lastCamera]
+		}
+		c.mu.Unlock()
+		c.reg.Counter("tracks.recovered").Inc()
+	}
+	if len(died) == 0 {
+		return nil
 	}
 	return died
 }
@@ -1065,5 +1154,74 @@ func (c *Coordinator) WorkerStats(ctx context.Context) []wire.StatsResult {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// StatsSnapshot mirrors the transport-layer RPC counters into the registry
+// and returns a full snapshot — the single source for cluster stats and the
+// /metrics exposition endpoint.
+func (c *Coordinator) StatsSnapshot() metrics.RegistrySnapshot {
+	mirrorRPCStats(c.reg, c.rpc.Stats())
+	return c.reg.Snapshot()
+}
+
+// Ready reports whether the coordinator can usefully serve: at least one
+// worker registered and a strict majority of registered workers alive. A nil
+// return means ready; the error explains what is missing otherwise.
+func (c *Coordinator) Ready() error {
+	all := c.membership.All()
+	if len(all) == 0 {
+		return errors.New("no workers registered")
+	}
+	alive := 0
+	for _, m := range all {
+		if m.Alive {
+			alive++
+		}
+	}
+	if alive*2 <= len(all) {
+		return fmt.Errorf("quorum lost: %d/%d workers alive", alive, len(all))
+	}
+	return nil
+}
+
+// ClusterStats scrapes every live worker's metric snapshot (reusing the
+// WorkerStats scatter) and merges it with the membership view and the
+// coordinator's own registry into one per-worker result, one row per
+// registered member — dead or unresponsive workers appear with
+// Scraped=false so a dashboard shows the hole instead of silently
+// dropping the row.
+func (c *Coordinator) ClusterStats(ctx context.Context) *wire.ClusterStatsResult {
+	snap := c.StatsSnapshot()
+	out := &wire.ClusterStatsResult{
+		Epoch: c.Epoch(),
+		Coordinator: wire.StatsResult{
+			Node:       "coordinator",
+			Counters:   snap.Counters,
+			Gauges:     snap.Gauges,
+			Histograms: histStatsOf(snap.Histograms),
+		},
+	}
+	byNode := make(map[wire.NodeID]wire.StatsResult)
+	for _, s := range c.WorkerStats(ctx) {
+		byNode[s.Node] = s
+	}
+	members := c.membership.All()
+	sort.Slice(members, func(i, j int) bool { return members[i].Node < members[j].Node })
+	for _, m := range members {
+		e := wire.WorkerStatsEntry{
+			Node:    m.Node,
+			Addr:    m.Addr,
+			Alive:   m.Alive,
+			Load:    m.Load,
+			Stored:  m.Stored,
+			Cameras: m.Cameras,
+		}
+		if s, ok := byNode[m.Node]; ok {
+			e.Scraped = true
+			e.Stats = s
+		}
+		out.Workers = append(out.Workers, e)
+	}
 	return out
 }

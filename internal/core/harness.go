@@ -73,4 +73,3 @@ func (c *Cluster) Worker(id wire.NodeID) *Worker {
 	}
 	return nil
 }
-

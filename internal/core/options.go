@@ -65,6 +65,11 @@ type Options struct {
 	// failures are retried with capped jittered backoff; remote handler
 	// errors are never retried.
 	RetryPolicy cluster.Policy
+	// SlowRPCThreshold, when positive, makes every outbound RPC whose total
+	// duration (including retries and backoff) reaches it emit one
+	// structured log line carrying its trace ID, and enables per-attempt
+	// failure logging. Zero disables slow-call logging (the default).
+	SlowRPCThreshold time.Duration
 }
 
 func (o *Options) fill() {
@@ -103,6 +108,9 @@ func (o *Options) rpcPolicy() cluster.Policy {
 	p := o.RetryPolicy
 	if p.PerAttemptTimeout == 0 {
 		p.PerAttemptTimeout = o.CallTimeout
+	}
+	if p.SlowCallThreshold == 0 {
+		p.SlowCallThreshold = o.SlowRPCThreshold
 	}
 	return p
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"stcam/internal/cluster"
 	"stcam/internal/metrics"
+	"stcam/internal/wire"
 )
 
 // resilientFor wraps a node's transport in the resilience layer for
@@ -29,4 +30,40 @@ func (m QueryMeta) Completeness() float64 {
 		return 1
 	}
 	return float64(m.Answered) / float64(m.Asked)
+}
+
+// histStatsOf converts registry histogram snapshots into their wire
+// summaries (durations as nanoseconds), for StatsResult payloads.
+func histStatsOf(hists map[string]metrics.HistSnapshot) map[string]wire.HistStats {
+	if len(hists) == 0 {
+		return nil
+	}
+	out := make(map[string]wire.HistStats, len(hists))
+	for name, s := range hists {
+		out[name] = wire.HistStats{
+			Count: s.Count,
+			Sum:   int64(s.Sum),
+			Min:   int64(s.Min),
+			Max:   int64(s.Max),
+			P50:   int64(s.P50),
+			P95:   int64(s.P95),
+			P99:   int64(s.P99),
+		}
+	}
+	return out
+}
+
+// mirrorRPCStats copies the resilience-layer transport counters into the
+// registry as gauges, so one stats scrape (or /metrics scrape) carries the
+// RPC picture alongside the node's own counters. Retries, timeouts, and
+// breaker transitions are already mirrored as counters at event time by the
+// Resilient layer itself; this adds the transport-level call/error/byte
+// totals.
+func mirrorRPCStats(reg *metrics.Registry, s cluster.TransportStats) {
+	reg.Gauge("rpc.calls").Set(s.Calls)
+	reg.Gauge("rpc.errors").Set(s.Errors)
+	reg.Gauge("rpc.bytes_out").Set(s.BytesOut)
+	reg.Gauge("rpc.bytes_in").Set(s.BytesIn)
+	// In-flight is already tracked live as the rpc.inflight gauge by the
+	// Resilient layer; mirroring s.InFlight here would just duplicate it.
 }

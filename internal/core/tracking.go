@@ -91,6 +91,12 @@ func (w *Worker) observeTracksLocked(obs *wire.Observation) []any {
 		tr.camera = obs.Camera
 		tr.lastSeen = obs.Time
 		tr.handingOff = false
+		// A re-sight cancels any handoff in flight. Drop our own armed prime
+		// for this track (a worker can be primed for a track it still owns);
+		// the TrackUpdate below tells the coordinator to revoke the primes it
+		// armed on peers, so no stale prime can later claim and fork the
+		// track.
+		delete(w.primes, tr.trackID)
 		pushes = append(pushes, &wire.TrackUpdate{
 			TrackID: tr.trackID,
 			Camera:  obs.Camera,

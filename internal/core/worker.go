@@ -49,6 +49,12 @@ type Worker struct {
 	hbSeq      uint64
 	loadMeter  *metrics.Meter
 
+	// Readiness state: whether registration succeeded, and the assignment
+	// epoch the coordinator last acknowledged — when it runs ahead of our
+	// local epoch, our camera assignment is stale and we are not ready.
+	registered   bool
+	lastAckEpoch uint64
+
 	// evalMu guards the ingest stage-2 state: continuous-query answer sets,
 	// resident tracks, and armed primes, so the slow evaluation stage
 	// (appearance matching, answer-set deltas) cannot block queries or
@@ -173,6 +179,9 @@ func (w *Worker) register(ctx context.Context) error {
 	if ack, ok := resp.(*wire.RegisterAck); !ok || !ack.Accepted {
 		return fmt.Errorf("core: worker %s registration rejected", w.id)
 	}
+	w.mu.Lock()
+	w.registered = true
+	w.mu.Unlock()
 	return nil
 }
 
@@ -223,8 +232,32 @@ func (w *Worker) sendHeartbeatOnce(ctx context.Context) error {
 		Cameras: len(w.cameras),
 	}
 	w.mu.Unlock()
-	_, err := w.rpc.Call(ctx, w.coordAddr, hb)
-	return err
+	resp, err := w.rpc.Call(ctx, w.coordAddr, hb)
+	if err != nil {
+		return err
+	}
+	if ack, ok := resp.(*wire.HeartbeatAck); ok {
+		w.mu.Lock()
+		w.lastAckEpoch = ack.Epoch
+		w.mu.Unlock()
+	}
+	return nil
+}
+
+// Ready reports whether this worker is a functioning cluster member:
+// registered with the coordinator and holding a camera assignment at least
+// as new as the epoch the coordinator last acknowledged. A nil return means
+// ready.
+func (w *Worker) Ready() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.registered {
+		return errors.New("not registered with coordinator")
+	}
+	if w.lastAckEpoch > w.epoch {
+		return fmt.Errorf("assignment stale: coordinator at epoch %d, local %d", w.lastAckEpoch, w.epoch)
+	}
+	return nil
 }
 
 // Stop halts background loops and closes the server.
@@ -236,8 +269,16 @@ func (w *Worker) Stop() {
 	}
 }
 
-// handle dispatches inbound RPCs.
+// handle dispatches inbound RPCs, timing each into a per-kind rpc.serve
+// histogram for the exposition endpoint.
 func (w *Worker) handle(ctx context.Context, from string, req any) (any, error) {
+	start := time.Now()
+	resp, err := w.dispatch(ctx, from, req)
+	w.reg.Histogram("rpc.serve." + wire.KindOf(req).String()).Observe(time.Since(start))
+	return resp, err
+}
+
+func (w *Worker) dispatch(ctx context.Context, from string, req any) (any, error) {
 	switch m := req.(type) {
 	case *wire.AssignCameras:
 		return w.onAssign(m)
@@ -521,9 +562,22 @@ func (w *Worker) onHeatmap(m *wire.HeatmapQuery) (any, error) {
 	return out, nil
 }
 
+// StatsSnapshot mirrors the transport-layer RPC counters into the registry
+// and returns a full snapshot — the single source for the stats RPC and the
+// /metrics exposition endpoint.
+func (w *Worker) StatsSnapshot() metrics.RegistrySnapshot {
+	mirrorRPCStats(w.reg, w.rpc.Stats())
+	return w.reg.Snapshot()
+}
+
 func (w *Worker) onStats() (any, error) {
-	snap := w.reg.Snapshot()
-	return &wire.StatsResult{Node: w.id, Counters: snap.Counters, Gauges: snap.Gauges}, nil
+	snap := w.StatsSnapshot()
+	return &wire.StatsResult{
+		Node:       w.id,
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: histStatsOf(snap.Histograms),
+	}, nil
 }
 
 // ReidSearch scans the worker's recent feature log for observations whose

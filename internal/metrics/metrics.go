@@ -89,6 +89,25 @@ func bucketMid(i int) time.Duration {
 	return time.Duration((lo + hi) / 2)
 }
 
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) time.Duration {
+	if i == 0 {
+		return time.Microsecond
+	}
+	return time.Duration(histBase * math.Exp(float64(i)*histFactorL))
+}
+
+// clampDur limits d to [lo, hi].
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
@@ -153,7 +172,10 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	for i, c := range h.buckets {
 		cum += c
 		if cum > target {
-			return bucketMid(i)
+			// Bucket midpoints can fall outside the observed range (a single
+			// 1ms sample lands in a bucket whose midpoint is ~1.2ms), so the
+			// estimate is clamped to the exact [min, max] envelope.
+			return clampDur(bucketMid(i), h.min, h.max)
 		}
 	}
 	return h.max
@@ -166,7 +188,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	count, sum, min, max := h.count, h.sum, h.min, h.max
 	h.mu.Unlock()
 
-	s := HistSnapshot{Count: count, Min: min, Max: max}
+	s := HistSnapshot{Count: count, Min: min, Max: max, Sum: sum}
 	if count == 0 {
 		return s
 	}
@@ -183,28 +205,42 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		for i, c := range buckets {
 			cum += c
 			if cum > target {
-				*q.dst = bucketMid(i)
+				// Clamp to the exact envelope on both sides: bucket midpoints
+				// over- or under-shoot the true value by up to the bucket
+				// factor, which would let percentiles escape [min, max] (and
+				// violate P50 ≤ P95 ≤ P99) on low-count histograms.
+				*q.dst = clampDur(bucketMid(i), min, max)
 				break
 			}
 		}
 	}
-	if s.P50 < min {
-		s.P50 = min
-	}
-	if s.P95 > max {
-		s.P95 = max
-	}
-	if s.P99 > max {
-		s.P99 = max
+	var cum int64
+	for i, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		s.Buckets = append(s.Buckets, HistBucket{Le: bucketUpper(i), Count: cum})
 	}
 	return s
+}
+
+// HistBucket is one non-empty exponential bucket: Count observations were
+// ≤ Le, cumulatively (Prometheus `le` semantics).
+type HistBucket struct {
+	Le    time.Duration
+	Count int64
 }
 
 // HistSnapshot is a point-in-time histogram summary.
 type HistSnapshot struct {
 	Count          int64
+	Sum            time.Duration
 	Min, Max, Mean time.Duration
 	P50, P95, P99  time.Duration
+	// Buckets holds the non-empty buckets with cumulative counts,
+	// in increasing Le order. The last entry's Count equals Count.
+	Buckets []HistBucket
 }
 
 // String implements fmt.Stringer.

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -103,6 +104,59 @@ func TestHistogramSnapshotMonotone(t *testing.T) {
 	}
 	if s.Count != 1000 {
 		t.Errorf("Count = %d", s.Count)
+	}
+}
+
+// TestHistogramQuantileEnvelope is the regression property test for the
+// percentile-clamping bug: on low-count histograms the bucket-midpoint
+// estimate could fall outside [Min, Max] (Quantile never clamped; Snapshot
+// clamped P50 only from below and P95/P99 only from above), so reported
+// percentiles violated min ≤ p50 ≤ p95 ≤ p99 ≤ max.
+func TestHistogramQuantileEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var h Histogram
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			// Log-uniform over ~1µs .. ~1000s to hit many buckets.
+			d := time.Duration(math.Exp(rng.Float64()*20) * float64(time.Microsecond))
+			h.Observe(d)
+		}
+		s := h.Snapshot()
+		if !(s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+			t.Fatalf("trial %d (n=%d): percentiles escape envelope: %v", trial, n, s)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 0.99, 1} {
+			if got := h.Quantile(q); got < s.Min || got > s.Max {
+				t.Fatalf("trial %d (n=%d): Quantile(%v) = %v outside [%v, %v]",
+					trial, n, q, got, s.Min, s.Max)
+			}
+		}
+	}
+}
+
+func TestHistogramSnapshotBuckets(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if len(s.Buckets) == 0 {
+		t.Fatal("no buckets in snapshot")
+	}
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Le <= s.Buckets[i-1].Le {
+			t.Fatalf("bucket bounds not increasing: %v", s.Buckets)
+		}
+		if s.Buckets[i].Count < s.Buckets[i-1].Count {
+			t.Fatalf("bucket counts not cumulative: %v", s.Buckets)
+		}
+	}
+	if last := s.Buckets[len(s.Buckets)-1]; last.Count != s.Count {
+		t.Errorf("last bucket count = %d, want total %d", last.Count, s.Count)
+	}
+	if s.Sum != h.sum {
+		t.Errorf("Sum = %v, want %v", s.Sum, h.sum)
 	}
 }
 

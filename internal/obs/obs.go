@@ -1,0 +1,153 @@
+// Package obs is the node-local observability plane: a small HTTP surface
+// exposing the metrics registry in the Prometheus text format, liveness and
+// readiness probes, and the runtime profiler. Both stcamd roles mount it
+// behind the -http flag; everything here is stdlib-only and pull-based, so a
+// node with no scraper pays nothing beyond the listener.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"time"
+
+	"stcam/internal/metrics"
+)
+
+// Options configures one node's observability endpoint.
+type Options struct {
+	// Node is the value of the node="..." label on every exposed series.
+	Node string
+	// Snapshot produces the metrics to expose; called once per scrape.
+	Snapshot func() metrics.RegistrySnapshot
+	// Ready is the readiness probe: nil error means ready. A nil func is
+	// always ready. Liveness (/healthz) is serving-the-request itself.
+	Ready func() error
+}
+
+// NewMux builds the observability HTTP mux: /metrics, /healthz, /readyz,
+// and /debug/pprof/*.
+func NewMux(o Options) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var snap metrics.RegistrySnapshot
+		if o.Snapshot != nil {
+			snap = o.Snapshot()
+		}
+		WriteMetrics(w, o.Node, snap)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n") //nolint:errcheck // best-effort probe answer
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if o.Ready != nil {
+			if err := o.Ready(); err != nil {
+				http.Error(w, "not ready: "+err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		io.WriteString(w, "ready\n") //nolint:errcheck // best-effort probe answer
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr and serves the observability mux until Close.
+func Serve(addr string, o Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(o)}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// WriteMetrics renders a registry snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as-is, histograms as
+// cumulative _bucket series in seconds plus _sum and _count. Output is
+// sorted by metric name, so scrapes are deterministic and diffable.
+func WriteMetrics(w io.Writer, node string, snap metrics.RegistrySnapshot) {
+	label := `{node="` + node + `"}`
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := metricName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", n, n, label, snap.Counters[name])
+	}
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := metricName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n", n, n, label, snap.Gauges[name])
+	}
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		n := metricName(name) + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(w, "%s_bucket{node=%q,le=%q} %d\n", n, node, formatSeconds(b.Le), b.Count)
+		}
+		fmt.Fprintf(w, "%s_bucket{node=%q,le=\"+Inf\"} %d\n", n, node, h.Count)
+		fmt.Fprintf(w, "%s_sum%s %s\n", n, label, formatSeconds(h.Sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", n, label, h.Count)
+	}
+}
+
+// metricName maps a registry name to a Prometheus-legal one: dots and other
+// separators become underscores, and everything gets the stcam_ namespace.
+func metricName(name string) string {
+	out := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			out[i] = c
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out[i] = '_'
+			} else {
+				out[i] = c
+			}
+		default:
+			out[i] = '_'
+		}
+	}
+	return "stcam_" + string(out)
+}
+
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stcam/internal/cluster"
+	"stcam/internal/core"
+	"stcam/internal/metrics"
+	"stcam/internal/wire"
+)
+
+var ctx = context.Background()
+
+// scrape fetches a path from the test server and returns body and status.
+func scrape(t *testing.T, url string) (string, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.StatusCode
+}
+
+// sampleLine matches one exposition sample: name{labels} value.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*\{[^}]*\} [0-9eE+.-]+$`)
+
+func TestMetricsExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("ingest.accepted").Add(42)
+	reg.Gauge("tracks.resident").Set(7)
+	h := reg.Histogram("rpc.call.Heartbeat")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	snap := reg.Snapshot()
+
+	srv := httptest.NewServer(NewMux(Options{Node: "w01", Snapshot: reg.Snapshot}))
+	defer srv.Close()
+	body, status := scrape(t, srv.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+
+	// Every non-comment line must parse as a sample.
+	samples := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		samples[line[:sp]] = line[sp+1:]
+	}
+
+	if got := samples[`stcam_ingest_accepted{node="w01"}`]; got != "42" {
+		t.Errorf("counter sample = %q, want 42", got)
+	}
+	if got := samples[`stcam_tracks_resident{node="w01"}`]; got != "7" {
+		t.Errorf("gauge sample = %q, want 7", got)
+	}
+	hs := snap.Histograms["rpc.call.Heartbeat"]
+	if got := samples[`stcam_rpc_call_Heartbeat_seconds_count{node="w01"}`]; got != strconv.FormatInt(hs.Count, 10) {
+		t.Errorf("_count = %q, want %d", got, hs.Count)
+	}
+	wantSum := strconv.FormatFloat(hs.Sum.Seconds(), 'g', -1, 64)
+	if got := samples[`stcam_rpc_call_Heartbeat_seconds_sum{node="w01"}`]; got != wantSum {
+		t.Errorf("_sum = %q, want %s", got, wantSum)
+	}
+
+	// Buckets: cumulative counts, non-decreasing with ascending le, ending at
+	// +Inf == _count.
+	type bkt struct {
+		le    float64
+		count int64
+	}
+	var buckets []bkt
+	for key, val := range samples {
+		if !strings.HasPrefix(key, `stcam_rpc_call_Heartbeat_seconds_bucket{`) {
+			continue
+		}
+		leStr := key[strings.Index(key, `le="`)+4:]
+		leStr = leStr[:strings.IndexByte(leStr, '"')]
+		le := inf(t, leStr)
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Fatalf("bucket count %q: %v", val, err)
+		}
+		buckets = append(buckets, bkt{le, n})
+	}
+	if len(buckets) < 3 {
+		t.Fatalf("only %d buckets exposed", len(buckets))
+	}
+	for i := range buckets {
+		for j := range buckets {
+			if buckets[i].le < buckets[j].le && buckets[i].count > buckets[j].count {
+				t.Fatalf("bucket counts not cumulative: le=%g count=%d vs le=%g count=%d",
+					buckets[i].le, buckets[i].count, buckets[j].le, buckets[j].count)
+			}
+		}
+	}
+	var last bkt
+	for _, b := range buckets {
+		if b.le >= last.le {
+			last = b
+		}
+	}
+	if last.count != hs.Count {
+		t.Errorf("+Inf bucket = %d, want %d", last.count, hs.Count)
+	}
+}
+
+func inf(t *testing.T, s string) float64 {
+	t.Helper()
+	if s == "+Inf" {
+		return 1e308
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("le %q: %v", s, err)
+	}
+	return v
+}
+
+func TestHealthAndReadyProbes(t *testing.T) {
+	var notReady atomic.Bool
+	srv := httptest.NewServer(NewMux(Options{
+		Node:     "n1",
+		Snapshot: metrics.NewRegistry().Snapshot,
+		Ready: func() error {
+			if notReady.Load() {
+				return errors.New("draining")
+			}
+			return nil
+		},
+	}))
+	defer srv.Close()
+
+	if _, status := scrape(t, srv.URL+"/healthz"); status != http.StatusOK {
+		t.Fatalf("/healthz status %d", status)
+	}
+	if _, status := scrape(t, srv.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("/readyz status %d while ready", status)
+	}
+	notReady.Store(true)
+	if body, status := scrape(t, srv.URL+"/readyz"); status != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("/readyz = (%d, %q), want 503 with reason", status, body)
+	}
+	notReady.Store(false)
+	if _, status := scrape(t, srv.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("/readyz did not recover")
+	}
+	// pprof index is mounted.
+	if _, status := scrape(t, srv.URL+"/debug/pprof/"); status != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", status)
+	}
+}
+
+// TestReadyzTracksClusterMembership wires the coordinator's quorum probe into
+// /readyz and watches it flip as a worker dies and re-registers.
+func TestReadyzTracksClusterMembership(t *testing.T) {
+	opts := core.Options{HeartbeatTimeout: 50 * time.Millisecond}
+	c, err := core.NewLocalCluster(2, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	srv := httptest.NewServer(NewMux(Options{
+		Node:     "coordinator",
+		Snapshot: c.Coordinator.StatsSnapshot,
+		Ready:    c.Coordinator.Ready,
+	}))
+	defer srv.Close()
+
+	if body, status := scrape(t, srv.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("/readyz = (%d, %q) with full membership", status, body)
+	}
+
+	// Kill one of two workers: quorum (strict majority) is lost.
+	dead := c.Workers[0]
+	inproc := c.Transport.(*cluster.InProc)
+	inproc.SetBlocked(dead.Addr(), true)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		c.Workers[1].SendHeartbeat(ctx) //nolint:errcheck // best-effort in test loop
+		if died := c.Coordinator.Sweep(ctx, time.Now()); len(died) > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if body, status := scrape(t, srv.URL+"/readyz"); status != http.StatusServiceUnavailable || !strings.Contains(body, "quorum") {
+		t.Fatalf("/readyz = (%d, %q) after worker death, want 503 quorum", status, body)
+	}
+
+	// The worker comes back and heartbeats: readiness recovers.
+	inproc.SetBlocked(dead.Addr(), false)
+	if err := dead.SendHeartbeat(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if body, status := scrape(t, srv.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("/readyz = (%d, %q) after re-registration", status, body)
+	}
+
+	// The worker-side probe: a live cluster member is ready; a worker that
+	// never registered is not.
+	if err := c.Workers[1].Ready(); err != nil {
+		t.Errorf("registered worker not ready: %v", err)
+	}
+	stray := core.NewWorker(wire.NodeID("w99"), "worker-99", "coord", c.Transport, opts)
+	if err := stray.Ready(); err == nil {
+		t.Error("unregistered worker reports ready")
+	}
+
+	// The coordinator's exposition now carries the rpc.serve histograms the
+	// cluster traffic above populated.
+	body, _ := scrape(t, srv.URL+"/metrics")
+	if !strings.Contains(body, "stcam_rpc_serve_Heartbeat_seconds_count") {
+		t.Errorf("coordinator /metrics missing rpc.serve.Heartbeat histogram:\n%s", firstLines(body, 20))
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

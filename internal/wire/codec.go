@@ -241,9 +241,24 @@ func Marshal(kind MsgKind, payload any) ([]byte, error) {
 	case *StatsQuery:
 		// empty payload
 	case *StatsResult:
-		e.str(string(m.Node))
-		e.kvs(m.Counters)
-		e.kvs(m.Gauges)
+		e.statsResult(m)
+	case *ClusterStatsQuery:
+		// empty payload
+	case *ClusterStatsResult:
+		e.u64(m.Epoch)
+		e.statsResult(&m.Coordinator)
+		e.varint(int64(len(m.Workers)))
+		for i := range m.Workers {
+			w := &m.Workers[i]
+			e.str(string(w.Node))
+			e.str(w.Addr)
+			e.boolean(w.Alive)
+			e.f64(w.Load)
+			e.varint(int64(w.Stored))
+			e.varint(int64(w.Cameras))
+			e.boolean(w.Scraped)
+			e.statsResult(&w.Stats)
+		}
 	case *Error:
 		e.varint(int64(m.Code))
 		e.str(m.Message)
@@ -502,9 +517,29 @@ func Unmarshal(kind MsgKind, body []byte) (any, error) {
 		out = &StatsQuery{}
 	case KindStatsResult:
 		m := &StatsResult{}
-		m.Node = NodeID(d.str())
-		m.Counters = d.kvs()
-		m.Gauges = d.kvs()
+		d.statsResult(m)
+		out = m
+	case KindClusterStatsQuery:
+		out = &ClusterStatsQuery{}
+	case KindClusterStatsResult:
+		m := &ClusterStatsResult{}
+		m.Epoch = d.u64()
+		d.statsResult(&m.Coordinator)
+		n := d.sliceLen()
+		if n > 0 {
+			m.Workers = make([]WorkerStatsEntry, n)
+			for i := range m.Workers {
+				w := &m.Workers[i]
+				w.Node = NodeID(d.str())
+				w.Addr = d.str()
+				w.Alive = d.boolean()
+				w.Load = d.f64()
+				w.Stored = int(d.varint())
+				w.Cameras = int(d.varint())
+				w.Scraped = d.boolean()
+				d.statsResult(&w.Stats)
+			}
+		}
 		out = m
 	case KindError:
 		m := &Error{}
@@ -583,6 +618,10 @@ func KindOf(payload any) MsgKind {
 		return KindStatsQuery
 	case *StatsResult:
 		return KindStatsResult
+	case *ClusterStatsQuery:
+		return KindClusterStatsQuery
+	case *ClusterStatsResult:
+		return KindClusterStatsResult
 	case *Error:
 		return KindError
 	}
@@ -696,6 +735,27 @@ func (e *encoder) kvs(m map[string]int64) {
 		e.str(k)
 		e.varint(v)
 	}
+}
+
+func (e *encoder) histStats(m map[string]HistStats) {
+	e.varint(int64(len(m)))
+	for k, v := range m {
+		e.str(k)
+		e.varint(v.Count)
+		e.varint(v.Sum)
+		e.varint(v.Min)
+		e.varint(v.Max)
+		e.varint(v.P50)
+		e.varint(v.P95)
+		e.varint(v.P99)
+	}
+}
+
+func (e *encoder) statsResult(s *StatsResult) {
+	e.str(string(s.Node))
+	e.kvs(s.Counters)
+	e.kvs(s.Gauges)
+	e.histStats(s.Histograms)
 }
 
 // --- primitive decoders ---
@@ -862,4 +922,35 @@ func (d *decoder) kvs() map[string]int64 {
 		out[k] = v
 	}
 	return out
+}
+
+func (d *decoder) histStats() map[string]HistStats {
+	n := d.sliceLen()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make(map[string]HistStats, n)
+	for i := 0; i < n; i++ {
+		k := d.str()
+		var v HistStats
+		v.Count = d.varint()
+		v.Sum = d.varint()
+		v.Min = d.varint()
+		v.Max = d.varint()
+		v.P50 = d.varint()
+		v.P95 = d.varint()
+		v.P99 = d.varint()
+		if d.err != nil {
+			return nil
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func (d *decoder) statsResult(s *StatsResult) {
+	s.Node = NodeID(d.str())
+	s.Counters = d.kvs()
+	s.Gauges = d.kvs()
+	s.Histograms = d.histStats()
 }

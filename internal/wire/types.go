@@ -51,40 +51,44 @@ const (
 	KindHeatmapResult
 	KindFilterQuery
 	KindFilterResult
+	KindClusterStatsQuery
+	KindClusterStatsResult
 )
 
 var kindNames = map[MsgKind]string{
-	KindRegister:          "Register",
-	KindRegisterAck:       "RegisterAck",
-	KindHeartbeat:         "Heartbeat",
-	KindHeartbeatAck:      "HeartbeatAck",
-	KindIngestBatch:       "IngestBatch",
-	KindIngestAck:         "IngestAck",
-	KindRangeQuery:        "RangeQuery",
-	KindRangeResult:       "RangeResult",
-	KindKNNQuery:          "KNNQuery",
-	KindKNNResult:         "KNNResult",
-	KindCountQuery:        "CountQuery",
-	KindCountResult:       "CountResult",
-	KindTrajectoryQuery:   "TrajectoryQuery",
-	KindTrajectoryResult:  "TrajectoryResult",
-	KindInstallContinuous: "InstallContinuous",
-	KindRemoveContinuous:  "RemoveContinuous",
-	KindContinuousUpdate:  "ContinuousUpdate",
-	KindAssignCameras:     "AssignCameras",
-	KindAssignAck:         "AssignAck",
-	KindTrackStart:        "TrackStart",
-	KindTrackPrime:        "TrackPrime",
-	KindTrackHandoff:      "TrackHandoff",
-	KindTrackUpdate:       "TrackUpdate",
-	KindTrackStop:         "TrackStop",
-	KindStatsQuery:        "StatsQuery",
-	KindStatsResult:       "StatsResult",
-	KindError:             "Error",
-	KindHeatmapQuery:      "HeatmapQuery",
-	KindHeatmapResult:     "HeatmapResult",
-	KindFilterQuery:       "FilterQuery",
-	KindFilterResult:      "FilterResult",
+	KindRegister:           "Register",
+	KindRegisterAck:        "RegisterAck",
+	KindHeartbeat:          "Heartbeat",
+	KindHeartbeatAck:       "HeartbeatAck",
+	KindIngestBatch:        "IngestBatch",
+	KindIngestAck:          "IngestAck",
+	KindRangeQuery:         "RangeQuery",
+	KindRangeResult:        "RangeResult",
+	KindKNNQuery:           "KNNQuery",
+	KindKNNResult:          "KNNResult",
+	KindCountQuery:         "CountQuery",
+	KindCountResult:        "CountResult",
+	KindTrajectoryQuery:    "TrajectoryQuery",
+	KindTrajectoryResult:   "TrajectoryResult",
+	KindInstallContinuous:  "InstallContinuous",
+	KindRemoveContinuous:   "RemoveContinuous",
+	KindContinuousUpdate:   "ContinuousUpdate",
+	KindAssignCameras:      "AssignCameras",
+	KindAssignAck:          "AssignAck",
+	KindTrackStart:         "TrackStart",
+	KindTrackPrime:         "TrackPrime",
+	KindTrackHandoff:       "TrackHandoff",
+	KindTrackUpdate:        "TrackUpdate",
+	KindTrackStop:          "TrackStop",
+	KindStatsQuery:         "StatsQuery",
+	KindStatsResult:        "StatsResult",
+	KindError:              "Error",
+	KindHeatmapQuery:       "HeatmapQuery",
+	KindHeatmapResult:      "HeatmapResult",
+	KindFilterQuery:        "FilterQuery",
+	KindFilterResult:       "FilterResult",
+	KindClusterStatsQuery:  "ClusterStatsQuery",
+	KindClusterStatsResult: "ClusterStatsResult",
 }
 
 // String implements fmt.Stringer.
@@ -408,9 +412,44 @@ type StatsQuery struct{}
 
 // StatsResult returns a worker's metric values by name.
 type StatsResult struct {
-	Node     NodeID
-	Counters map[string]int64
-	Gauges   map[string]int64
+	Node       NodeID
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistStats
+}
+
+// HistStats is the wire summary of one latency histogram. All duration
+// fields are nanoseconds.
+type HistStats struct {
+	Count         int64
+	Sum, Min, Max int64
+	P50, P95, P99 int64
+}
+
+// ClusterStatsQuery asks the coordinator for a cluster-wide scrape: its own
+// registry plus a StatsQuery fan-out to every live worker, merged with the
+// membership table. stcamctl stats/top ride this.
+type ClusterStatsQuery struct{}
+
+// WorkerStatsEntry pairs one worker's membership row with its scraped
+// metrics. Entries for dead or unreachable workers carry membership data
+// only (Scraped=false, zero Stats), so the table still shows them.
+type WorkerStatsEntry struct {
+	Node    NodeID
+	Addr    string
+	Alive   bool
+	Load    float64 // recent observations/second, from the last heartbeat
+	Stored  int     // records indexed, from the last heartbeat
+	Cameras int     // cameras owned, from the last heartbeat
+	Scraped bool    // true when the StatsQuery RPC to this worker succeeded
+	Stats   StatsResult
+}
+
+// ClusterStatsResult is the coordinator's merged cluster scrape.
+type ClusterStatsResult struct {
+	Epoch       uint64
+	Coordinator StatsResult
+	Workers     []WorkerStatsEntry
 }
 
 // Error is the wire form of a failed request.

@@ -60,7 +60,17 @@ func allMessages() []any {
 		&TrackUpdate{TrackID: 21, Camera: 7, Pos: geo.Pt(9, 9), Time: t0, Lost: false},
 		&TrackStop{TrackID: 21},
 		&StatsQuery{},
-		&StatsResult{Node: "w2", Counters: map[string]int64{"ingest": 100, "queries": 5}, Gauges: map[string]int64{"stored": 42}},
+		&StatsResult{Node: "w2", Counters: map[string]int64{"ingest": 100, "queries": 5}, Gauges: map[string]int64{"stored": 42},
+			Histograms: map[string]HistStats{"rpc.call.Heartbeat": {Count: 9, Sum: 9_000_000, Min: 500_000, Max: 2_000_000, P50: 900_000, P95: 1_900_000, P99: 2_000_000}}},
+		&ClusterStatsQuery{},
+		&ClusterStatsResult{Epoch: 4,
+			Coordinator: StatsResult{Node: "coordinator", Counters: map[string]int64{"queries.range": 12}},
+			Workers: []WorkerStatsEntry{
+				{Node: "w1", Addr: "127.0.0.1:7001", Alive: true, Load: 120.5, Stored: 9000, Cameras: 8, Scraped: true,
+					Stats: StatsResult{Node: "w1", Counters: map[string]int64{"ingest.accepted": 9000}, Gauges: map[string]int64{"tracks.resident": 2},
+						Histograms: map[string]HistStats{"ingest.latency": {Count: 3, Sum: 300, Min: 50, Max: 200, P50: 50, P95: 200, P99: 200}}}},
+				{Node: "w2", Addr: "127.0.0.1:7002", Alive: false, Load: 0, Stored: 400, Cameras: 0, Scraped: false},
+			}},
 		&Error{Code: CodeNotFound, Message: "no such track"},
 		&HeatmapQuery{QueryID: 30, Rect: geo.RectOf(0, 0, 500, 500), Window: TimeWindow{From: t0, To: t0.Add(time.Minute)}, CellSize: 50},
 		&HeatmapResult{QueryID: 30, CellSize: 50, Cells: []HeatCell{{CX: 1, CY: -2, Count: 17}, {CX: 0, CY: 0, Count: 3}}},
@@ -80,7 +90,7 @@ func TestEveryKindCovered(t *testing.T) {
 		}
 		covered[k] = true
 	}
-	for k := KindRegister; k <= KindFilterResult; k++ {
+	for k := KindRegister; k <= KindClusterStatsResult; k++ {
 		if !covered[k] {
 			t.Errorf("message kind %v (%d) has no round-trip coverage", k, int(k))
 		}

@@ -37,6 +37,7 @@ import (
 	"stcam/internal/cluster"
 	"stcam/internal/core"
 	"stcam/internal/geo"
+	"stcam/internal/obs"
 	"stcam/internal/sim"
 	"stcam/internal/vision"
 	"stcam/internal/wire"
@@ -140,6 +141,21 @@ type (
 // ErrCircuitOpen is returned for calls rejected by an open circuit breaker;
 // it wraps the transport's unreachable error.
 var ErrCircuitOpen = cluster.ErrCircuitOpen
+
+// Observability: each node can expose a small HTTP surface with Prometheus
+// text-format metrics (/metrics), liveness and readiness probes (/healthz,
+// /readyz), and the Go runtime profiler (/debug/pprof/). cmd/stcamd mounts
+// it behind the -http flag.
+type (
+	// ObsOptions configures a node's observability endpoint: the node label,
+	// the metrics snapshot source, and the readiness probe.
+	ObsOptions = obs.Options
+	// ObsServer is a running observability endpoint.
+	ObsServer = obs.Server
+)
+
+// ServeObs binds addr and serves the observability endpoints until Close.
+func ServeObs(addr string, o ObsOptions) (*ObsServer, error) { return obs.Serve(addr, o) }
 
 // NewResilient wraps a transport with retry, deadline, and circuit-breaker
 // behaviour per the policy.
