@@ -27,9 +27,17 @@ check: fmt vet build race
 
 # bench regenerates the experiment tables at CI scale.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # fuzz gives each fuzz target a short budget (regression corpora always run
-# as part of `test`).
+# as part of `test`). Targets are discovered per package, so new Fuzz*
+# functions join the rotation automatically; `go test -fuzz` only accepts
+# one target at a time, hence the loop.
+FUZZTIME ?= 10s
 fuzz:
-	$(GO) test -run=^$$ -fuzz=FuzzReadRPCFrame -fuzztime=10s ./internal/cluster/
+	@for pkg in $$($(GO) list ./...); do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "== fuzz $$pkg $$target =="; \
+			$(GO) test -run='^$$' -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) $$pkg || exit 1; \
+		done; \
+	done

@@ -116,6 +116,14 @@ func BenchmarkR15IngestPipeline(b *testing.B) {
 	b.ReportMetric(cell(tbl, 5, 3), "serial-ev/s")
 }
 
+func BenchmarkR16ScatterPruning(b *testing.B) {
+	tbl := runExperiment(b, bench.R16ScatterPruning)
+	// Headline: workers asked per kNN at the largest cluster, broadcast
+	// (second-to-last row) vs pruned (last row).
+	b.ReportMetric(cell(tbl, len(tbl.Rows)-2, 2), "broadcast-asked/knn")
+	b.ReportMetric(cell(tbl, len(tbl.Rows)-1, 2), "pruned-asked/knn")
+}
+
 func BenchmarkR13Planner(b *testing.B) {
 	tbl := runExperiment(b, bench.R13Planner)
 	// Headline: forced-spatial slowdown relative to adaptive (row 0, col 4

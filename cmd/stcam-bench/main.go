@@ -1,6 +1,8 @@
 // Command stcam-bench regenerates the evaluation suite from DESIGN.md §3:
-// every reconstructed table and figure (R1–R14), printed as aligned text
+// every reconstructed table and figure (R1–R16), printed as aligned text
 // tables. Results at the default scale are recorded in EXPERIMENTS.md.
+// The -json output is what cmd/benchdiff compares against the committed
+// BENCH_*.json baselines in CI.
 //
 //	stcam-bench                  # run everything at full scale
 //	stcam-bench -exp R3,R5       # selected experiments

@@ -137,5 +137,6 @@ func All() []Experiment {
 		{"R13", "Adaptive query planner ablation", R13Planner},
 		{"R14", "Query availability under injected faults", R14FaultSweep},
 		{"R15", "Pipelined ingest throughput sweep", R15IngestPipeline},
+		{"R16", "Pruned scatter-gather vs broadcast fan-out", R16ScatterPruning},
 	}
 }

@@ -117,6 +117,62 @@ func TestR4ShapeAccuracyDegrades(t *testing.T) {
 	}
 }
 
+// TestR16ShapePrunedStaysFlat verifies the pruned-engine headline claims:
+// broadcast kNN asks every worker (asked grows linearly with cluster size)
+// while the pruned engine's asked column stays near-flat, every worker is
+// accounted for (asked + pruned = cluster size), and pruned gathers fewer
+// response bytes at the largest size.
+func TestR16ShapePrunedStaysFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test skipped in -short mode")
+	}
+	tbl := R16ScatterPruning(0.1)
+	type row struct {
+		workers              int
+		asked, pruned, bytes float64
+	}
+	var broadcast, pruned []row
+	for _, r := range tbl.Rows {
+		w, _ := strconv.Atoi(r[0])
+		asked, _ := strconv.ParseFloat(r[2], 64)
+		prn, _ := strconv.ParseFloat(r[3], 64)
+		kb, _ := strconv.ParseFloat(r[5], 64)
+		if r[1] == "broadcast" {
+			broadcast = append(broadcast, row{w, asked, prn, kb})
+		} else {
+			pruned = append(pruned, row{w, asked, prn, kb})
+		}
+	}
+	if len(broadcast) < 2 || len(pruned) < 2 || len(broadcast) != len(pruned) {
+		t.Fatalf("missing rows: %v", tbl.Rows)
+	}
+	for i := range broadcast {
+		if broadcast[i].asked != float64(broadcast[i].workers) {
+			t.Errorf("broadcast at %d workers asked %.1f per knn, want every worker",
+				broadcast[i].workers, broadcast[i].asked)
+		}
+		if p := pruned[i]; p.asked+p.pruned != float64(p.workers) {
+			t.Errorf("pruned at %d workers: asked %.1f + pruned %.1f does not account for all",
+				p.workers, p.asked, p.pruned)
+		}
+		if pruned[i].asked >= broadcast[i].asked && broadcast[i].workers > 1 {
+			t.Errorf("at %d workers pruned asked %.1f, not below broadcast %.1f",
+				broadcast[i].workers, pruned[i].asked, broadcast[i].asked)
+		}
+	}
+	first, last := pruned[0], pruned[len(pruned)-1]
+	growth := last.asked / first.asked
+	clusterGrowth := float64(last.workers) / float64(first.workers)
+	if growth > clusterGrowth/2 {
+		t.Errorf("pruned asked grew %.1fx across a %.0fx cluster growth; not near-flat",
+			growth, clusterGrowth)
+	}
+	if last.bytes >= broadcast[len(broadcast)-1].bytes {
+		t.Errorf("pruned gathered %.2f KB/query at %d workers, broadcast %.2f — no wire saving",
+			last.bytes, last.workers, broadcast[len(broadcast)-1].bytes)
+	}
+}
+
 // TestR9ShapeRetentionBounds verifies bounded retention holds fewer records
 // than unlimited retention and that the bound scales with the window.
 func TestR9ShapeRetentionBounds(t *testing.T) {

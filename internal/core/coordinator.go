@@ -48,6 +48,12 @@ type Coordinator struct {
 	continuous map[uint64]*coordContinuous
 	tracks     map[uint64]*coordTrack
 
+	// sumMu guards the per-node store sketches piggybacked on heartbeats,
+	// which the pruned scatter path consults (see scatter.go). Leaf lock:
+	// never held while acquiring mu or calling out.
+	sumMu     sync.Mutex
+	summaries map[wire.NodeID]nodeSummary
+
 	nextQueryID atomic.Uint64
 	nextTrackID atomic.Uint64
 }
@@ -100,6 +106,7 @@ func NewCoordinator(addr string, transport cluster.Transport, p cluster.Partitio
 		camInfos:    make(map[uint32]wire.CameraInfo),
 		continuous:  make(map[uint64]*coordContinuous),
 		tracks:      make(map[uint64]*coordTrack),
+		summaries:   make(map[wire.NodeID]nodeSummary),
 	}
 }
 
@@ -168,6 +175,7 @@ func (c *Coordinator) dispatch(ctx context.Context, _ string, req any) (any, err
 	switch m := req.(type) {
 	case *wire.Register:
 		c.membership.Register(m, time.Now())
+		c.dropSummary(m.Node) // a restarted worker's sketch and hbSeq start over
 		c.reg.Counter("workers.registered").Inc()
 		return &wire.RegisterAck{Accepted: true}, nil
 	case *wire.Heartbeat:
@@ -177,6 +185,9 @@ func (c *Coordinator) dispatch(ctx context.Context, _ string, req any) (any, err
 			// Register (coordinator-restart recovery) instead of hammering
 			// heartbeats that never count.
 			return &wire.Error{Code: wire.CodeMustRegister, Message: "heartbeat from unregistered node; re-register"}, nil
+		}
+		if m.Summary != nil {
+			c.noteSummary(m.Node, m.Seq, m.Summary)
 		}
 		return &wire.HeartbeatAck{Epoch: c.Epoch()}, nil
 	case *wire.ContinuousUpdate:
@@ -195,17 +206,17 @@ func (c *Coordinator) dispatch(ctx context.Context, _ string, req any) (any, err
 		}
 		return &wire.RangeResult{QueryID: m.QueryID, Records: recs, Asked: meta.Asked, Answered: meta.Answered}, nil
 	case *wire.KNNQuery:
-		recs, err := c.KNN(ctx, m.Center, m.Window, m.K)
+		recs, meta, err := c.knnMeta(ctx, m.Center, m.Window, m.K, m.MaxDist2)
 		if err != nil {
 			return &wire.Error{Code: wire.CodeBadRequest, Message: err.Error()}, nil
 		}
-		return &wire.KNNResult{QueryID: m.QueryID, Records: recs}, nil
+		return &wire.KNNResult{QueryID: m.QueryID, Records: recs, Asked: meta.Asked, Answered: meta.Answered}, nil
 	case *wire.CountQuery:
-		n, err := c.Count(ctx, m.Rect, m.Window)
+		n, meta, err := c.CountMeta(ctx, m.Rect, m.Window)
 		if err != nil {
 			return &wire.Error{Code: wire.CodeBadRequest, Message: err.Error()}, nil
 		}
-		return &wire.CountResult{QueryID: m.QueryID, Count: n}, nil
+		return &wire.CountResult{QueryID: m.QueryID, Count: n, Asked: meta.Asked, Answered: meta.Answered}, nil
 	case *wire.TrajectoryQuery:
 		recs, err := c.Trajectory(ctx, m.TargetID, m.Window)
 		if err != nil {
@@ -274,6 +285,9 @@ func (c *Coordinator) proxyIngest(ctx context.Context, m *wire.IngestBatch) (any
 	if len(byAddr) == 0 {
 		return &wire.Error{Code: wire.CodeNotFound, Message: fmt.Sprintf("no live owner for any of %d observations", len(m.Observations))}, nil
 	}
+	// Invalidate before forwarding: even a partially applied forward makes
+	// the receiving workers' sketches unable to prove absence of this data.
+	c.invalidateSummariesAt(byAddr)
 	depth := c.opts.IngestPipelineDepth
 	if depth < 1 {
 		depth = 1
@@ -515,16 +529,7 @@ func (c *Coordinator) RouteFor(cam uint32) (string, bool) {
 // workersFor returns the serve addresses of live workers owning cameras whose
 // FOV could have produced observations in r (grown by the routing slack).
 func (c *Coordinator) workersFor(r geo.Rect) []string {
-	camIDs := c.network.CamerasIntersecting(r.Expand(routeSlack))
-	c.mu.Lock()
-	nodes := make(map[wire.NodeID]bool)
-	for _, id := range camIDs {
-		if n, ok := c.assignment[uint32(id)]; ok {
-			nodes[n] = true
-		}
-	}
-	c.mu.Unlock()
-	return c.addrsOf(nodes)
+	return addrsOfTargets(c.targetsFor(r))
 }
 
 // allWorkers returns every live worker address.
@@ -537,17 +542,6 @@ func (c *Coordinator) allWorkers() []string {
 	return out
 }
 
-func (c *Coordinator) addrsOf(nodes map[wire.NodeID]bool) []string {
-	var out []string
-	for _, m := range c.membership.Alive() {
-		if nodes[m.Node] {
-			out = append(out, m.Addr)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
-
 // Range runs a distributed spatio-temporal range query and merges the
 // results (time order, ObsID tie-break).
 func (c *Coordinator) Range(ctx context.Context, rect geo.Rect, window wire.TimeWindow, limit int) ([]wire.ResultRecord, error) {
@@ -556,54 +550,40 @@ func (c *Coordinator) Range(ctx context.Context, rect geo.Rect, window wire.Time
 }
 
 // RangeMeta is Range plus answer-completeness metadata: how many workers the
-// query fanned out to and how many answered before their deadline. A
-// completeness below 1.0 means the merged records are a partial view taken
-// during a failure or partition.
+// query fanned out to, how many answered before their deadline, and how many
+// were skipped because their heartbeat sketch proved them empty for this
+// rect and window. A completeness below 1.0 means the merged records are a
+// partial view taken during a failure or partition; pruned workers do not
+// degrade completeness (they provably held nothing).
 func (c *Coordinator) RangeMeta(ctx context.Context, rect geo.Rect, window wire.TimeWindow, limit int) ([]wire.ResultRecord, QueryMeta, error) {
 	start := time.Now()
 	defer func() { c.reg.Histogram("query.range").Observe(time.Since(start)) }()
 	q := &wire.RangeQuery{QueryID: c.nextQueryID.Add(1), Rect: rect, Window: window, Limit: limit}
-	workers := c.workersFor(rect)
-	resps, meta := c.scatter(ctx, workers, q)
-	var merged []wire.ResultRecord
+	targets, pruned := c.pruneTargets(c.targetsFor(rect), rect, window)
+	resps, meta := c.scatter(ctx, addrsOfTargets(targets), q)
+	meta.Pruned = pruned
+	lists := make([][]wire.ResultRecord, 0, len(resps))
 	for _, resp := range resps {
 		if rr, ok := resp.(*wire.RangeResult); ok {
-			merged = append(merged, rr.Records...)
+			lists = append(lists, rr.Records)
 		}
 	}
-	sortWireRecords(merged)
-	if limit > 0 && len(merged) > limit {
-		merged = merged[:limit]
-	}
-	return merged, meta, nil
+	return mergeSortedRecords(lists, limit), meta, nil
 }
 
-// KNN runs a distributed k-nearest query: every worker returns its local
-// top-k; the coordinator merges to the global top-k.
+// KNN runs the distributed k-nearest query: a two-phase pruned search that
+// probes the workers whose heartbeat sketches place them nearest the query
+// point first and expands only while the kth-best distance found so far
+// cannot rule the next worker out (see knnMeta in scatter.go; with
+// DisablePrune every worker returns its local top-k in one broadcast round).
 func (c *Coordinator) KNN(ctx context.Context, center geo.Point, window wire.TimeWindow, k int) ([]wire.KNNRecord, error) {
-	if k <= 0 {
-		return nil, fmt.Errorf("core: knn k must be positive")
-	}
-	start := time.Now()
-	defer func() { c.reg.Histogram("query.knn").Observe(time.Since(start)) }()
-	q := &wire.KNNQuery{QueryID: c.nextQueryID.Add(1), Center: center, Window: window, K: k}
-	resps, _ := c.scatter(ctx, c.allWorkers(), q)
-	var merged []wire.KNNRecord
-	for _, resp := range resps {
-		if kr, ok := resp.(*wire.KNNResult); ok {
-			merged = append(merged, kr.Records...)
-		}
-	}
-	sort.Slice(merged, func(i, j int) bool {
-		if merged[i].Dist2 != merged[j].Dist2 {
-			return merged[i].Dist2 < merged[j].Dist2
-		}
-		return merged[i].ObsID < merged[j].ObsID
-	})
-	if len(merged) > k {
-		merged = merged[:k]
-	}
-	return merged, nil
+	recs, _, err := c.knnMeta(ctx, center, window, k, 0)
+	return recs, err
+}
+
+// KNNMeta is KNN plus answer-completeness metadata, mirroring RangeMeta.
+func (c *Coordinator) KNNMeta(ctx context.Context, center geo.Point, window wire.TimeWindow, k int) ([]wire.KNNRecord, QueryMeta, error) {
+	return c.knnMeta(ctx, center, window, k, 0)
 }
 
 // Count runs a distributed count query.
@@ -616,7 +596,9 @@ func (c *Coordinator) Count(ctx context.Context, rect geo.Rect, window wire.Time
 // 1.0 means the total undercounts (some workers never answered).
 func (c *Coordinator) CountMeta(ctx context.Context, rect geo.Rect, window wire.TimeWindow) (int, QueryMeta, error) {
 	q := &wire.CountQuery{QueryID: c.nextQueryID.Add(1), Rect: rect, Window: window}
-	resps, meta := c.scatter(ctx, c.workersFor(rect), q)
+	targets, pruned := c.pruneTargets(c.targetsFor(rect), rect, window)
+	resps, meta := c.scatter(ctx, addrsOfTargets(targets), q)
+	meta.Pruned = pruned
 	total := 0
 	for _, resp := range resps {
 		if cr, ok := resp.(*wire.CountResult); ok {
@@ -633,7 +615,8 @@ func (c *Coordinator) Filter(ctx context.Context, q wire.FilterQuery) ([]wire.Re
 	q.QueryID = c.nextQueryID.Add(1)
 	var merged []wire.ResultRecord
 	plans := make(map[string]int)
-	resps, _ := c.scatter(ctx, c.workersFor(q.Rect), &q)
+	targets, _ := c.pruneTargets(c.targetsFor(q.Rect), q.Rect, q.Window)
+	resps, _ := c.scatter(ctx, addrsOfTargets(targets), &q)
 	for _, resp := range resps {
 		if fr, ok := resp.(*wire.FilterResult); ok {
 			merged = append(merged, fr.Records...)
@@ -656,7 +639,8 @@ func (c *Coordinator) Heatmap(ctx context.Context, rect geo.Rect, window wire.Ti
 	}
 	q := &wire.HeatmapQuery{QueryID: c.nextQueryID.Add(1), Rect: rect, Window: window, CellSize: cellSize}
 	acc := make(map[[2]int32]int64)
-	resps, _ := c.scatter(ctx, c.workersFor(rect), q)
+	targets, _ := c.pruneTargets(c.targetsFor(rect), rect, window)
+	resps, _ := c.scatter(ctx, addrsOfTargets(targets), q)
 	for _, resp := range resps {
 		hr, ok := resp.(*wire.HeatmapResult)
 		if !ok {
@@ -715,6 +699,13 @@ func (c *Coordinator) scatter(ctx context.Context, addrs []string, req any) ([]a
 			if err != nil {
 				c.reg.Counter("scatter.errors").Inc()
 				return
+			}
+			if c.opts.WireAccounting {
+				// Re-marshal the response so bytes-on-wire is measurable
+				// even on in-process transports (experiment R16).
+				if b, merr := wire.Marshal(wire.KindOf(resp), resp); merr == nil {
+					c.reg.Counter("scatter.resp_bytes").Add(int64(len(b)))
+				}
 			}
 			out[i] = resp
 		}(i, addr)

@@ -70,6 +70,29 @@ type Options struct {
 	// structured log line carrying its trace ID, and enables per-attempt
 	// failure logging. Zero disables slow-call logging (the default).
 	SlowRPCThreshold time.Duration
+	// DisablePrune turns off summary-based scatter pruning and the two-phase
+	// kNN, reverting every read to broadcast fan-out over the routed workers.
+	// This is the baseline experiment R16 compares against and the reference
+	// side of the pruned-vs-broadcast differential suite.
+	DisablePrune bool
+	// SummaryCellSize is the coarse spatial cell of the per-worker summary
+	// piggybacked on heartbeats (default 4× CellSize; the store rounds it up
+	// to an integer multiple of CellSize).
+	SummaryCellSize float64
+	// SummaryTimeBuckets bounds the summary's coarse time histogram
+	// (default 8).
+	SummaryTimeBuckets int
+	// KNNProbeFanout is how many additional workers each expansion round of
+	// the two-phase kNN probes while the global top-k is still short
+	// (default 2). Workers whose summary lower bound is zero are always
+	// probed in the first phase — no kth-best distance can ever exclude them.
+	KNNProbeFanout int
+	// WireAccounting, when true, re-marshals every scatter response to count
+	// result bytes into the scatter.resp_bytes counter — meaningful even on
+	// in-process transports with no real wire. Off by default (it duplicates
+	// marshal work on the read path); experiment R16 enables it to measure
+	// bytes-on-wire under pruning vs broadcast.
+	WireAccounting bool
 }
 
 func (o *Options) fill() {
@@ -99,6 +122,15 @@ func (o *Options) fill() {
 	}
 	if o.IngestPipelineDepth <= 0 {
 		o.IngestPipelineDepth = 4
+	}
+	if o.SummaryCellSize <= 0 {
+		o.SummaryCellSize = 4 * o.CellSize
+	}
+	if o.SummaryTimeBuckets <= 0 {
+		o.SummaryTimeBuckets = 8
+	}
+	if o.KNNProbeFanout <= 0 {
+		o.KNNProbeFanout = 2
 	}
 }
 

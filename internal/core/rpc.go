@@ -17,10 +17,14 @@ func resilientFor(tr cluster.Transport, opts Options, reg *metrics.Registry) *cl
 	return cluster.NewResilient(tr, opts.rpcPolicy(), cluster.WithRPCMetrics(reg))
 }
 
-// QueryMeta reports how complete one scatter-gather answer is.
+// QueryMeta reports how complete one scatter-gather answer is. Pruned
+// workers are not counted in Asked: their heartbeat sketch proved they held
+// nothing for the query, so skipping them loses no data and does not degrade
+// completeness.
 type QueryMeta struct {
 	Asked    int // workers the query fanned out to
 	Answered int // workers that answered before their deadline
+	Pruned   int // workers skipped because their sketch proved them empty
 }
 
 // Completeness returns Answered/Asked in [0, 1]; an empty fan-out is

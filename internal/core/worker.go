@@ -49,6 +49,13 @@ type Worker struct {
 	hbSeq      uint64
 	loadMeter  *metrics.Meter
 
+	// Heartbeat summary cache: the wire form of the last store sketch, valid
+	// while (epoch, record count, latest timestamp) are unchanged.
+	sumCache  *wire.WorkerSummary
+	sumEpoch  uint64
+	sumLen    int
+	sumLatest time.Time
+
 	// Readiness state: whether registration succeeded, and the assignment
 	// epoch the coordinator last acknowledged — when it runs ahead of our
 	// local epoch, our camera assignment is stale and we are not ready.
@@ -230,6 +237,7 @@ func (w *Worker) sendHeartbeatOnce(ctx context.Context) error {
 		Load:    w.loadMeter.Rate(),
 		Stored:  w.store.Len(),
 		Cameras: len(w.cameras),
+		Summary: w.summaryLocked(),
 	}
 	w.mu.Unlock()
 	resp, err := w.rpc.Call(ctx, w.coordAddr, hb)
@@ -242,6 +250,33 @@ func (w *Worker) sendHeartbeatOnce(ctx context.Context) error {
 		w.mu.Unlock()
 	}
 	return nil
+}
+
+// summaryLocked returns the store sketch piggybacked on heartbeats, rebuilding
+// it only when the store content or the assignment epoch changed since the
+// last heartbeat. Callers hold w.mu.
+func (w *Worker) summaryLocked() *wire.WorkerSummary {
+	n, latest := w.store.Len(), w.store.Latest()
+	if w.sumCache != nil && w.sumEpoch == w.epoch && w.sumLen == n && w.sumLatest.Equal(latest) {
+		return w.sumCache
+	}
+	s := w.store.Summarize(w.opts.SummaryCellSize, w.opts.SummaryTimeBuckets)
+	ws := &wire.WorkerSummary{
+		Epoch:       w.epoch,
+		Records:     s.Records,
+		CellSize:    s.CellSize,
+		BucketFrom:  s.BucketFrom,
+		BucketWidth: s.BucketWidth,
+	}
+	if len(s.Cells) > 0 {
+		ws.Cells = make([]wire.SummaryCell, len(s.Cells))
+		for i, c := range s.Cells {
+			ws.Cells[i] = wire.SummaryCell{CX: c.CX, CY: c.CY, Count: c.Count, Bounds: c.Bounds, Buckets: c.Buckets}
+		}
+	}
+	w.sumCache, w.sumEpoch, w.sumLen, w.sumLatest = ws, w.epoch, n, latest
+	w.reg.Counter("summary.rebuilds").Inc()
+	return ws
 }
 
 // Ready reports whether this worker is a functioning cluster member:
@@ -528,7 +563,7 @@ func (w *Worker) onKNN(m *wire.KNNQuery) (any, error) {
 	if m.K <= 0 {
 		return &wire.Error{Code: wire.CodeBadRequest, Message: "knn: k must be positive"}, nil
 	}
-	ns := w.store.KNNFunc(m.Center, m.Window.From, m.Window.To, m.K, w.isPrimarySnapshot())
+	ns := w.store.KNNBounded(m.Center, m.Window.From, m.Window.To, m.K, m.MaxDist2, w.isPrimarySnapshot())
 	out := &wire.KNNResult{QueryID: m.QueryID, Records: make([]wire.KNNRecord, len(ns))}
 	for i, n := range ns {
 		out.Records[i] = wire.KNNRecord{ResultRecord: toWireRecord(n.Record), Dist2: n.Dist2}

@@ -6,6 +6,7 @@
 package spatial
 
 import (
+	"math"
 	"sort"
 
 	"stcam/internal/geo"
@@ -55,6 +56,32 @@ func Collect(ix Index, r geo.Rect) []Item {
 		return true
 	})
 	SortItems(out)
+	return out
+}
+
+// KNNWithin is a bounded kNN over any Index: the k items nearest to q whose
+// squared distance does not exceed maxDist2 (inclusive; maxDist2 <= 0 means
+// unbounded). It ranges only the bounding square of the search radius, so a
+// tight pushed-down bound touches a fraction of the index regardless of the
+// implementation's own kNN strategy.
+func KNNWithin(ix Index, q geo.Point, k int, maxDist2 float64) []Neighbor {
+	if maxDist2 <= 0 {
+		return ix.KNN(q, k)
+	}
+	if k <= 0 {
+		return nil
+	}
+	r := math.Sqrt(maxDist2)
+	acc := newKNNAcc(k)
+	ix.Range(geo.RectOf(q.X-r, q.Y-r, q.X+r, q.Y+r), func(it Item) bool {
+		d2 := q.Dist2(it.P)
+		if d2 <= maxDist2 {
+			acc.offer(Neighbor{Item: it, Dist2: d2})
+		}
+		return true
+	})
+	out := acc.heap
+	sortNeighbors(out)
 	return out
 }
 

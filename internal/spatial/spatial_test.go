@@ -463,3 +463,43 @@ func TestKNNAccumulator(t *testing.T) {
 		}
 	}
 }
+
+// TestKNNWithinConformance: the bounded kNN helper must return, for every
+// index implementation, exactly the unbounded kNN answer with candidates
+// beyond the radius filtered out — including ties at exactly the bound.
+func TestKNNWithinConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	items := randomItems(rng, 300, 1000)
+	for _, f := range factories() {
+		t.Run(f.name, func(t *testing.T) {
+			ix := f.make()
+			for _, it := range items {
+				ix.Insert(it.ID, it.P)
+			}
+			for trial := 0; trial < 40; trial++ {
+				q := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+				k := 1 + rng.Intn(12)
+				full := ix.KNN(q, len(items))
+				maxDist2 := full[rng.Intn(len(full))].Dist2
+				var want []Neighbor
+				for _, n := range full {
+					if n.Dist2 <= maxDist2 && len(want) < k {
+						want = append(want, n)
+					}
+				}
+				got := KNNWithin(ix, q, k, maxDist2)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d: got %d neighbors, want %d", trial, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d: neighbor %d = %+v, want %+v", trial, i, got[i], want[i])
+					}
+				}
+			}
+			if got := KNNWithin(ix, geo.Pt(0, 0), 5, 0); len(got) != 5 {
+				t.Fatalf("unbounded KNNWithin returned %d, want 5", len(got))
+			}
+		})
+	}
+}

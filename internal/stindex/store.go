@@ -215,6 +215,16 @@ func (s *Store) KNN(q geo.Point, from, to time.Time, k int) []Neighbor {
 // false are skipped (nil keeps everything). The worker uses it to answer from
 // primary-camera data only when replication is on.
 func (s *Store) KNNFunc(q geo.Point, from, to time.Time, k int, keep func(Record) bool) []Neighbor {
+	return s.KNNBounded(q, from, to, k, 0, keep)
+}
+
+// KNNBounded is KNNFunc with a pushed-down radius bound: when maxDist2 > 0,
+// candidates with squared distance strictly greater than maxDist2 are
+// discarded (the bound is inclusive, preserving ties at exactly maxDist2)
+// and ring expansion stops as soon as the next ring cannot reach the bound.
+// The coordinator's two-phase kNN uses this to keep later-phase probes from
+// materializing candidates that cannot displace the current global top k.
+func (s *Store) KNNBounded(q geo.Point, from, to time.Time, k int, maxDist2 float64, keep func(Record) bool) []Neighbor {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if k <= 0 || s.n == 0 || to.Before(from) {
@@ -286,16 +296,25 @@ func (s *Store) KNNFunc(q geo.Point, from, to time.Time, k int, keep func(Record
 		}
 		cell.Window(from, to, func(_ time.Time, rec Record) bool {
 			if keep == nil || keep(rec) {
-				offer(Neighbor{Record: rec, Dist2: q.Dist2(rec.Pos)})
+				d2 := q.Dist2(rec.Pos)
+				if maxDist2 > 0 && d2 > maxDist2 {
+					return true
+				}
+				offer(Neighbor{Record: rec, Dist2: d2})
 			}
 			return true
 		})
 	}
 	for ring := 0; ring <= maxRing; ring++ {
-		if ring > 0 && len(best) == k {
+		if ring > 0 {
 			minDist := float64(ring-1) * s.cfg.CellSize
-			if minDist > 0 && minDist*minDist > best[0].Dist2 {
-				break
+			if minDist > 0 {
+				if len(best) == k && minDist*minDist > best[0].Dist2 {
+					break
+				}
+				if maxDist2 > 0 && minDist*minDist > maxDist2 {
+					break
+				}
 			}
 		}
 		if ring == 0 {

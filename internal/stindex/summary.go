@@ -1,0 +1,134 @@
+package stindex
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"stcam/internal/geo"
+)
+
+// Summary is a compact sketch of a store's contents: per coarse spatial
+// cell, a record count, the bounding rect of the store cells feeding it,
+// and a coarse time histogram. Workers piggyback it on heartbeats so the
+// coordinator can prune query fan-out; stcam/internal/wire carries the same
+// shape on the protocol (this package stays wire-free).
+//
+// The sketch is conservative by construction: cell bounds are unions of
+// store-cell rects, so every record lies inside its cell's Bounds, and every
+// record is counted in exactly one time bucket (coarse buckets are aligned
+// to store bucket boundaries with a width that is an integer multiple of the
+// store bucket width). A reader may therefore skip a worker whose summary
+// shows no cell matching a query — never missing data the summary covers —
+// and lower-bound a worker's nearest record by distance to its cell bounds.
+type Summary struct {
+	Records     int
+	CellSize    float64       // effective coarse cell size (world units)
+	BucketFrom  time.Time     // start of time bucket 0 (zero when empty)
+	BucketWidth time.Duration // coarse bucket width (0 when empty)
+	Cells       []SummaryCell
+}
+
+// SummaryCell is one non-empty coarse cell of a Summary.
+type SummaryCell struct {
+	CX, CY  int32
+	Count   int64
+	Bounds  geo.Rect
+	Buckets []int64 // records per coarse time bucket, from Summary.BucketFrom
+}
+
+// Summarize builds a Summary with coarse cells of (at least) the requested
+// size and at most timeBuckets coarse time buckets. The requested cell size
+// is rounded up to an integer multiple of the store's grid cell size and the
+// bucket width to a multiple of the store's bucket width, so the sketch
+// aggregates whole store cells and whole store buckets: cost is
+// O(cells + buckets), never O(records).
+func (s *Store) Summarize(cellSize float64, timeBuckets int) Summary {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	ratio := int32(1)
+	if cellSize > s.cfg.CellSize {
+		ratio = int32(math.Ceil(cellSize / s.cfg.CellSize))
+	}
+	effective := float64(ratio) * s.cfg.CellSize
+	sum := Summary{Records: s.n, CellSize: effective}
+	if s.n == 0 {
+		return sum
+	}
+	if timeBuckets <= 0 {
+		timeBuckets = 8
+	}
+
+	// Global time span across cells, at store-bucket granularity.
+	var from, end time.Time
+	for _, cell := range s.cells {
+		cf, ce, ok := cell.Span()
+		if !ok {
+			continue
+		}
+		if from.IsZero() || cf.Before(from) {
+			from = cf
+		}
+		if ce.After(end) {
+			end = ce
+		}
+	}
+	if from.IsZero() {
+		return sum
+	}
+	span := end.Sub(from)
+	width := span / time.Duration(timeBuckets)
+	sw := s.cfg.BucketWidth
+	if rem := width % sw; rem != 0 || width == 0 {
+		width += sw - rem
+	}
+	nb := int((span + width - 1) / width)
+	if nb < 1 {
+		nb = 1
+	}
+	sum.BucketFrom = from
+	sum.BucketWidth = width
+
+	acc := make(map[cellKey]*SummaryCell)
+	for key, cell := range s.cells {
+		ck := cellKey{cx: floorDiv(key.cx, ratio), cy: floorDiv(key.cy, ratio)}
+		c, ok := acc[ck]
+		if !ok {
+			c = &SummaryCell{CX: ck.cx, CY: ck.cy, Bounds: s.cellRect(key), Buckets: make([]int64, nb)}
+			acc[ck] = c
+		} else {
+			c.Bounds = c.Bounds.Union(s.cellRect(key))
+		}
+		c.Count += int64(cell.Len())
+		cell.ForEachBucket(func(start time.Time, n int) {
+			i := int(start.Sub(from) / width)
+			if i < 0 {
+				i = 0
+			}
+			if i >= nb {
+				i = nb - 1
+			}
+			c.Buckets[i] += int64(n)
+		})
+	}
+	sum.Cells = make([]SummaryCell, 0, len(acc))
+	for _, c := range acc {
+		sum.Cells = append(sum.Cells, *c)
+	}
+	sort.Slice(sum.Cells, func(i, j int) bool {
+		if sum.Cells[i].CY != sum.Cells[j].CY {
+			return sum.Cells[i].CY < sum.Cells[j].CY
+		}
+		return sum.Cells[i].CX < sum.Cells[j].CX
+	})
+	return sum
+}
+
+func floorDiv(a, b int32) int32 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

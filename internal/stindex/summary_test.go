@@ -1,0 +1,156 @@
+package stindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"stcam/internal/geo"
+)
+
+var sumT0 = time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+
+func randStore(seed int64, n int) (*Store, []Record) {
+	rng := rand.New(rand.NewSource(seed))
+	s := NewStore(Config{CellSize: 50, BucketWidth: 10 * time.Second})
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		rec := Record{
+			ObsID:    uint64(i + 1),
+			TargetID: uint64(rng.Intn(20)),
+			Camera:   uint32(rng.Intn(8)),
+			Pos:      geo.Pt(rng.Float64()*2000-500, rng.Float64()*2000-500),
+			Time:     sumT0.Add(time.Duration(rng.Intn(3600)) * time.Second),
+		}
+		s.Insert(rec)
+		recs = append(recs, rec)
+	}
+	return s, recs
+}
+
+// TestSummarizeConservative is the summary's core soundness property: every
+// stored record must be covered by exactly one cell — position inside the
+// cell's Bounds, counted in its Count, and counted in the time bucket that
+// contains its timestamp. A summary violating this could cause a wrong prune.
+func TestSummarizeConservative(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		s, recs := randStore(seed, 500)
+		sum := s.Summarize(200, 8)
+		if sum.Records != len(recs) {
+			t.Fatalf("seed %d: Records = %d, want %d", seed, sum.Records, len(recs))
+		}
+		if rem := math.Mod(sum.CellSize, s.Config().CellSize); rem != 0 {
+			t.Fatalf("seed %d: coarse cell size %v not a multiple of %v", seed, sum.CellSize, s.Config().CellSize)
+		}
+		if sum.BucketWidth%s.Config().BucketWidth != 0 {
+			t.Fatalf("seed %d: bucket width %v not a multiple of %v", seed, sum.BucketWidth, s.Config().BucketWidth)
+		}
+		cells := make(map[[2]int32]*SummaryCell)
+		var total int64
+		for i := range sum.Cells {
+			c := &sum.Cells[i]
+			cells[[2]int32{c.CX, c.CY}] = c
+			total += c.Count
+			var bucketSum int64
+			for _, b := range c.Buckets {
+				bucketSum += b
+			}
+			if bucketSum != c.Count {
+				t.Fatalf("seed %d: cell (%d,%d) buckets sum to %d, count %d", seed, c.CX, c.CY, bucketSum, c.Count)
+			}
+		}
+		if total != int64(len(recs)) {
+			t.Fatalf("seed %d: cell counts sum to %d, want %d", seed, total, len(recs))
+		}
+		for _, rec := range recs {
+			key := [2]int32{
+				int32(math.Floor(rec.Pos.X / sum.CellSize)),
+				int32(math.Floor(rec.Pos.Y / sum.CellSize)),
+			}
+			c, ok := cells[key]
+			if !ok {
+				t.Fatalf("seed %d: record %d at %v has no summary cell %v", seed, rec.ObsID, rec.Pos, key)
+			}
+			if !c.Bounds.Contains(rec.Pos) {
+				t.Fatalf("seed %d: record %d at %v outside cell bounds %v", seed, rec.ObsID, rec.Pos, c.Bounds)
+			}
+			i := int(rec.Time.Sub(sum.BucketFrom) / sum.BucketWidth)
+			if i < 0 || i >= len(c.Buckets) || c.Buckets[i] == 0 {
+				t.Fatalf("seed %d: record %d at %v not visible in time bucket %d of cell %v", seed, rec.ObsID, rec.Time, i, key)
+			}
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := NewStore(Config{})
+	sum := s.Summarize(200, 8)
+	if sum.Records != 0 || len(sum.Cells) != 0 {
+		t.Fatalf("empty store summary = %+v", sum)
+	}
+	if !sum.BucketFrom.IsZero() || sum.BucketWidth != 0 {
+		t.Fatalf("empty store summary has time span: %+v", sum)
+	}
+}
+
+// TestSummarizeCellAggregation pins the coarse aggregation: records in
+// adjacent store cells land in one coarse cell whose bounds union the store
+// cell rects, including on the negative side of the origin (floor division).
+func TestSummarizeCellAggregation(t *testing.T) {
+	s := NewStore(Config{CellSize: 50, BucketWidth: 10 * time.Second})
+	s.Insert(Record{ObsID: 1, Pos: geo.Pt(10, 10), Time: sumT0})
+	s.Insert(Record{ObsID: 2, Pos: geo.Pt(90, 90), Time: sumT0})   // store cell (1,1), same coarse cell at 200
+	s.Insert(Record{ObsID: 3, Pos: geo.Pt(-10, -10), Time: sumT0}) // coarse cell (-1,-1)
+	sum := s.Summarize(200, 4)
+	if len(sum.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2: %+v", len(sum.Cells), sum.Cells)
+	}
+	neg, pos := sum.Cells[0], sum.Cells[1] // sorted by (CY, CX)
+	if neg.CX != -1 || neg.CY != -1 || neg.Count != 1 {
+		t.Fatalf("negative cell = %+v", neg)
+	}
+	if pos.CX != 0 || pos.CY != 0 || pos.Count != 2 {
+		t.Fatalf("positive cell = %+v", pos)
+	}
+	want := geo.RectOf(0, 0, 100, 100) // union of store cells (0,0) and (1,1)
+	if pos.Bounds != want {
+		t.Fatalf("positive cell bounds = %v, want %v", pos.Bounds, want)
+	}
+}
+
+// TestKNNBoundedMatchesFiltered: a radius-bounded kNN must return exactly
+// the unbounded result with candidates beyond the bound filtered out —
+// including candidates at exactly the bound (inclusive semantics).
+func TestKNNBoundedMatchesFiltered(t *testing.T) {
+	for _, seed := range []int64{3, 9} {
+		s, recs := randStore(seed, 400)
+		rng := rand.New(rand.NewSource(seed + 100))
+		for trial := 0; trial < 50; trial++ {
+			q := geo.Pt(rng.Float64()*2000-500, rng.Float64()*2000-500)
+			from := sumT0.Add(time.Duration(rng.Intn(1800)) * time.Second)
+			to := from.Add(time.Duration(rng.Intn(1800)) * time.Second)
+			k := 1 + rng.Intn(10)
+			full := s.KNNFunc(q, from, to, len(recs), nil)
+			maxDist2 := 0.0
+			if len(full) > 0 {
+				maxDist2 = full[rng.Intn(len(full))].Dist2 // exercises ties at the bound
+			}
+			var want []Neighbor
+			for _, n := range full {
+				if n.Dist2 <= maxDist2 && len(want) < k {
+					want = append(want, n)
+				}
+			}
+			got := s.KNNBounded(q, from, to, k, maxDist2, nil)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d trial %d: got %d neighbors, want %d", seed, trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d trial %d: neighbor %d = %+v, want %+v", seed, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

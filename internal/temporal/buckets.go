@@ -163,6 +163,16 @@ func (s *BucketStore[V]) EvictBefore(cutoff time.Time) int {
 	return removed
 }
 
+// ForEachBucket calls fn once per materialized bucket with the bucket's
+// start time and the number of values it holds. Iteration order is
+// unspecified. Summary builders use this to histogram a cell's records at
+// bucket granularity in O(buckets) instead of O(records).
+func (s *BucketStore[V]) ForEachBucket(fn func(start time.Time, n int)) {
+	for b, es := range s.buckets {
+		fn(time.Unix(0, b*int64(s.width)), len(es))
+	}
+}
+
 // Span returns the time range [earliest bucket start, latest bucket end)
 // currently materialized, and false when the store is empty.
 func (s *BucketStore[V]) Span() (time.Time, time.Time, bool) {

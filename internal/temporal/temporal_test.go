@@ -371,3 +371,31 @@ func TestPropBucketStoreWindow(t *testing.T) {
 		}
 	}
 }
+
+// TestForEachBucket: the per-bucket walk must account for every stored value
+// exactly once, with bucket starts aligned to the bucket width.
+func TestForEachBucket(t *testing.T) {
+	s := NewBucketStore[int](10 * time.Second)
+	base := time.Date(2026, 7, 5, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 100; i++ {
+		s.Add(base.Add(time.Duration(i)*3*time.Second), i)
+	}
+	total := 0
+	buckets := 0
+	s.ForEachBucket(func(start time.Time, n int) {
+		if start.UnixNano()%int64(10*time.Second) != 0 {
+			t.Fatalf("bucket start %v not aligned to width", start)
+		}
+		if n <= 0 {
+			t.Fatalf("bucket %v reported %d values", start, n)
+		}
+		total += n
+		buckets++
+	})
+	if total != s.Len() {
+		t.Fatalf("buckets sum to %d values, store holds %d", total, s.Len())
+	}
+	if buckets != s.BucketCount() {
+		t.Fatalf("visited %d buckets, store has %d", buckets, s.BucketCount())
+	}
+}

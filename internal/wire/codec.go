@@ -92,6 +92,7 @@ func Marshal(kind MsgKind, payload any) ([]byte, error) {
 		e.f64(m.Load)
 		e.varint(int64(m.Stored))
 		e.varint(int64(m.Cameras))
+		e.summary(m.Summary)
 	case *HeartbeatAck:
 		e.u64(m.Epoch)
 	case *IngestBatch:
@@ -127,6 +128,7 @@ func Marshal(kind MsgKind, payload any) ([]byte, error) {
 		e.point(m.Center)
 		e.window(m.Window)
 		e.varint(int64(m.K))
+		e.f64(m.MaxDist2)
 	case *KNNResult:
 		e.u64(m.QueryID)
 		e.varint(int64(len(m.Records)))
@@ -134,6 +136,8 @@ func Marshal(kind MsgKind, payload any) ([]byte, error) {
 			e.record(&m.Records[i].ResultRecord)
 			e.f64(m.Records[i].Dist2)
 		}
+		e.varint(int64(m.Asked))
+		e.varint(int64(m.Answered))
 	case *CountQuery:
 		e.u64(m.QueryID)
 		e.rect(m.Rect)
@@ -141,6 +145,8 @@ func Marshal(kind MsgKind, payload any) ([]byte, error) {
 	case *CountResult:
 		e.u64(m.QueryID)
 		e.varint(int64(m.Count))
+		e.varint(int64(m.Asked))
+		e.varint(int64(m.Answered))
 	case *TrajectoryQuery:
 		e.u64(m.QueryID)
 		e.u64(m.TargetID)
@@ -291,6 +297,7 @@ func Unmarshal(kind MsgKind, body []byte) (any, error) {
 		m.Load = d.f64()
 		m.Stored = int(d.varint())
 		m.Cameras = int(d.varint())
+		m.Summary = d.summary()
 		out = m
 	case KindHeartbeatAck:
 		m := &HeartbeatAck{}
@@ -344,6 +351,7 @@ func Unmarshal(kind MsgKind, body []byte) (any, error) {
 		m.Center = d.point()
 		m.Window = d.window()
 		m.K = int(d.varint())
+		m.MaxDist2 = d.f64()
 		out = m
 	case KindKNNResult:
 		m := &KNNResult{}
@@ -356,6 +364,8 @@ func Unmarshal(kind MsgKind, body []byte) (any, error) {
 				m.Records[i].Dist2 = d.f64()
 			}
 		}
+		m.Asked = int(d.varint())
+		m.Answered = int(d.varint())
 		out = m
 	case KindCountQuery:
 		m := &CountQuery{}
@@ -367,6 +377,8 @@ func Unmarshal(kind MsgKind, body []byte) (any, error) {
 		m := &CountResult{}
 		m.QueryID = d.u64()
 		m.Count = int(d.varint())
+		m.Asked = int(d.varint())
+		m.Answered = int(d.varint())
 		out = m
 	case KindTrajectoryQuery:
 		m := &TrajectoryQuery{}
@@ -751,6 +763,31 @@ func (e *encoder) histStats(m map[string]HistStats) {
 	}
 }
 
+func (e *encoder) summary(s *WorkerSummary) {
+	if s == nil {
+		e.boolean(false)
+		return
+	}
+	e.boolean(true)
+	e.u64(s.Epoch)
+	e.varint(int64(s.Records))
+	e.f64(s.CellSize)
+	e.timestamp(s.BucketFrom)
+	e.varint(int64(s.BucketWidth))
+	e.varint(int64(len(s.Cells)))
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		e.varint(int64(c.CX))
+		e.varint(int64(c.CY))
+		e.varint(c.Count)
+		e.rect(c.Bounds)
+		e.varint(int64(len(c.Buckets)))
+		for _, b := range c.Buckets {
+			e.varint(b)
+		}
+	}
+}
+
 func (e *encoder) statsResult(s *StatsResult) {
 	e.str(string(s.Node))
 	e.kvs(s.Counters)
@@ -946,6 +983,39 @@ func (d *decoder) histStats() map[string]HistStats {
 		out[k] = v
 	}
 	return out
+}
+
+func (d *decoder) summary() *WorkerSummary {
+	if !d.boolean() {
+		return nil
+	}
+	s := &WorkerSummary{}
+	s.Epoch = d.u64()
+	s.Records = int(d.varint())
+	s.CellSize = d.f64()
+	s.BucketFrom = d.timestamp()
+	s.BucketWidth = time.Duration(d.varint())
+	n := d.sliceLen()
+	if n > 0 {
+		s.Cells = make([]SummaryCell, n)
+		for i := range s.Cells {
+			c := &s.Cells[i]
+			c.CX = int32(d.varint())
+			c.CY = int32(d.varint())
+			c.Count = d.varint()
+			c.Bounds = d.rect()
+			if bn := d.sliceLen(); bn > 0 {
+				c.Buckets = make([]int64, bn)
+				for j := range c.Buckets {
+					c.Buckets[j] = d.varint()
+				}
+			}
+		}
+	}
+	if d.err != nil {
+		return nil
+	}
+	return s
 }
 
 func (d *decoder) statsResult(s *StatsResult) {

@@ -212,7 +212,7 @@ func TestQuickQueriesRoundTrip(t *testing.T) {
 		window := TimeWindow{From: randTime(rng), To: randTime(rng)}
 		msgs := []any{
 			&RangeQuery{QueryID: qid, Rect: rect, Window: window, Limit: int(limit)},
-			&KNNQuery{QueryID: qid, Center: rect.Min, Window: window, K: int(k)},
+			&KNNQuery{QueryID: qid, Center: rect.Min, Window: window, K: int(k), MaxDist2: rng.Float64() * 1e6},
 			&CountQuery{QueryID: qid, Rect: rect, Window: window},
 			&HeatmapQuery{QueryID: qid, Rect: rect, Window: window, CellSize: cell},
 		}
@@ -224,6 +224,47 @@ func TestQuickQueriesRoundTrip(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHeartbeatSummaryRoundTrip: heartbeats with arbitrary piggybacked
+// worker summaries — including the no-summary and empty-summary cases —
+// survive the codec.
+func TestQuickHeartbeatSummaryRoundTrip(t *testing.T) {
+	f := func(seed int64, seq uint64, cells uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &Heartbeat{Node: "w1", Seq: seq, Load: rng.Float64() * 1e3, Stored: rng.Intn(1e6), Cameras: rng.Intn(64)}
+		if rng.Intn(4) > 0 { // 1 in 4 heartbeats carries no summary
+			s := &WorkerSummary{
+				Epoch:    rng.Uint64() >> 32,
+				Records:  rng.Intn(1e6),
+				CellSize: 50 * float64(1+rng.Intn(8)),
+			}
+			if n := int(cells % 16); n > 0 {
+				s.BucketFrom = randTime(rng)
+				s.BucketWidth = time.Duration(1+rng.Intn(3600)) * time.Second
+				for i := 0; i < n; i++ {
+					c := SummaryCell{
+						CX:    int32(rng.Intn(200) - 100),
+						CY:    int32(rng.Intn(200) - 100),
+						Count: rng.Int63n(1e6),
+						Bounds: geo.Rect{
+							Min: geo.Pt(rng.NormFloat64()*1e4, rng.NormFloat64()*1e4),
+							Max: geo.Pt(rng.NormFloat64()*1e4, rng.NormFloat64()*1e4),
+						},
+					}
+					for j := 0; j < rng.Intn(8); j++ {
+						c.Buckets = append(c.Buckets, rng.Int63n(1e5))
+					}
+					s.Cells = append(s.Cells, c)
+				}
+			}
+			m.Summary = s
+		}
+		return reflect.DeepEqual(roundTrip(t, m), m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
 }

@@ -123,12 +123,46 @@ type RegisterAck struct {
 }
 
 // Heartbeat is the liveness and load report workers send periodically.
+// Summary, when present, piggybacks the worker's spatial sketch so the
+// coordinator can rank and prune query fan-out without extra RPCs.
 type Heartbeat struct {
 	Node    NodeID
 	Seq     uint64
 	Load    float64 // recent observations/second
 	Stored  int     // records currently indexed
 	Cameras int     // cameras currently owned
+	Summary *WorkerSummary
+}
+
+// WorkerSummary is a compact sketch of the data one worker has indexed:
+// per coarse spatial cell, a record count, the bounding rect of the store
+// cells feeding it, and a coarse time histogram. The coordinator uses it to
+// skip workers that provably hold no matching records (count/emptiness,
+// rect intersection, time-bucket overlap) and to lower-bound each worker's
+// nearest possible record for two-phase kNN. Bounds are conservative: they
+// always contain every summarized record, so a summary can only cause
+// over-querying, never a wrong prune — as long as it is current. Freshness
+// is heartbeat-bounded; Epoch ties a summary to the camera-assignment epoch
+// it was built under so reassignments invalidate it wholesale.
+type WorkerSummary struct {
+	Epoch       uint64        // assignment epoch the summary was built under
+	Records     int           // total records summarized
+	CellSize    float64       // coarse cell size (world units)
+	BucketFrom  time.Time     // start of time bucket 0 (zero when empty)
+	BucketWidth time.Duration // coarse time bucket width (0 when empty)
+	Cells       []SummaryCell
+}
+
+// SummaryCell is one non-empty coarse cell of a WorkerSummary, keyed by
+// integer cell coordinates (world position = cell index × cell size).
+// Buckets counts records per coarse time bucket starting at the summary's
+// BucketFrom; every summarized record in this cell is counted in exactly
+// one bucket, so all-zero overlap with a query window proves emptiness.
+type SummaryCell struct {
+	CX, CY  int32
+	Count   int64
+	Bounds  geo.Rect // contains every record in the cell
+	Buckets []int64
 }
 
 // HeartbeatAck carries the coordinator's view back (e.g. epoch changes).
@@ -212,11 +246,15 @@ type RangeResult struct {
 }
 
 // KNNQuery asks for the k observations nearest to a point within a window.
+// MaxDist2 > 0 is a pushed-down radius bound: the server may discard any
+// candidate with squared distance strictly greater than MaxDist2 (the bound
+// itself is inclusive, preserving ties at exactly MaxDist2).
 type KNNQuery struct {
-	QueryID uint64
-	Center  geo.Point
-	Window  TimeWindow
-	K       int
+	QueryID  uint64
+	Center   geo.Point
+	Window   TimeWindow
+	K        int
+	MaxDist2 float64 // 0 = unbounded
 }
 
 // KNNRecord is a kNN result with its distance.
@@ -225,10 +263,16 @@ type KNNRecord struct {
 	Dist2 float64
 }
 
-// KNNResult returns one worker's candidates.
+// KNNResult returns one worker's candidates — or, on the coordinator's
+// client-facing path, the merged answer, where Asked/Answered report scatter
+// completeness exactly as in RangeResult (workers pruned by summaries are
+// not counted in Asked: they were proven empty, not skipped). Worker→
+// coordinator results leave both zero.
 type KNNResult struct {
-	QueryID uint64
-	Records []KNNRecord
+	QueryID  uint64
+	Records  []KNNRecord
+	Asked    int
+	Answered int
 }
 
 // CountQuery asks for a count of observations in a region and window.
@@ -238,10 +282,14 @@ type CountQuery struct {
 	Window  TimeWindow
 }
 
-// CountResult returns one worker's count.
+// CountResult returns one worker's count — or, on the coordinator's
+// client-facing path, the merged total with scatter completeness meta
+// (see RangeResult). Worker→coordinator results leave Asked/Answered zero.
 type CountResult struct {
-	QueryID uint64
-	Count   int
+	QueryID  uint64
+	Count    int
+	Asked    int
+	Answered int
 }
 
 // TrajectoryQuery asks for a target's observation history.

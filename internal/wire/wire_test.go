@@ -19,7 +19,15 @@ func allMessages() []any {
 	return []any{
 		&Register{Node: "w1", Addr: "127.0.0.1:7001", Capacity: 2},
 		&RegisterAck{Accepted: true, Reason: "ok"},
-		&Heartbeat{Node: "w1", Seq: 42, Load: 123.5, Stored: 10000, Cameras: 16},
+		&Heartbeat{Node: "w1", Seq: 42, Load: 123.5, Stored: 10000, Cameras: 16,
+			Summary: &WorkerSummary{
+				Epoch: 7, Records: 10000, CellSize: 200,
+				BucketFrom: t0, BucketWidth: time.Minute,
+				Cells: []SummaryCell{
+					{CX: 0, CY: 1, Count: 9000, Bounds: geo.RectOf(0, 200, 180, 390), Buckets: []int64{100, 0, 8900}},
+					{CX: -2, CY: 3, Count: 1000, Bounds: geo.RectOf(-400, 600, -250, 780), Buckets: []int64{0, 1000}},
+				}}},
+		&Heartbeat{Node: "w2", Seq: 1, Load: 0, Stored: 0, Cameras: 0},
 		&HeartbeatAck{Epoch: 7},
 		&IngestBatch{Camera: 3, FrameTime: t0.Add(2 * time.Second), Observations: []Observation{
 			{ObsID: 1, Camera: 3, Time: t0, Pos: geo.Pt(1.5, -2.5), Feature: []float32{0.1, -0.2, 0.3}, TrueID: 9},
@@ -30,12 +38,12 @@ func allMessages() []any {
 		&RangeResult{QueryID: 11, Records: []ResultRecord{
 			{ObsID: 5, TargetID: 2, Camera: 1, Pos: geo.Pt(3, 4), Time: t0},
 		}, Truncated: true, Asked: 8, Answered: 7},
-		&KNNQuery{QueryID: 12, Center: geo.Pt(10, 20), Window: TimeWindow{From: t0, To: t0.Add(time.Hour)}, K: 5},
+		&KNNQuery{QueryID: 12, Center: geo.Pt(10, 20), Window: TimeWindow{From: t0, To: t0.Add(time.Hour)}, K: 5, MaxDist2: 156.25},
 		&KNNResult{QueryID: 12, Records: []KNNRecord{
 			{ResultRecord: ResultRecord{ObsID: 7, Camera: 2, Pos: geo.Pt(1, 1), Time: t0}, Dist2: 2.25},
-		}},
+		}, Asked: 3, Answered: 3},
 		&CountQuery{QueryID: 13, Rect: geo.RectOf(-5, -5, 5, 5), Window: TimeWindow{From: t0, To: t0}},
-		&CountResult{QueryID: 13, Count: 77},
+		&CountResult{QueryID: 13, Count: 77, Asked: 4, Answered: 3},
 		&TrajectoryQuery{QueryID: 14, TargetID: 99, Window: TimeWindow{From: t0, To: t0.Add(time.Hour)}},
 		&TrajectoryResult{QueryID: 14, Records: []ResultRecord{
 			{ObsID: 1, TargetID: 99, Camera: 4, Pos: geo.Pt(0, 1), Time: t0},
