@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race bench check fuzz
+.PHONY: all build vet fmt test race bench check fuzz soak-short soak
 
 all: check
 
@@ -24,6 +24,19 @@ race:
 # check is the CI gate: format check, vet, build, and the full test suite
 # under the race detector.
 check: fmt vet build race
+
+# soak-short is the PR-time failover gate: the seeded leader-kill chaos soak
+# (experiment R19) under the race detector, ~30s. A new leader must take over
+# within two lease intervals with zero tracks lost and zero observations
+# double-applied.
+soak-short:
+	$(GO) test -race -count=1 -run 'TestSoakFailover' ./internal/core/
+
+# soak is the nightly long soak: the failover chaos soak at SOAK_FRAMES
+# simulated frames plus the full ingest/query/tracking soak suite.
+SOAK_FRAMES ?= 3000
+soak:
+	STCAM_SOAK_FRAMES=$(SOAK_FRAMES) $(GO) test -race -count=1 -timeout 30m -run 'TestSoak' -v ./internal/core/
 
 # bench regenerates the experiment tables at CI scale.
 bench:

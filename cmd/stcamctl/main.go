@@ -177,7 +177,15 @@ func run(args []string) error {
 // renderTop writes the per-worker summary table: one row per registered
 // member, live or not, with the scraped ingest/tracking/RPC figures.
 func renderTop(out io.Writer, cs *wire.ClusterStatsResult) {
-	fmt.Fprintf(out, "epoch %d, %d worker(s)\n", cs.Epoch, len(cs.Workers))
+	switch cs.Role {
+	case "", "single":
+		fmt.Fprintf(out, "epoch %d, %d worker(s)\n", cs.Epoch, len(cs.Workers))
+	case "leader":
+		fmt.Fprintf(out, "epoch %d, leader %s, %d worker(s)\n", cs.Epoch, cs.Leader, len(cs.Workers))
+	default:
+		fmt.Fprintf(out, "epoch %d, %s (leader %s @ %s), %d worker(s)\n",
+			cs.Epoch, cs.Role, cs.Leader, cs.LeaderAddr, len(cs.Workers))
+	}
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "NODE\tALIVE\tCAMS\tRATE\tACCEPTED\tTRACKS\tRECORDS\tRPCERR\tRETRY\tBRK")
 	for _, w := range cs.Workers {

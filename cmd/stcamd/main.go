@@ -5,9 +5,17 @@
 //
 //	stcamd -role coordinator -addr :7600
 //
-// Workers (any number, on any machines that can reach the coordinator):
+// Highly-available coordinator group (one leader plus standbys; each member
+// names itself and its peers, and standbys boot with -standby):
 //
-//	stcamd -role worker -id w1 -addr :7601 -coordinator host:7600
+//	stcamd -role coordinator -id c1 -addr host1:7600 -peers c2=host2:7600,c3=host3:7600
+//	stcamd -role coordinator -id c2 -addr host2:7600 -peers c1=host1:7600,c3=host3:7600 -standby
+//	stcamd -role coordinator -id c3 -addr host3:7600 -peers c1=host1:7600,c2=host2:7600 -standby
+//
+// Workers (any number, on any machines that can reach the coordinators; give
+// them the full candidate list so they fail over on their own):
+//
+//	stcamd -role worker -id w1 -addr :7601 -coordinator host1:7600,host2:7600,host3:7600
 //
 // Cameras are registered by a client (cmd/stcam-sim, or any program sending
 // an AssignCameras message to the coordinator); queries go through
@@ -25,11 +33,33 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"stcam"
 )
+
+// parsePeers parses the -peers value: comma-separated id=host:port entries
+// naming the other coordinators of the HA group.
+func parsePeers(s string) (map[stcam.NodeID]string, error) {
+	out := make(map[stcam.NodeID]string)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(entry, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=host:port)", entry)
+		}
+		out[stcam.NodeID(id)] = addr
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-peers %q names no peers", s)
+	}
+	return out, nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -41,9 +71,12 @@ func main() {
 func run() error {
 	var (
 		role        = flag.String("role", "worker", "node role: coordinator | worker")
-		id          = flag.String("id", "", "worker node id (required for workers)")
+		id          = flag.String("id", "", "node id (required for workers; names a coordinator within an HA group)")
 		addr        = flag.String("addr", ":7601", "listen address")
-		coordAddr   = flag.String("coordinator", "127.0.0.1:7600", "coordinator address (workers)")
+		coordAddr   = flag.String("coordinator", "127.0.0.1:7600", "coordinator address, or comma-separated HA candidate list (workers)")
+		peers       = flag.String("peers", "", "coordinator: HA peer list id=host:port,id=host:port (empty = single coordinator)")
+		standby     = flag.Bool("standby", false, "coordinator: boot as a standby following the HA group's leader")
+		lease       = flag.Duration("lease", 0, "coordinator: HA leader lease interval (0 = default 250ms)")
 		heartbeat   = flag.Duration("heartbeat", time.Second, "worker heartbeat interval")
 		hbTimeout   = flag.Duration("failure-timeout", 5*time.Second, "coordinator: declare workers dead after this silence")
 		retention   = flag.Duration("retention", 0, "worker observation retention (0 = unlimited)")
@@ -65,6 +98,19 @@ func run() error {
 		RetryPolicy:         stcam.Policy{MaxAttempts: *attempts},
 		IngestPipelineDepth: *ingestDepth,
 		SlowRPCThreshold:    *slowRPC,
+		Standby:             *standby,
+		LeaseInterval:       *lease,
+	}
+	if *peers != "" {
+		peerMap, err := parsePeers(*peers)
+		if err != nil {
+			return err
+		}
+		if *id == "" {
+			return fmt.Errorf("-peers requires -id to name this coordinator")
+		}
+		opts.CoordinatorID = stcam.NodeID(*id)
+		opts.CoordinatorPeers = peerMap
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -77,7 +123,12 @@ func run() error {
 			return err
 		}
 		defer coord.Stop()
-		log.Printf("coordinator listening on %s", coord.Addr())
+		lastRole, _, _ := coord.Role()
+		if lastRole == "single" {
+			log.Printf("coordinator listening on %s", coord.Addr())
+		} else {
+			log.Printf("coordinator %s listening on %s as %s", *id, coord.Addr(), lastRole)
+		}
 		if *httpAddr != "" {
 			o, err := stcam.ServeObs(*httpAddr, stcam.ObsOptions{
 				Node:     "coordinator",
@@ -95,6 +146,10 @@ func run() error {
 		for {
 			select {
 			case <-ticker.C:
+				if role, leader, laddr := coord.Role(); role != lastRole {
+					log.Printf("control-plane role: %s -> %s (leader %s @ %s, epoch %d)", lastRole, role, leader, laddr, coord.Epoch())
+					lastRole = role
+				}
 				if died := coord.Sweep(context.Background(), time.Now()); len(died) > 0 {
 					for _, m := range died {
 						log.Printf("worker %s declared dead; cameras reassigned (epoch %d)", m.Node, coord.Epoch())

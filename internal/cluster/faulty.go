@@ -82,6 +82,22 @@ func (f *Faulty) SetProgram(addr string, p FaultProgram) {
 	f.programs[addr] = p
 }
 
+// SetPartitioned flips only the Partition bit of addr's fault program,
+// preserving any drop/latency/duplicate chaos already installed on the link.
+// Healing (on=false) a link whose program is otherwise zero removes the
+// program entirely so the link passes through untouched again.
+func (f *Faulty) SetPartitioned(addr string, on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.programs[addr]
+	p.Partition = on
+	if p == (FaultProgram{}) {
+		delete(f.programs, addr)
+		return
+	}
+	f.programs[addr] = p
+}
+
 // ClearProgram removes a destination's fault program; calls pass through
 // untouched again.
 func (f *Faulty) ClearProgram(addr string) {

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"stcam/internal/wire"
+)
+
+// echoNet serves trivial handlers at each addr on a shared InProc and
+// returns the FaultyNet over it.
+func echoNet(t *testing.T, seed int64, addrs ...string) *FaultyNet {
+	t.Helper()
+	inner := NewInProc()
+	for _, a := range addrs {
+		if _, err := inner.Serve(a, func(ctx context.Context, from string, req any) (any, error) {
+			return &wire.HeartbeatAck{Epoch: 1}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := NewFaultyNet(inner, seed)
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func callOK(n *FaultyNet, from, to string) error {
+	_, err := n.View(from).Call(context.Background(), to, &wire.Heartbeat{})
+	return err
+}
+
+func TestFaultyNetPartitionIsSymmetric(t *testing.T) {
+	n := echoNet(t, 1, "a", "b", "c")
+	n.Partition("a", "b")
+	if err := callOK(n, "a", "b"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("a→b err = %v, want ErrUnreachable", err)
+	}
+	if err := callOK(n, "b", "a"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("b→a err = %v, want ErrUnreachable", err)
+	}
+	// Third parties are unaffected in either direction.
+	if err := callOK(n, "a", "c"); err != nil {
+		t.Fatalf("a→c should pass: %v", err)
+	}
+	if err := callOK(n, "c", "b"); err != nil {
+		t.Fatalf("c→b should pass: %v", err)
+	}
+	n.Heal("a", "b")
+	if err := callOK(n, "a", "b"); err != nil {
+		t.Fatalf("a→b after Heal: %v", err)
+	}
+	if err := callOK(n, "b", "a"); err != nil {
+		t.Fatalf("b→a after Heal: %v", err)
+	}
+}
+
+func TestFaultyNetPartitionPreservesChaos(t *testing.T) {
+	n := echoNet(t, 1, "a", "b")
+	n.View("a").SetProgram("b", FaultProgram{Drop: 0.5})
+	n.Partition("a", "b")
+	n.Heal("a", "b")
+	p, ok := n.View("a").Program("b")
+	if !ok || p.Drop != 0.5 {
+		t.Fatalf("drop program lost across partition/heal: %+v ok=%v", p, ok)
+	}
+	if p.Partition {
+		t.Fatal("link still partitioned after Heal")
+	}
+	// A link with no other chaos drops its program entirely on heal.
+	n.Partition("b", "a")
+	n.Heal("b", "a")
+	if _, ok := n.View("b").Program("a"); ok {
+		t.Fatal("healed zero program should be removed")
+	}
+}
+
+func TestFaultyNetHealAfter(t *testing.T) {
+	n := echoNet(t, 1, "a", "b")
+	n.Partition("a", "b")
+	n.HealAfter(20*time.Millisecond, "a", "b")
+	if err := callOK(n, "a", "b"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("link should start partitioned, err = %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := callOK(n, "a", "b"); err == nil {
+			if err := callOK(n, "b", "a"); err == nil {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("link never healed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFaultyNetFlapEvery(t *testing.T) {
+	n := echoNet(t, 1, "a", "b")
+	stop := n.FlapEvery(10*time.Millisecond, "a", "b")
+	// Starts partitioned.
+	if err := callOK(n, "a", "b"); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("flapping link should start cut, err = %v", err)
+	}
+	// Over a few periods we must observe both states.
+	var sawUp, sawDown bool
+	deadline := time.Now().Add(2 * time.Second)
+	for (!sawUp || !sawDown) && time.Now().Before(deadline) {
+		if err := callOK(n, "a", "b"); err == nil {
+			sawUp = true
+		} else {
+			sawDown = true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !sawUp || !sawDown {
+		t.Fatalf("flapper never alternated: up=%v down=%v", sawUp, sawDown)
+	}
+	stop()
+	if err := callOK(n, "a", "b"); err != nil {
+		t.Fatalf("stop() should heal the link: %v", err)
+	}
+	stop() // idempotent
+}
+
+func TestFaultyNetViewSeedsDiffer(t *testing.T) {
+	n := echoNet(t, 42, "a", "b", "dst")
+	n.View("a").SetProgram("dst", FaultProgram{Drop: 0.5})
+	n.View("b").SetProgram("dst", FaultProgram{Drop: 0.5})
+	same := true
+	for i := 0; i < 40; i++ {
+		ea := callOK(n, "a", "dst")
+		eb := callOK(n, "b", "dst")
+		if (ea == nil) != (eb == nil) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("distinct views produced identical fault sequences")
+	}
+}
+
+func TestLeaseRenewExpireAndEpochFence(t *testing.T) {
+	l := NewLease(50 * time.Millisecond)
+	now := time.Unix(1000, 0)
+	if !l.Expired(now) {
+		t.Fatal("fresh lease should start expired")
+	}
+	if !l.Renew("c1", "coord-1", 3, now) {
+		t.Fatal("first renewal rejected")
+	}
+	if l.Expired(now.Add(40 * time.Millisecond)) {
+		t.Fatal("lease expired inside TTL")
+	}
+	if !l.Expired(now.Add(60 * time.Millisecond)) {
+		t.Fatal("lease still live past TTL")
+	}
+	// A newer epoch takes over; an older epoch is fenced out.
+	if !l.Renew("c2", "coord-2", 4, now.Add(time.Millisecond)) {
+		t.Fatal("newer-epoch renewal rejected")
+	}
+	if l.Renew("c1", "coord-1", 3, now.Add(2*time.Millisecond)) {
+		t.Fatal("stale-epoch renewal accepted")
+	}
+	leader, addr, epoch := l.Holder()
+	if leader != "c2" || addr != "coord-2" || epoch != 4 {
+		t.Fatalf("Holder = %s/%s/%d, want c2/coord-2/4", leader, addr, epoch)
+	}
+}
+
+func TestElectLeaderDeterministic(t *testing.T) {
+	if _, ok := ElectLeader(nil); ok {
+		t.Fatal("empty candidate set should not elect")
+	}
+	// Highest applied index wins regardless of ID order.
+	id, ok := ElectLeader(map[wire.NodeID]uint64{"c1": 5, "c2": 9, "c3": 9})
+	if !ok || id != "c2" {
+		t.Fatalf("ElectLeader = %s ok=%v, want c2 (lowest ID among max-applied)", id, ok)
+	}
+	// Pure tie breaks toward the lowest ID.
+	id, _ = ElectLeader(map[wire.NodeID]uint64{"c9": 7, "c2": 7, "c5": 7})
+	if id != "c2" {
+		t.Fatalf("tie-break elected %s, want c2", id)
+	}
+}

@@ -76,6 +76,20 @@ func (m *Membership) Heartbeat(hb *wire.Heartbeat, now time.Time) bool {
 	return true
 }
 
+// Refresh marks every member alive as of now. A standby coordinator promoted
+// to leader calls this on takeover: its membership was seeded from replicated
+// records whose apply times predate the failover, and without a refresh the
+// first sweep would declare the whole (healthy) fleet dead before a single
+// heartbeat had a chance to arrive.
+func (m *Membership) Refresh(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, mem := range m.members {
+		mem.Alive = true
+		mem.LastSeen = now
+	}
+}
+
 // Remove drops a member entirely (graceful shutdown).
 func (m *Membership) Remove(node wire.NodeID) bool {
 	m.mu.Lock()

@@ -40,6 +40,13 @@ type Coordinator struct {
 
 	server cluster.Server
 
+	// ha is the replicated control-plane state; nil outside an HA group
+	// (see ha.go). ha.mu and mu never nest in either direction.
+	ha        *haState
+	lifecycle sync.WaitGroup
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+
 	mu         sync.Mutex
 	epoch      uint64
 	assignment cluster.Assignment
@@ -92,7 +99,7 @@ func NewCoordinator(addr string, transport cluster.Transport, p cluster.Partitio
 		p = &cluster.SpatialPartitioner{}
 	}
 	reg := metrics.NewRegistry()
-	return &Coordinator{
+	c := &Coordinator{
 		addr:        addr,
 		transport:   transport,
 		rpc:         resilientFor(transport, opts, reg),
@@ -101,6 +108,7 @@ func NewCoordinator(addr string, transport cluster.Transport, p cluster.Partitio
 		membership:  cluster.NewMembership(opts.HeartbeatTimeout),
 		partitioner: p,
 		network:     camera.NewNetwork(),
+		stopCh:      make(chan struct{}),
 		assignment:  make(cluster.Assignment),
 		replicas:    make(map[uint32][]wire.NodeID),
 		camInfos:    make(map[uint32]wire.CameraInfo),
@@ -108,15 +116,38 @@ func NewCoordinator(addr string, transport cluster.Transport, p cluster.Partitio
 		tracks:      make(map[uint64]*coordTrack),
 		summaries:   make(map[wire.NodeID]nodeSummary),
 	}
+	if len(opts.CoordinatorPeers) > 0 {
+		peers := make(map[wire.NodeID]string, len(opts.CoordinatorPeers))
+		for id, a := range opts.CoordinatorPeers {
+			if id != opts.CoordinatorID {
+				peers[id] = a
+			}
+		}
+		c.ha = &haState{
+			id:       opts.CoordinatorID,
+			peers:    peers,
+			ttl:      opts.LeaseInterval,
+			standby:  opts.Standby,
+			lease:    cluster.NewLease(opts.LeaseInterval),
+			acks:     make(map[wire.NodeID]uint64),
+			inFlight: make(map[wire.NodeID]bool),
+		}
+	}
+	return c
 }
 
-// Start binds the coordinator's server.
+// Start binds the coordinator's server and, in an HA group, starts the
+// lease/replication loop.
 func (c *Coordinator) Start() error {
 	srv, err := c.transport.Serve(c.addr, c.handle)
 	if err != nil {
 		return fmt.Errorf("core: coordinator serve: %w", err)
 	}
 	c.server = srv
+	if c.ha != nil {
+		c.lifecycle.Add(1)
+		go c.haLoop()
+	}
 	return nil
 }
 
@@ -130,6 +161,8 @@ func (c *Coordinator) Addr() string {
 
 // Stop closes the server and all subscriber channels.
 func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.lifecycle.Wait()
 	if c.server != nil {
 		c.server.Close()
 	}
@@ -172,11 +205,32 @@ func (c *Coordinator) handle(ctx context.Context, from string, req any) (any, er
 }
 
 func (c *Coordinator) dispatch(ctx context.Context, _ string, req any) (any, error) {
+	// HA protocol traffic is role-agnostic and handled first.
+	switch m := req.(type) {
+	case *wire.Replicate:
+		return c.onReplicate(m)
+	case *wire.LeaderQuery:
+		return c.onLeaderQuery()
+	}
+	if c.IsStandby() {
+		// Leader-only traffic is redirected; reads fall through and are
+		// served from the replicated state (degraded mode: the standby's
+		// membership view may lag, but availability beats completeness
+		// during a failover window, and QueryMeta reports the shortfall).
+		switch req.(type) {
+		case *wire.Register, *wire.Heartbeat, *wire.AssignCameras, *wire.IngestBatch,
+			*wire.ContinuousUpdate, *wire.TrackUpdate, *wire.TrackHandoff:
+			return c.standbyReject()
+		}
+	}
 	switch m := req.(type) {
 	case *wire.Register:
 		c.membership.Register(m, time.Now())
 		c.dropSummary(m.Node) // a restarted worker's sketch and hbSeq start over
 		c.reg.Counter("workers.registered").Inc()
+		c.haAppend(c.Epoch(), wire.ControlRecord{Op: wire.OpMember, Member: wire.MemberRecord{
+			Node: m.Node, Addr: m.Addr, Capacity: m.Capacity,
+		}})
 		return &wire.RegisterAck{Accepted: true}, nil
 	case *wire.Heartbeat:
 		known := c.membership.Heartbeat(m, time.Now())
@@ -345,6 +399,7 @@ func (c *Coordinator) AddCameras(ctx context.Context, infos []wire.CameraInfo, m
 		c.camInfos[ci.ID] = ci
 	}
 	c.mu.Unlock()
+	c.haAppend(c.Epoch(), wire.ControlRecord{Op: wire.OpCameras, Cameras: infos})
 	return c.Reassign(ctx)
 }
 
@@ -407,7 +462,9 @@ func (c *Coordinator) Reassign(ctx context.Context) error {
 	for _, cc := range c.continuous {
 		conts = append(conts, cc)
 	}
+	assignRec := c.assignRecordLocked()
 	c.mu.Unlock()
+	c.haAppend(epoch, assignRec)
 
 	var firstErr error
 	for _, n := range nodes {
@@ -828,6 +885,10 @@ func (c *Coordinator) StartTrack(ctx context.Context, cam uint32, feature []floa
 		close(tr.ch)
 		return 0, nil, fmt.Errorf("core: track start: %w", err)
 	}
+	c.mu.Lock()
+	rec := trackRecordOf(tr)
+	c.mu.Unlock()
+	c.haAppend(c.Epoch(), rec)
 	c.reg.Gauge("tracks.active").Set(int64(c.trackCount()))
 	return id, tr.ch, nil
 }
@@ -847,6 +908,7 @@ func (c *Coordinator) StopTrack(ctx context.Context, id uint64) error {
 		c.rpc.Call(ctx, addr, &wire.TrackStop{TrackID: id}) //nolint:errcheck // best-effort cancel
 	}
 	close(tr.ch)
+	c.haAppend(c.Epoch(), wire.ControlRecord{Op: wire.OpTrackRemove, Track: wire.TrackRecord{TrackID: id}})
 	c.reg.Gauge("tracks.active").Set(int64(c.trackCount()))
 	return nil
 }
@@ -1056,10 +1118,15 @@ func (c *Coordinator) completeHandoff(m *wire.TrackHandoff) {
 		}
 		tr.primed = nil
 	}
+	var rec wire.ControlRecord
+	if ok {
+		rec = trackRecordOf(tr)
+	}
 	c.mu.Unlock()
 	if !ok {
 		return
 	}
+	c.haAppend(c.Epoch(), rec)
 	c.reg.Counter("handoff.completed").Inc()
 	// Record the learned transit edge for the vision graph.
 	if prevCamera != 0 && prevCamera != m.ToCamera {
@@ -1084,6 +1151,11 @@ func (c *Coordinator) completeHandoff(m *wire.TrackHandoff) {
 // every sweep, not just the one where the owner died, so a failed recovery
 // RPC heals on the next tick instead of stranding the track.
 func (c *Coordinator) Sweep(ctx context.Context, now time.Time) []cluster.Member {
+	if c.IsStandby() {
+		// No heartbeats flow to a standby; sweeping its replicated
+		// membership view would only declare a healthy fleet dead.
+		return nil
+	}
 	died := c.membership.Sweep(now)
 	if len(died) > 0 {
 		c.reg.Counter("workers.died").Add(int64(len(died)))
@@ -1092,26 +1164,47 @@ func (c *Coordinator) Sweep(ctx context.Context, now time.Time) []cluster.Member
 		}
 	}
 	// Tracks whose owner is not alive: restart them at their last camera's
-	// new owner using the last known appearance.
-	alive := make(map[wire.NodeID]bool)
-	for _, m := range c.membership.Alive() {
+	// new owner using the last known appearance. Liveness, epoch, and each
+	// orphan's replacement owner are snapshotted at one instant per pass:
+	// the recovery RPC goes to exactly the snapshotted node, and the
+	// ownership commit re-validates the epoch so a Reassign racing the pass
+	// invalidates the commit instead of recording an owner read from a
+	// superseded assignment (the old code re-read c.assignment after the
+	// RPC, which could disagree with the address the RPC went to).
+	aliveMembers := c.membership.Alive()
+	alive := make(map[wire.NodeID]bool, len(aliveMembers))
+	addrOf := make(map[wire.NodeID]string, len(aliveMembers))
+	for _, m := range aliveMembers {
 		alive[m.Node] = true
+		addrOf[m.Node] = m.Addr
+	}
+	type orphanPlan struct {
+		tr   *coordTrack
+		node wire.NodeID
+		addr string
+		msg  *wire.TrackStart
 	}
 	c.mu.Lock()
-	var orphans []*coordTrack
+	epoch := c.epoch
+	var plans []orphanPlan
 	for _, tr := range c.tracks {
-		if !alive[tr.owner] {
-			orphans = append(orphans, tr)
-		}
-	}
-	c.mu.Unlock()
-	for _, tr := range orphans {
-		addr, ok := c.RouteFor(tr.lastCamera)
-		if !ok {
+		if alive[tr.owner] {
 			continue
 		}
-		msg := &wire.TrackStart{TrackID: tr.trackID, Camera: tr.lastCamera, Feature: tr.feature, Time: tr.lastSeen}
-		if _, err := c.rpc.Call(ctx, addr, msg); err != nil {
+		node, ok := c.assignment[tr.lastCamera]
+		if !ok || !alive[node] {
+			continue
+		}
+		plans = append(plans, orphanPlan{
+			tr:   tr,
+			node: node,
+			addr: addrOf[node],
+			msg:  &wire.TrackStart{TrackID: tr.trackID, Camera: tr.lastCamera, Feature: tr.feature, Time: tr.lastSeen},
+		})
+	}
+	c.mu.Unlock()
+	for _, p := range plans {
+		if _, err := c.rpc.Call(ctx, p.addr, p.msg); err != nil {
 			// Ownership is committed only once the replacement worker has
 			// accepted the track. On failure the record keeps its dead owner,
 			// so the next sweep sees it as orphaned and retries, instead of
@@ -1119,12 +1212,19 @@ func (c *Coordinator) Sweep(ctx context.Context, now time.Time) []cluster.Member
 			c.reg.Counter("tracks.recover_errors").Inc()
 			continue
 		}
+		var rec wire.ControlRecord
+		committed := false
 		c.mu.Lock()
-		if c.tracks[tr.trackID] == tr {
-			tr.owner = c.assignment[tr.lastCamera]
+		if c.tracks[p.tr.trackID] == p.tr && c.epoch == epoch {
+			p.tr.owner = p.node
+			rec = trackRecordOf(p.tr)
+			committed = true
 		}
 		c.mu.Unlock()
-		c.reg.Counter("tracks.recovered").Inc()
+		if committed {
+			c.haAppend(epoch, rec)
+			c.reg.Counter("tracks.recovered").Inc()
+		}
 	}
 	if len(died) == 0 {
 		return nil
@@ -1160,6 +1260,21 @@ func (c *Coordinator) StatsSnapshot() metrics.RegistrySnapshot {
 // worker registered and a strict majority of registered workers alive. A nil
 // return means ready; the error explains what is missing otherwise.
 func (c *Coordinator) Ready() error {
+	if c.ha != nil {
+		c.ha.mu.Lock()
+		standby := c.ha.standby
+		expired := c.ha.lease.Expired(time.Now())
+		c.ha.mu.Unlock()
+		if standby {
+			// A standby is ready while its leader's lease is fresh: it is
+			// replicating and can serve degraded reads. A lapsed lease means
+			// a failover is in progress.
+			if expired {
+				return errors.New("standby: leader lease expired, failover in progress")
+			}
+			return nil
+		}
+	}
 	all := c.membership.All()
 	if len(all) == 0 {
 		return errors.New("no workers registered")
@@ -1184,8 +1299,12 @@ func (c *Coordinator) Ready() error {
 // dropping the row.
 func (c *Coordinator) ClusterStats(ctx context.Context) *wire.ClusterStatsResult {
 	snap := c.StatsSnapshot()
+	role, leader, leaderAddr := c.Role()
 	out := &wire.ClusterStatsResult{
-		Epoch: c.Epoch(),
+		Epoch:      c.Epoch(),
+		Role:       role,
+		Leader:     leader,
+		LeaderAddr: leaderAddr,
 		Coordinator: wire.StatsResult{
 			Node:       "coordinator",
 			Counters:   snap.Counters,

@@ -1,0 +1,570 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"stcam/internal/camera"
+	"stcam/internal/cluster"
+	"stcam/internal/wire"
+)
+
+// cameraOf builds the in-memory camera from its wire registration.
+func cameraOf(ci wire.CameraInfo) *camera.Camera {
+	return camera.New(camera.ID(ci.ID), ci.Pos, ci.Orient, ci.HalfFOV, ci.Range)
+}
+
+// This file is the coordinator's high-availability layer: a replicated
+// control-plane state machine plus leader lease and deterministic failover.
+//
+// The leader journals every control-plane mutation — camera registry,
+// assignment + epoch, worker membership, and track-registry transitions — as
+// versioned wire.ControlRecords and streams them to its standby peers inside
+// Replicate frames. A Replicate doubles as the leader lease: an empty one is
+// a pure renewal. Standbys apply the journal in index order, acknowledge how
+// far they got (ReplicateAck carries gap-recovery via NeedFrom), answer
+// leader-only traffic with CodeNotLeader redirects, and keep serving local
+// reads so the query plane degrades instead of failing.
+//
+// When a standby sees the lease lapse it polls its peers with LeaderQuery and
+// runs the deterministic election: the lowest coordinator ID among the
+// candidates with the maximum applied journal index wins, with no voting
+// round — every reachable standby computes the same answer. The winner marks
+// its replicated membership fresh, bumps the assignment epoch through
+// Reassign (which fences the deposed leader: workers reject older epochs),
+// and starts leasing. A deposed leader that hears a higher-epoch Replicate —
+// or a higher-epoch rejection to its own stream — steps down to standby and
+// resynchronizes from the new leader's journal.
+//
+// Track position updates are deliberately NOT journaled: they are the hot
+// path, and the track registry is replicated on transitions only (start,
+// ownership change, recovery, stop). Likewise worker-side (Source, Seq)
+// ingest dedup state needs no replication — it lives on the workers and
+// survives coordinator failover by construction.
+
+// maxReplicateBatch bounds the journal records shipped per Replicate frame;
+// a further-behind standby catches up over successive lease ticks.
+const maxReplicateBatch = 512
+
+// haState is the coordinator's HA bookkeeping. Lock discipline: ha.mu is
+// independent of Coordinator.mu — neither is ever acquired while holding the
+// other — and applyMu serializes whole Replicate applications above both.
+type haState struct {
+	id    wire.NodeID
+	peers map[wire.NodeID]string // peer coordinator ID → serve address
+	ttl   time.Duration          // lease lifetime; renewals at ttl/4
+
+	applyMu sync.Mutex // serializes Replicate application end-to-end
+
+	mu           sync.Mutex
+	standby      bool
+	lease        *cluster.Lease
+	journal      []wire.ControlRecord
+	applied      uint64                 // journal prefix applied locally
+	acks         map[wire.NodeID]uint64 // leader: highest index each peer acked
+	inFlight     map[wire.NodeID]bool   // leader: replication RPC outstanding
+	streamLeader wire.NodeID            // standby: whose journal we follow
+	needReset    bool                   // standby: must resync from index 1
+	leaderlessAt time.Time              // standby: when the lease first lapsed
+}
+
+// haEnabled reports whether this coordinator runs the replicated control
+// plane. All journal/lease paths are no-ops when it does not.
+func (c *Coordinator) haEnabled() bool { return c.ha != nil }
+
+// IsStandby reports whether this coordinator currently follows a leader.
+func (c *Coordinator) IsStandby() bool {
+	if c.ha == nil {
+		return false
+	}
+	c.ha.mu.Lock()
+	defer c.ha.mu.Unlock()
+	return c.ha.standby
+}
+
+// Role describes this coordinator's control-plane role: "single" outside an
+// HA group, else "leader" or "standby" plus the current leader's identity.
+func (c *Coordinator) Role() (role string, leader wire.NodeID, leaderAddr string) {
+	if c.ha == nil {
+		return "single", "", ""
+	}
+	c.ha.mu.Lock()
+	defer c.ha.mu.Unlock()
+	if !c.ha.standby {
+		return "leader", c.ha.id, c.Addr()
+	}
+	l, addr, _ := c.ha.lease.Holder()
+	return "standby", l, addr
+}
+
+// JournalApplied returns the applied journal index (diagnostics and tests).
+func (c *Coordinator) JournalApplied() uint64 {
+	if c.ha == nil {
+		return 0
+	}
+	c.ha.mu.Lock()
+	defer c.ha.mu.Unlock()
+	return c.ha.applied
+}
+
+// haAppend journals one control-plane mutation on the leader. Callers must
+// not hold c.mu (ha.mu and c.mu never nest). Standbys never append here —
+// their journal grows only by applying the leader's stream.
+func (c *Coordinator) haAppend(epoch uint64, rec wire.ControlRecord) {
+	if c.ha == nil {
+		return
+	}
+	h := c.ha
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.standby {
+		return
+	}
+	rec.Index = uint64(len(h.journal)) + 1
+	rec.Epoch = epoch
+	h.journal = append(h.journal, rec)
+	h.applied = rec.Index
+}
+
+// assignRecordLocked snapshots the full camera→worker assignment (plus
+// replicas) as one OpAssign record. Caller holds c.mu.
+func (c *Coordinator) assignRecordLocked() wire.ControlRecord {
+	rec := wire.ControlRecord{Op: wire.OpAssign}
+	rec.Assign = make([]wire.AssignEntry, 0, len(c.assignment))
+	for cam, node := range c.assignment {
+		e := wire.AssignEntry{Camera: cam, Node: node}
+		if reps := c.replicas[cam]; len(reps) > 0 {
+			e.Replicas = append([]wire.NodeID(nil), reps...)
+		}
+		rec.Assign = append(rec.Assign, e)
+	}
+	return rec
+}
+
+func trackRecordOf(tr *coordTrack) wire.ControlRecord {
+	return wire.ControlRecord{Op: wire.OpTrack, Track: wire.TrackRecord{
+		TrackID:    tr.trackID,
+		Owner:      tr.owner,
+		LastCamera: tr.lastCamera,
+		Feature:    tr.feature,
+		LastSeen:   tr.lastSeen,
+		Handoffs:   tr.handoffs,
+	}}
+}
+
+// --- HA loop -----------------------------------------------------------------
+
+// haLoop drives the role-dependent periodic work: a leader renews its lease
+// by replicating to every peer; a standby watches for lease expiry and runs
+// the election. One loop serves both roles so step-down and promotion are
+// just state flips, with no goroutine handover.
+func (c *Coordinator) haLoop() {
+	defer c.lifecycle.Done()
+	tick := c.ha.ttl / 4
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+			if c.IsStandby() {
+				c.maybeElect()
+			} else {
+				c.replicateAll()
+			}
+		}
+	}
+}
+
+// replicateAll ships journal tails (or pure lease renewals) to every peer.
+// Each peer gets at most one outstanding RPC, so a partitioned peer cannot
+// stall the lease cadence toward the healthy ones.
+func (c *Coordinator) replicateAll() {
+	h := c.ha
+	h.mu.Lock()
+	var targets []wire.NodeID
+	for id := range h.peers {
+		if !h.inFlight[id] {
+			h.inFlight[id] = true
+			targets = append(targets, id)
+		}
+	}
+	h.mu.Unlock()
+	for _, id := range targets {
+		go c.replicateTo(id)
+	}
+}
+
+// replicateTo sends one Replicate frame to a peer and folds its answer into
+// the ack state. A higher-epoch rejection means a new leader exists: step
+// down and let its stream resynchronize us.
+func (c *Coordinator) replicateTo(peer wire.NodeID) {
+	h := c.ha
+	defer func() {
+		h.mu.Lock()
+		delete(h.inFlight, peer)
+		h.mu.Unlock()
+	}()
+	epoch := c.Epoch()
+	h.mu.Lock()
+	if h.standby {
+		h.mu.Unlock()
+		return
+	}
+	addr := h.peers[peer]
+	from := h.acks[peer] + 1
+	var recs []wire.ControlRecord
+	if from <= uint64(len(h.journal)) {
+		end := len(h.journal)
+		if end > int(from)-1+maxReplicateBatch {
+			end = int(from) - 1 + maxReplicateBatch
+		}
+		recs = append(recs, h.journal[from-1:end]...)
+	}
+	commit := h.commitIndexLocked()
+	msg := &wire.Replicate{
+		Leader:     h.id,
+		LeaderAddr: c.Addr(),
+		Epoch:      epoch,
+		Commit:     commit,
+		FromIndex:  from,
+		Records:    recs,
+	}
+	h.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), h.ttl/2)
+	defer cancel()
+	resp, err := c.rpc.Call(ctx, addr, msg)
+	if err != nil {
+		var re *cluster.RemoteError
+		if errors.As(err, &re) && (re.Code == wire.CodeWrongEpoch || re.Code == wire.CodeNotLeader) {
+			// The peer follows (or is) a newer leader. Yield.
+			c.stepDown("", re.Message)
+		} else {
+			c.reg.Counter("ha.replicate_errors").Inc()
+		}
+		return
+	}
+	ack, ok := resp.(*wire.ReplicateAck)
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	if ack.NeedFrom > 0 {
+		// Gap: rewind so the next frame restarts from what the peer needs.
+		if ack.NeedFrom-1 < h.acks[peer] || h.acks[peer] == 0 {
+			h.acks[peer] = ack.NeedFrom - 1
+		}
+	} else if ack.Applied > h.acks[peer] {
+		h.acks[peer] = ack.Applied
+	}
+	h.mu.Unlock()
+	c.reg.Counter("ha.replicated").Add(int64(len(recs)))
+}
+
+// commitIndexLocked is the highest journal index durable on a majority of
+// the HA group (self included). Caller holds ha.mu.
+func (h *haState) commitIndexLocked() uint64 {
+	idxs := []uint64{uint64(len(h.journal))}
+	for id := range h.peers {
+		idxs = append(idxs, h.acks[id])
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] > idxs[j] })
+	// Majority = (n/2)+1 of the group; the commit index is what the
+	// (majority)th-best member holds.
+	return idxs[len(idxs)/2]
+}
+
+// --- standby side ------------------------------------------------------------
+
+// onReplicate handles the leader's journal stream and lease renewal on a
+// standby — and, on a node that still believes it leads, doubles as the
+// step-down trigger when the frame proves a newer leader exists.
+func (c *Coordinator) onReplicate(m *wire.Replicate) (any, error) {
+	h := c.ha
+	if h == nil {
+		return &wire.Error{Code: wire.CodeBadRequest, Message: "coordinator is not HA-enabled"}, nil
+	}
+	h.applyMu.Lock()
+	defer h.applyMu.Unlock()
+
+	epoch := c.Epoch()
+	h.mu.Lock()
+	if !h.standby {
+		// Two leaders met. The newer epoch wins; equal epochs break toward
+		// the lower ID, so exactly one of the pair yields.
+		if m.Epoch > epoch || (m.Epoch == epoch && m.Leader < h.id) {
+			h.stepDownLocked()
+			c.reg.Counter("ha.stepdowns").Inc()
+		} else {
+			h.mu.Unlock()
+			return &wire.Error{Code: wire.CodeWrongEpoch, Message: c.Addr()}, nil
+		}
+	}
+	if !h.lease.Renew(m.Leader, m.LeaderAddr, m.Epoch, time.Now()) {
+		_, laddr, _ := h.lease.Holder()
+		h.mu.Unlock()
+		return &wire.Error{Code: wire.CodeNotLeader, Message: laddr}, nil
+	}
+	h.leaderlessAt = time.Time{}
+	if m.Leader != h.streamLeader {
+		// New journal source: its indices are not comparable to what we
+		// applied before, so resynchronize from the beginning.
+		h.streamLeader = m.Leader
+		h.needReset = true
+	}
+	if h.needReset {
+		if m.FromIndex != 1 {
+			ack := &wire.ReplicateAck{Applied: 0, NeedFrom: 1}
+			h.mu.Unlock()
+			return ack, nil
+		}
+		h.journal = nil
+		h.applied = 0
+		h.needReset = false
+	}
+	if m.FromIndex > h.applied+1 {
+		ack := &wire.ReplicateAck{Applied: h.applied, NeedFrom: h.applied + 1}
+		h.mu.Unlock()
+		return ack, nil
+	}
+	// Contiguous tail beyond what we have applied.
+	var toApply []wire.ControlRecord
+	next := h.applied + 1
+	for i := range m.Records {
+		idx := m.FromIndex + uint64(i)
+		if idx < next {
+			continue // already applied (duplicate frame)
+		}
+		if idx != next {
+			break // hole mid-frame; stop at it
+		}
+		toApply = append(toApply, m.Records[i])
+		next++
+	}
+	h.mu.Unlock()
+
+	for i := range toApply {
+		c.applyRecord(&toApply[i])
+	}
+
+	h.mu.Lock()
+	h.journal = append(h.journal, toApply...)
+	h.applied += uint64(len(toApply))
+	ack := &wire.ReplicateAck{Applied: h.applied}
+	h.mu.Unlock()
+	if len(toApply) > 0 {
+		c.reg.Counter("ha.applied").Add(int64(len(toApply)))
+	}
+	return ack, nil
+}
+
+// applyRecord folds one journal record into the standby's control-plane
+// state. Application is idempotent: every op is an upsert or a whole-state
+// replacement, so duplicate frames are harmless.
+func (c *Coordinator) applyRecord(rec *wire.ControlRecord) {
+	switch rec.Op {
+	case wire.OpCameras:
+		for _, ci := range rec.Cameras {
+			c.network.Add(cameraOf(ci))
+		}
+		c.network.SeedGeometricEdges(routeSlack)
+		c.network.BuildIndex(0)
+		c.mu.Lock()
+		for _, ci := range rec.Cameras {
+			c.camInfos[ci.ID] = ci
+		}
+		c.mu.Unlock()
+	case wire.OpAssign:
+		c.mu.Lock()
+		c.assignment = make(cluster.Assignment, len(rec.Assign))
+		c.replicas = make(map[uint32][]wire.NodeID)
+		for _, e := range rec.Assign {
+			c.assignment[e.Camera] = e.Node
+			if len(e.Replicas) > 0 {
+				c.replicas[e.Camera] = append([]wire.NodeID(nil), e.Replicas...)
+			}
+		}
+		if rec.Epoch > c.epoch {
+			c.epoch = rec.Epoch
+		}
+		c.mu.Unlock()
+	case wire.OpMember:
+		c.membership.Register(&wire.Register{
+			Node:     rec.Member.Node,
+			Addr:     rec.Member.Addr,
+			Capacity: rec.Member.Capacity,
+		}, time.Now())
+	case wire.OpTrack:
+		t := rec.Track
+		c.mu.Lock()
+		tr, ok := c.tracks[t.TrackID]
+		if !ok {
+			tr = &coordTrack{trackID: t.TrackID, ch: make(chan wire.TrackUpdate, 1024)}
+			c.tracks[t.TrackID] = tr
+		}
+		tr.owner = t.Owner
+		tr.lastCamera = t.LastCamera
+		tr.feature = t.Feature
+		tr.lastSeen = t.LastSeen
+		tr.handoffs = t.Handoffs
+		c.mu.Unlock()
+	case wire.OpTrackRemove:
+		c.mu.Lock()
+		tr, ok := c.tracks[rec.Track.TrackID]
+		if ok {
+			delete(c.tracks, rec.Track.TrackID)
+		}
+		c.mu.Unlock()
+		if ok {
+			close(tr.ch)
+		}
+	}
+}
+
+// onLeaderQuery answers who this node thinks leads, and how far its journal
+// has applied — the election poll.
+func (c *Coordinator) onLeaderQuery() (any, error) {
+	h := c.ha
+	if h == nil {
+		return &wire.LeaderInfo{Node: "", Addr: c.Addr(), IsLeader: true, Epoch: c.Epoch()}, nil
+	}
+	role, leader, laddr := c.Role()
+	h.mu.Lock()
+	applied := h.applied
+	h.mu.Unlock()
+	return &wire.LeaderInfo{
+		Node:       h.id,
+		Addr:       c.Addr(),
+		IsLeader:   role == "leader",
+		Leader:     leader,
+		LeaderAddr: laddr,
+		Epoch:      c.Epoch(),
+		Applied:    applied,
+	}, nil
+}
+
+// maybeElect runs on each standby tick: if the lease lapsed, poll the peers
+// and promote when the deterministic election picks this node. A reachable
+// peer that claims leadership re-arms the lease instead — only Replicate
+// frames were lost, not the leader.
+func (c *Coordinator) maybeElect() {
+	h := c.ha
+	now := time.Now()
+	h.mu.Lock()
+	if !h.standby || !h.lease.Expired(now) {
+		h.mu.Unlock()
+		return
+	}
+	if h.leaderlessAt.IsZero() {
+		h.leaderlessAt = now
+	}
+	applied := h.applied
+	h.mu.Unlock()
+
+	cands := map[wire.NodeID]uint64{h.id: applied}
+	ctx, cancel := context.WithTimeout(context.Background(), h.ttl/2)
+	defer cancel()
+	for id, addr := range h.peers {
+		resp, err := c.rpc.Call(ctx, addr, &wire.LeaderQuery{})
+		if err != nil {
+			continue
+		}
+		li, ok := resp.(*wire.LeaderInfo)
+		if !ok {
+			continue
+		}
+		if li.IsLeader {
+			// The leader is alive and reachable; treat the answer as a
+			// renewal and stand down from the election.
+			h.mu.Lock()
+			h.lease.Renew(li.Node, li.Addr, li.Epoch, time.Now())
+			h.leaderlessAt = time.Time{}
+			h.mu.Unlock()
+			return
+		}
+		cands[id] = li.Applied
+	}
+	if winner, ok := cluster.ElectLeader(cands); ok && winner == h.id {
+		c.becomeLeader()
+	}
+	// Otherwise a better-placed standby won the same computation; its first
+	// Replicate will renew our lease.
+}
+
+// becomeLeader promotes this standby: adopt the replicated membership as
+// freshly seen, flip the role, bump the assignment epoch through Reassign —
+// which both redirects the data plane and fences any deposed leader — and
+// start leasing on the next tick.
+func (c *Coordinator) becomeLeader() {
+	h := c.ha
+	now := time.Now()
+	h.mu.Lock()
+	if !h.standby {
+		h.mu.Unlock()
+		return
+	}
+	h.standby = false
+	h.acks = make(map[wire.NodeID]uint64)
+	h.streamLeader = ""
+	var down time.Duration
+	if !h.leaderlessAt.IsZero() {
+		down = now.Sub(h.leaderlessAt)
+		h.leaderlessAt = time.Time{}
+	}
+	h.mu.Unlock()
+
+	c.reg.Counter("failover.total").Inc()
+	// Coarse by design: sub-second outages still register one second, so
+	// the counter is a lower-bound outage clock that never reads zero
+	// after a real failover.
+	c.reg.Counter("leaderless.seconds").Add(int64(down/time.Second) + 1)
+	c.membership.Refresh(now)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*c.opts.CallTimeout)
+	defer cancel()
+	if err := c.Reassign(ctx); err != nil {
+		// No live workers replicated yet, or pushes failed: claim the epoch
+		// anyway so the fence holds; workers adopt it as they re-register.
+		c.mu.Lock()
+		c.epoch++
+		c.mu.Unlock()
+		c.reg.Counter("ha.promote_reassign_errors").Inc()
+	}
+	c.reg.Counter("ha.promotions").Inc()
+}
+
+// stepDown demotes a (deposed) leader to standby. The lease it left behind
+// is stale, so the next standby tick polls the peers, finds the live leader,
+// and re-arms from its answer; the new leader's stream then resynchronizes
+// the journal from scratch.
+func (c *Coordinator) stepDown(leader wire.NodeID, leaderAddr string) {
+	_, _ = leader, leaderAddr // learned properly from the new leader's stream
+	h := c.ha
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.standby {
+		return
+	}
+	h.stepDownLocked()
+	c.reg.Counter("ha.stepdowns").Inc()
+}
+
+func (h *haState) stepDownLocked() {
+	h.standby = true
+	h.streamLeader = ""
+	h.needReset = true
+	h.leaderlessAt = time.Time{}
+}
+
+// standbyReject answers leader-only traffic on a standby with a redirect.
+func (c *Coordinator) standbyReject() (any, error) {
+	_, _, laddr := c.Role()
+	return &wire.Error{Code: wire.CodeNotLeader, Message: laddr}, nil
+}

@@ -1,0 +1,534 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"stcam/internal/cluster"
+	"stcam/internal/sim"
+	"stcam/internal/vision"
+	"stcam/internal/wire"
+)
+
+// haOpts is the fast-failover option set the HA tests share: a short lease so
+// failover happens within test patience, and a tight retry policy so calls to
+// a dead coordinator fail fast instead of backing off for seconds.
+func haOpts(lease time.Duration) Options {
+	return Options{
+		LeaseInterval:    lease,
+		HeartbeatTimeout: 3 * time.Second,
+		CallTimeout:      500 * time.Millisecond,
+		RetryPolicy: cluster.Policy{
+			MaxAttempts:       3,
+			PerAttemptTimeout: 500 * time.Millisecond,
+			BaseBackoff:       time.Millisecond,
+			MaxBackoff:        8 * time.Millisecond,
+		},
+	}
+}
+
+// newHATestCluster builds an m-coordinator, n-worker HA cluster and cleans it
+// up with the test.
+func newHATestCluster(t *testing.T, m, n int, seed int64, opts Options) *HACluster {
+	t.Helper()
+	hc, err := NewHACluster(m, n, nil, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hc.Stop)
+	return hc
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+// leaderAmong returns the first coordinator in cs reporting the leader role,
+// or nil. Tests that kill a leader scan the survivors only: a stopped
+// coordinator's in-memory role is frozen at "leader" and proves nothing.
+func leaderAmong(cs []*Coordinator) *Coordinator {
+	for _, c := range cs {
+		if role, _, _ := c.Role(); role == "leader" {
+			return c
+		}
+	}
+	return nil
+}
+
+// TestHAReplicationToStandby: control-plane mutations on the leader — camera
+// registry, assignment, membership, track registry — stream to the standby,
+// which answers leader-only traffic with a CodeNotLeader redirect naming the
+// leader while serving reads from the replicated state.
+func TestHAReplicationToStandby(t *testing.T) {
+	hc := newHATestCluster(t, 2, 2, 1, haOpts(150*time.Millisecond))
+	leader, standby := hc.Coordinators[0], hc.Coordinators[1]
+
+	if role, _, _ := leader.Role(); role != "leader" {
+		t.Fatalf("coordinator 1 booted as %q, want leader", role)
+	}
+	if role, _, _ := standby.Role(); role != "standby" {
+		t.Fatalf("coordinator 2 booted as %q, want standby", role)
+	}
+
+	if err := leader.AddCameras(ctx, gridCams(world1, 2), 50); err != nil {
+		t.Fatal(err)
+	}
+	feat := make([]float32, 8)
+	feat[0] = 1
+	trackID, _, err := leader.StartTrack(ctx, 1, feat, simT0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 2*time.Second, "standby journal catch-up", func() bool {
+		applied := standby.JournalApplied()
+		return applied > 0 && applied == leader.JournalApplied()
+	})
+
+	if got, want := standby.Epoch(), leader.Epoch(); got != want {
+		t.Fatalf("standby epoch %d, leader epoch %d", got, want)
+	}
+	la, sa := leader.Assignment(), standby.Assignment()
+	if len(sa) != len(la) {
+		t.Fatalf("standby assignment has %d cameras, leader %d", len(sa), len(la))
+	}
+	for cam, node := range la {
+		if sa[cam] != node {
+			t.Fatalf("camera %d assigned to %s on standby, %s on leader", cam, sa[cam], node)
+		}
+	}
+	owner, lastCam, _, ok := standby.TrackInfo(trackID)
+	if !ok {
+		t.Fatalf("track %d missing from standby registry", trackID)
+	}
+	if wantOwner, wantCam, _, _ := leader.TrackInfo(trackID); owner != wantOwner || lastCam != wantCam {
+		t.Fatalf("standby track state (%s, cam %d) != leader (%s, cam %d)", owner, lastCam, wantOwner, wantCam)
+	}
+	if len(standby.Alive()) != len(leader.Alive()) {
+		t.Fatalf("standby sees %d live workers, leader %d", len(standby.Alive()), len(leader.Alive()))
+	}
+
+	// Leader-only traffic is redirected with the leader's address.
+	_, err = hc.Net.View("client").Call(ctx, CoordAddrHA(2), &wire.Heartbeat{Node: "w01", Seq: 1})
+	var re *cluster.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeNotLeader {
+		t.Fatalf("standby answered heartbeat with %v, want CodeNotLeader redirect", err)
+	}
+	if re.Message != CoordAddrHA(1) {
+		t.Fatalf("redirect names %q, want %q", re.Message, CoordAddrHA(1))
+	}
+
+	// Reads fall through on the standby (degraded mode).
+	window := wire.TimeWindow{From: simT0, To: simT0.Add(time.Hour)}
+	if _, _, err := standby.RangeMeta(ctx, world1, window, 0); err != nil {
+		t.Fatalf("standby read failed: %v", err)
+	}
+}
+
+// TestHAFailoverElectsStandby: killing the leader promotes the lowest-ID
+// up-to-date standby, the epoch moves past the deposed leader's, workers
+// re-home via rotation, and the replicated track registry survives intact.
+func TestHAFailoverElectsStandby(t *testing.T) {
+	lease := 150 * time.Millisecond
+	hc := newHATestCluster(t, 3, 2, 2, haOpts(lease))
+	leader := hc.Coordinators[0]
+
+	if err := leader.AddCameras(ctx, gridCams(world1, 2), 50); err != nil {
+		t.Fatal(err)
+	}
+	feat := make([]float32, 8)
+	feat[0] = 1
+	trackID, _, err := leader.StartTrack(ctx, 1, feat, simT0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantApplied := leader.JournalApplied()
+	waitFor(t, 2*time.Second, "standbys caught up", func() bool {
+		return hc.Coordinators[1].JournalApplied() == wantApplied &&
+			hc.Coordinators[2].JournalApplied() == wantApplied
+	})
+	epoch0 := leader.Epoch()
+	oldOwner, _, _, _ := leader.TrackInfo(trackID)
+
+	leader.Stop()
+	survivors := hc.Coordinators[1:]
+	waitFor(t, 20*lease, "a survivor to take over", func() bool {
+		return leaderAmong(survivors) != nil
+	})
+	newLeader := leaderAmong(survivors)
+	if newLeader != hc.Coordinators[1] {
+		role, _, _ := hc.Coordinators[1].Role()
+		t.Fatalf("election picked %s; want lowest-ID up-to-date standby c2 (c2 role %q)", newLeader.Addr(), role)
+	}
+	if newLeader.Epoch() <= epoch0 {
+		t.Fatalf("promoted epoch %d did not move past deposed leader's %d", newLeader.Epoch(), epoch0)
+	}
+	if c := newLeader.Metrics().Counter("failover.total").Value(); c < 1 {
+		t.Fatalf("failover.total = %d after a failover, want >= 1", c)
+	}
+	if s := newLeader.Metrics().Counter("leaderless.seconds").Value(); s < 1 {
+		t.Fatalf("leaderless.seconds = %d after a failover, want >= 1", s)
+	}
+
+	// The replicated track registry survived the leader's death.
+	owner, _, _, ok := newLeader.TrackInfo(trackID)
+	if !ok {
+		t.Fatalf("track %d lost across failover", trackID)
+	}
+	if owner != oldOwner {
+		t.Fatalf("track %d owner %s after failover, want %s", trackID, owner, oldOwner)
+	}
+
+	// Workers re-home: their next heartbeats rotate off the dead coordinator
+	// (or follow the redirect) and land on the new leader.
+	waitFor(t, 2*time.Second, "workers re-homed to the new leader", func() bool {
+		for _, w := range hc.Workers {
+			w.SendHeartbeat(ctx) //nolint:errcheck // retried until the waitFor deadline
+		}
+		return len(newLeader.Alive()) == len(hc.Workers)
+	})
+
+	// The data plane serves through the new leader.
+	window := wire.TimeWindow{From: simT0, To: simT0.Add(time.Hour)}
+	_, meta, err := newLeader.RangeMeta(ctx, world1, window, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Answered > meta.Asked {
+		t.Fatalf("scatter over-reports after failover: answered %d > asked %d", meta.Answered, meta.Asked)
+	}
+	if err := newLeader.StopTrack(ctx, trackID); err != nil {
+		t.Fatalf("stop track on new leader: %v", err)
+	}
+}
+
+// TestHAStaleLeaderStepsDown: a leader partitioned away keeps believing it
+// leads; the standby promotes with a higher epoch; on heal the deposed leader
+// is fenced by the epoch, steps down, and resynchronizes its journal from the
+// new leader's stream.
+func TestHAStaleLeaderStepsDown(t *testing.T) {
+	lease := 120 * time.Millisecond
+	hc := newHATestCluster(t, 2, 1, 3, haOpts(lease))
+	old, next := hc.Coordinators[0], hc.Coordinators[1]
+
+	if err := old.AddCameras(ctx, gridCams(world1, 2), 50); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, "standby caught up", func() bool {
+		return next.JournalApplied() == old.JournalApplied()
+	})
+
+	hc.Net.Isolate(CoordAddrHA(1))
+	waitFor(t, 20*lease, "standby promotion behind the partition", func() bool {
+		role, _, _ := next.Role()
+		return role == "leader"
+	})
+	if role, _, _ := old.Role(); role != "leader" {
+		t.Fatalf("partitioned leader role %q; it cannot have learned of the new leader yet", role)
+	}
+
+	hc.Net.Rejoin(CoordAddrHA(1))
+	waitFor(t, 20*lease, "deposed leader to step down", func() bool {
+		role, _, _ := old.Role()
+		return role == "standby"
+	})
+	if role, _, _ := next.Role(); role != "leader" {
+		t.Fatalf("new leader role %q after heal, want leader", role)
+	}
+	if c := old.Metrics().Counter("ha.stepdowns").Value(); c < 1 {
+		t.Fatalf("ha.stepdowns = %d on the deposed leader, want >= 1", c)
+	}
+
+	// The demoted node resynchronizes from the new leader's journal and
+	// converges on its epoch.
+	waitFor(t, 2*time.Second, "demoted node journal resync", func() bool {
+		return old.JournalApplied() == next.JournalApplied() && old.Epoch() == next.Epoch()
+	})
+}
+
+// TestHAWorkerQueuesPushesWhileLeaderless: a worker that cannot reach any
+// coordinator queues its pushes (bounded) instead of dropping them, and
+// drains the queue once a heartbeat lands again.
+func TestHAWorkerQueuesPushesWhileLeaderless(t *testing.T) {
+	hc := newHATestCluster(t, 2, 1, 4, haOpts(150*time.Millisecond))
+	w := hc.Workers[0]
+
+	if err := hc.Coordinators[0].AddCameras(ctx, gridCams(world1, 2), 50); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever the worker from both coordinators — total control-plane outage
+	// from its point of view.
+	hc.Net.Partition(w.Addr(), CoordAddrHA(1))
+	hc.Net.Partition(w.Addr(), CoordAddrHA(2))
+
+	for i := 0; i < 3; i++ {
+		w.pushCoord(ctx, &wire.TrackUpdate{TrackID: 900 + uint64(i), Camera: 1, Time: simT0})
+	}
+	if depth := w.Metrics().Gauge("handoff.queue_depth").Value(); depth != 3 {
+		t.Fatalf("handoff.queue_depth = %d while leaderless, want 3", depth)
+	}
+
+	hc.Net.Heal(w.Addr(), CoordAddrHA(1))
+	hc.Net.Heal(w.Addr(), CoordAddrHA(2))
+	waitFor(t, 2*time.Second, "queued pushes to drain after heal", func() bool {
+		w.SendHeartbeat(ctx) //nolint:errcheck // retried until the waitFor deadline
+		return w.Metrics().Gauge("handoff.queue_depth").Value() == 0
+	})
+	if drained := w.Metrics().Counter("handoff.queue_drained").Value(); drained != 3 {
+		t.Fatalf("handoff.queue_drained = %d, want 3", drained)
+	}
+}
+
+// TestHAWorkerQueueSheddingIsBounded: the deferred-push queue sheds its
+// oldest entries at the cap instead of growing without bound.
+func TestHAWorkerQueueSheddingIsBounded(t *testing.T) {
+	w := NewWorker("w01", "worker-01", "coord", cluster.NewInProc(), Options{})
+	for i := 0; i < handoffQueueMax+10; i++ {
+		w.enqueuePush(&wire.TrackUpdate{TrackID: uint64(i)})
+	}
+	if depth := w.Metrics().Gauge("handoff.queue_depth").Value(); depth != handoffQueueMax {
+		t.Fatalf("queue depth %d, want capped at %d", depth, handoffQueueMax)
+	}
+	if shed := w.Metrics().Counter("handoff.queue_shed").Value(); shed != 10 {
+		t.Fatalf("handoff.queue_shed = %d, want 10", shed)
+	}
+}
+
+// TestSweepRegisterEpochRace is the regression test for the sweep/heartbeat
+// epoch race: Sweep now snapshots liveness, epoch, and each orphan's
+// replacement owner at one instant per pass and re-validates the epoch before
+// committing ownership, so a Reassign racing the pass invalidates the commit
+// instead of recording an owner read from a superseded assignment. Run under
+// -race; the assertions are deliberately modest — the detector is the judge.
+func TestSweepRegisterEpochRace(t *testing.T) {
+	opts := Options{HeartbeatTimeout: 30 * time.Millisecond}
+	cl := newTestCluster(t, 3, opts)
+	if err := cl.Coordinator.AddCameras(ctx, gridCams(world1, 3), 50); err != nil {
+		t.Fatal(err)
+	}
+	feat := make([]float32, 8)
+	feat[0] = 1
+	var trackIDs []uint64
+	for cam := uint32(1); cam <= 6; cam++ {
+		id, _, err := cl.Coordinator.StartTrack(ctx, cam, feat, simT0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trackIDs = append(trackIDs, id)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Sweeper: liveness checks and orphan recovery, continuously.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				cl.Coordinator.Sweep(ctx, time.Now())
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	// Heartbeater: the first worker stays alive; the others flap dead and
+	// revive across the 30ms timeout, so sweeps keep finding fresh orphans.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				cl.Workers[0].SendHeartbeat(ctx) //nolint:errcheck // liveness churn only
+				if i%5 == 0 {
+					for _, w := range cl.Workers[1:] {
+						w.SendHeartbeat(ctx) //nolint:errcheck // liveness churn only
+					}
+				}
+				i++
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}()
+	// Reassigner: epoch bumps racing the sweep passes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				cl.Coordinator.Reassign(ctx) //nolint:errcheck // transient no-live-worker windows are expected
+				time.Sleep(3 * time.Millisecond)
+			}
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Quiesce: everyone heartbeats, one final sweep recovers any remaining
+	// orphans onto live owners.
+	for _, w := range cl.Workers {
+		if err := w.SendHeartbeat(ctx); err != nil {
+			t.Fatalf("final heartbeat: %v", err)
+		}
+	}
+	cl.Coordinator.Sweep(ctx, time.Now())
+	alive := make(map[wire.NodeID]bool)
+	for _, m := range cl.Coordinator.Alive() {
+		alive[m.Node] = true
+	}
+	for _, id := range trackIDs {
+		owner, _, _, ok := cl.Coordinator.TrackInfo(id)
+		if !ok {
+			t.Fatalf("track %d vanished during sweep/register churn", id)
+		}
+		if !alive[owner] {
+			t.Fatalf("track %d owned by dead worker %s after quiesce", id, owner)
+		}
+	}
+}
+
+// TestCoordinatorRestartMidBatchDedup: the (Source, Seq) replay-dedup state
+// lives on the workers, so it survives a coordinator restart mid-ingest. The
+// transport duplicates deliveries throughout; the coordinator dies and is
+// replaced between batches; workers re-register via CodeMustRegister; and the
+// final complete answer still contains every generated observation exactly
+// once.
+func TestCoordinatorRestartMidBatchDedup(t *testing.T) {
+	policy := cluster.Policy{
+		MaxAttempts:       4,
+		PerAttemptTimeout: time.Second,
+		BaseBackoff:       time.Millisecond,
+		MaxBackoff:        8 * time.Millisecond,
+	}
+	opts := Options{RetryPolicy: policy, HeartbeatTimeout: 5 * time.Second}
+	faulty := cluster.NewFaulty(cluster.NewInProc(), 7)
+	cl, err := NewLocalClusterOver(faulty, 2, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	cams := gridCams(world1, 2)
+	if err := cl.Coordinator.AddCameras(ctx, cams, 50); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range cl.Workers {
+		faulty.SetProgram(w.Addr(), cluster.FaultProgram{Duplicate: 0.3})
+	}
+
+	world, err := sim.NewWorld(sim.Config{
+		World:      world1,
+		NumObjects: 8,
+		Model:      &sim.RandomWaypoint{World: world1, MinSpeed: 30, MaxSpeed: 60},
+		Seed:       21,
+		FeatureDim: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := vision.NewDetector(vision.DetectorConfig{Seed: 22})
+	// The ingester outlives the coordinator restart: its per-worker lanes keep
+	// their sequence counters, which is exactly why the workers' dedup cursors
+	// remain valid across the restart.
+	ing := NewIngesterWith(cl.Coordinator, cluster.NewResilient(faulty, policy), IngesterOptions{PipelineDepth: 2, Source: "restart-src"})
+	defer ing.Close()
+
+	generated := 0
+	world.Run(40, cl.Coordinator.Network(), det, func(frame int, dets []vision.Detection) {
+		generated += len(dets)
+		if _, err := ing.IngestDetections(ctx, dets); err != nil {
+			t.Fatalf("ingest frame %d: %v", frame, err)
+		}
+		if frame == 19 {
+			// Mid-run coordinator death and replacement at the same address.
+			// The workers and the ingester keep running throughout.
+			cl.Coordinator.Stop()
+			nc := NewCoordinator("coord", faulty, nil, opts)
+			if err := nc.Start(); err != nil {
+				t.Fatalf("restart coordinator: %v", err)
+			}
+			cl.Coordinator = nc
+			// Workers discover the restart on their next heartbeat: the fresh
+			// coordinator answers CodeMustRegister and they re-register.
+			for _, w := range cl.Workers {
+				if err := w.SendHeartbeat(ctx); err != nil {
+					t.Fatalf("post-restart heartbeat: %v", err)
+				}
+			}
+			// Same cameras, same live workers: the spatial partition is
+			// deterministic, so the assignment matches the pre-restart one and
+			// in-flight lanes keep routing to the right owners.
+			if err := nc.AddCameras(ctx, cams, 50); err != nil {
+				t.Fatalf("re-register cameras: %v", err)
+			}
+		}
+	})
+	if _, err := ing.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if generated == 0 {
+		t.Fatal("simulation generated no observations; test is vacuous")
+	}
+	if faulty.Injected().Duplicated == 0 {
+		t.Fatal("fault program injected no duplicates; dedup was not exercised")
+	}
+
+	// Verify the workers re-registered with the replacement coordinator.
+	for _, w := range cl.Workers {
+		if w.Metrics().Counter("heartbeat.reregister").Value() < 1 {
+			t.Fatalf("worker %s never took the re-register path", w.ID())
+		}
+	}
+
+	// Quiet the link and take one complete answer: every observation exactly
+	// once despite duplicated deliveries straddling the restart.
+	for _, w := range cl.Workers {
+		faulty.SetProgram(w.Addr(), cluster.FaultProgram{})
+	}
+	window := wire.TimeWindow{From: simT0, To: simT0.Add(24 * time.Hour)}
+	recs, meta, err := cl.Coordinator.RangeMeta(ctx, world1, window, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Answered != meta.Asked {
+		t.Fatalf("final answer incomplete: %d of %d workers", meta.Answered, meta.Asked)
+	}
+	seen := make(map[uint64]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.ObsID] {
+			t.Fatalf("observation %d applied twice across the restart", r.ObsID)
+		}
+		seen[r.ObsID] = true
+	}
+	if len(recs) != generated {
+		t.Fatalf("final answer has %d records, want exactly %d generated", len(recs), generated)
+	}
+	replays := int64(0)
+	for _, w := range cl.Workers {
+		replays += w.Metrics().Counter("ingest.replays").Value()
+	}
+	if replays == 0 {
+		t.Fatal("no deliveries were deduplicated; duplicates must have leaked into the index")
+	}
+}

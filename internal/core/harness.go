@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"stcam/internal/cluster"
 	"stcam/internal/wire"
@@ -49,6 +50,92 @@ func NewLocalClusterOver(tr cluster.Transport, n int, p cluster.Partitioner, opt
 		c.Workers = append(c.Workers, w)
 	}
 	return c, nil
+}
+
+// HACluster bundles a replicated coordinator group, its workers, and the
+// FaultyNet that gives every node its own fault-injectable link set — the
+// assembly the failover chaos soak and the HA tests drive.
+type HACluster struct {
+	Coordinators []*Coordinator // ID order: c1 boots leader, the rest standby
+	Workers      []*Worker
+	Net          *cluster.FaultyNet
+}
+
+// CoordAddrHA returns the serve address of the i-th (1-based) coordinator.
+func CoordAddrHA(i int) string { return fmt.Sprintf("coord-%d", i) }
+
+// NewHACluster assembles m coordinators (the first boots as leader, the rest
+// as standbys) and n workers over a seeded FaultyNet on an in-process base
+// transport. Every node runs over its own net view, so tests can partition
+// any link symmetrically. Workers get the full coordinator candidate list.
+// The caller must Stop it.
+func NewHACluster(m, n int, p cluster.Partitioner, seed int64, opts Options) (*HACluster, error) {
+	if m < 1 || n < 1 {
+		return nil, fmt.Errorf("core: HA cluster needs at least one coordinator and one worker")
+	}
+	net := cluster.NewFaultyNet(cluster.NewInProc(), seed)
+	hc := &HACluster{Net: net}
+	peersOf := func(self int) map[wire.NodeID]string {
+		peers := make(map[wire.NodeID]string, m-1)
+		for j := 1; j <= m; j++ {
+			if j != self {
+				peers[wire.NodeID(fmt.Sprintf("c%d", j))] = CoordAddrHA(j)
+			}
+		}
+		return peers
+	}
+	for i := 1; i <= m; i++ {
+		o := opts
+		o.CoordinatorID = wire.NodeID(fmt.Sprintf("c%d", i))
+		o.CoordinatorPeers = peersOf(i)
+		o.Standby = i > 1
+		coord := NewCoordinator(CoordAddrHA(i), net.View(CoordAddrHA(i)), p, o)
+		if err := coord.Start(); err != nil {
+			hc.Stop()
+			return nil, err
+		}
+		hc.Coordinators = append(hc.Coordinators, coord)
+	}
+	coordList := make([]string, m)
+	for i := range coordList {
+		coordList[i] = CoordAddrHA(i + 1)
+	}
+	coords := strings.Join(coordList, ",")
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("worker-%02d", i+1)
+		w := NewWorker(wire.NodeID(fmt.Sprintf("w%02d", i+1)), addr, coords, net.View(addr), opts)
+		if err := w.Start(ctx); err != nil {
+			hc.Stop()
+			return nil, err
+		}
+		hc.Workers = append(hc.Workers, w)
+	}
+	return hc, nil
+}
+
+// Leader returns the coordinator currently acting as leader, or nil while
+// the group is leaderless.
+func (hc *HACluster) Leader() *Coordinator {
+	for _, c := range hc.Coordinators {
+		if role, _, _ := c.Role(); role == "leader" {
+			return c
+		}
+	}
+	return nil
+}
+
+// Stop tears the HA cluster down.
+func (hc *HACluster) Stop() {
+	for _, w := range hc.Workers {
+		w.Stop()
+	}
+	for _, c := range hc.Coordinators {
+		c.Stop()
+	}
+	if hc.Net != nil {
+		hc.Net.Close()
+	}
 }
 
 // Stop tears the cluster down.

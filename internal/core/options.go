@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"stcam/internal/cluster"
+	"stcam/internal/wire"
 )
 
 // Options tunes the framework. The zero value selects the documented
@@ -87,6 +88,27 @@ type Options struct {
 	// (default 2). Workers whose summary lower bound is zero are always
 	// probed in the first phase — no kth-best distance can ever exclude them.
 	KNNProbeFanout int
+	// CoordinatorID names this coordinator within an HA group (default
+	// "c0"). Failover elects the lowest ID among the most-caught-up
+	// standbys, so IDs double as failover preference order.
+	CoordinatorID wire.NodeID
+	// CoordinatorPeers maps the other HA-group coordinators' IDs to their
+	// serve addresses (this node excluded). Non-empty enables the
+	// replicated control plane: the leader journals every control-plane
+	// mutation and streams it to these peers with acknowledged
+	// replication; empty (the default) runs the classic single
+	// coordinator with zero HA overhead.
+	CoordinatorPeers map[wire.NodeID]string
+	// Standby starts this coordinator as a follower: it applies the
+	// leader's journal, serves degraded local reads, and promotes itself
+	// only after the leader's lease expires. Exactly one member of an HA
+	// group should boot with Standby false.
+	Standby bool
+	// LeaseInterval is the leader lease lifetime (default 250ms). The
+	// leader renews at a quarter of it; a standby that sees it lapse
+	// polls peers and the deterministic winner takes over, so failover
+	// completes within about two lease intervals.
+	LeaseInterval time.Duration
 	// WireAccounting, when true, re-marshals every scatter response to count
 	// result bytes into the scatter.resp_bytes counter — meaningful even on
 	// in-process transports with no real wire. Off by default (it duplicates
@@ -131,6 +153,12 @@ func (o *Options) fill() {
 	}
 	if o.KNNProbeFanout <= 0 {
 		o.KNNProbeFanout = 2
+	}
+	if o.CoordinatorID == "" {
+		o.CoordinatorID = "c0"
+	}
+	if o.LeaseInterval <= 0 {
+		o.LeaseInterval = 250 * time.Millisecond
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,10 +24,19 @@ import (
 // continuous queries incrementally, and runs the target trackers currently
 // resident on it.
 type Worker struct {
-	id          wire.NodeID
-	addr        string
-	coordAddr   string
-	transport   cluster.Transport
+	id        wire.NodeID
+	addr      string
+	transport cluster.Transport
+
+	// coordMu guards the coordinator target state: the candidate list (a
+	// worker booted with a comma-separated address list can fail over
+	// between HA coordinators), the active index, and the bounded queue of
+	// coordinator pushes deferred while leaderless. Leaf lock: held only
+	// around its own fields, never while calling out.
+	coordMu     sync.Mutex
+	coordAddrs  []string
+	coordIdx    int
+	pendingPush []any
 	rpc         *cluster.Resilient // resilience layer for all outbound calls
 	opts        Options
 	reg         *metrics.Registry
@@ -110,15 +120,24 @@ type stagedObs struct {
 }
 
 // NewWorker constructs a worker bound to the given transport addresses.
+// coordAddr may be a comma-separated list of coordinator addresses (an HA
+// group); the worker talks to one at a time and rotates — or follows a
+// CodeNotLeader redirect — when it stops answering.
 func NewWorker(id wire.NodeID, addr, coordAddr string, transport cluster.Transport, opts Options) *Worker {
 	opts.fill()
+	var coords []string
+	for _, a := range strings.Split(coordAddr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			coords = append(coords, a)
+		}
+	}
 	h := fnv.New32a()
 	h.Write([]byte(id))
 	reg := metrics.NewRegistry()
 	return &Worker{
 		id:          id,
 		addr:        addr,
-		coordAddr:   coordAddr,
+		coordAddrs:  coords,
 		transport:   transport,
 		rpc:         resilientFor(transport, opts, reg),
 		opts:        opts,
@@ -160,6 +179,126 @@ func (w *Worker) Metrics() *metrics.Registry { return w.reg }
 // Store exposes the local index (read-mostly diagnostics and tests).
 func (w *Worker) Store() *stindex.Store { return w.store }
 
+// handoffQueueMax bounds the pushes a leaderless worker will queue before
+// shedding the oldest; tracking handoffs and continuous updates deferred
+// during a failover drain once a coordinator answers again.
+const handoffQueueMax = 4096
+
+// coordTarget returns the coordinator address currently in use.
+func (w *Worker) coordTarget() string {
+	w.coordMu.Lock()
+	defer w.coordMu.Unlock()
+	if len(w.coordAddrs) == 0 {
+		return ""
+	}
+	return w.coordAddrs[w.coordIdx%len(w.coordAddrs)]
+}
+
+// rotateCoord advances to the next coordinator candidate, if the current
+// target still is cur (concurrent callers rotate once, not once each).
+func (w *Worker) rotateCoord(cur string) {
+	w.coordMu.Lock()
+	defer w.coordMu.Unlock()
+	if len(w.coordAddrs) < 2 {
+		return
+	}
+	if w.coordAddrs[w.coordIdx%len(w.coordAddrs)] == cur {
+		w.coordIdx = (w.coordIdx + 1) % len(w.coordAddrs)
+		w.reg.Counter("coord.rotations").Inc()
+	}
+}
+
+// redirectCoord makes addr the active coordinator — the CodeNotLeader
+// answer names the leader, so the worker jumps straight to it instead of
+// probing the candidate list.
+func (w *Worker) redirectCoord(addr string) {
+	if addr == "" {
+		return
+	}
+	w.coordMu.Lock()
+	defer w.coordMu.Unlock()
+	for i, a := range w.coordAddrs {
+		if a == addr {
+			w.coordIdx = i
+			return
+		}
+	}
+	w.coordAddrs = append(w.coordAddrs, addr)
+	w.coordIdx = len(w.coordAddrs) - 1
+}
+
+// callCoord sends one request to the current coordinator, following a
+// CodeNotLeader redirect once and rotating the candidate list on transport
+// failure so the next call tries the next peer.
+func (w *Worker) callCoord(ctx context.Context, req any) (any, error) {
+	target := w.coordTarget()
+	resp, err := w.rpc.Call(ctx, target, req)
+	var re *cluster.RemoteError
+	switch {
+	case err == nil:
+		return resp, nil
+	case errors.As(err, &re) && re.Code == wire.CodeNotLeader:
+		w.reg.Counter("coord.redirects").Inc()
+		if re.Message != "" {
+			w.redirectCoord(re.Message)
+		} else {
+			w.rotateCoord(target)
+		}
+		return w.rpc.Call(ctx, w.coordTarget(), req)
+	case !errors.As(err, &re):
+		// Transport failure: this coordinator may be gone; try its peer on
+		// the next call.
+		w.rotateCoord(target)
+	}
+	return resp, err
+}
+
+// pushCoord delivers a coordinator push (track update, handoff, continuous
+// delta), queueing it for a later drain when no coordinator answers — a
+// leaderless worker defers tracking handoffs instead of dropping targets.
+func (w *Worker) pushCoord(ctx context.Context, p any) {
+	if _, err := w.callCoord(ctx, p); err != nil {
+		w.reg.Counter("push.errors").Inc()
+		w.enqueuePush(p)
+	}
+}
+
+func (w *Worker) enqueuePush(p any) {
+	w.coordMu.Lock()
+	defer w.coordMu.Unlock()
+	if len(w.pendingPush) >= handoffQueueMax {
+		w.pendingPush = w.pendingPush[1:]
+		w.reg.Counter("handoff.queue_shed").Inc()
+	}
+	w.pendingPush = append(w.pendingPush, p)
+	w.reg.Gauge("handoff.queue_depth").Set(int64(len(w.pendingPush)))
+}
+
+// drainPushes replays queued pushes after the coordinator answered again
+// (heartbeat or registration succeeded). Replay stops at the first failure;
+// what remains waits for the next drain.
+func (w *Worker) drainPushes(ctx context.Context) {
+	for {
+		w.coordMu.Lock()
+		if len(w.pendingPush) == 0 {
+			w.coordMu.Unlock()
+			return
+		}
+		p := w.pendingPush[0]
+		w.pendingPush = w.pendingPush[1:]
+		w.reg.Gauge("handoff.queue_depth").Set(int64(len(w.pendingPush)))
+		w.coordMu.Unlock()
+		if _, err := w.callCoord(ctx, p); err != nil {
+			w.coordMu.Lock()
+			w.pendingPush = append([]any{p}, w.pendingPush...)
+			w.reg.Gauge("handoff.queue_depth").Set(int64(len(w.pendingPush)))
+			w.coordMu.Unlock()
+			return
+		}
+		w.reg.Counter("handoff.queue_drained").Inc()
+	}
+}
+
 // Start binds the worker's server and registers with the coordinator.
 // Registration rides the resilience layer, so a coordinator that is briefly
 // unreachable is retried with backoff before Start gives up.
@@ -179,7 +318,7 @@ func (w *Worker) Start(ctx context.Context) error {
 // register announces this worker to the coordinator. Also used to recover
 // when a restarted coordinator answers heartbeats with "must re-register".
 func (w *Worker) register(ctx context.Context) error {
-	resp, err := w.rpc.Call(ctx, w.coordAddr, &wire.Register{Node: w.id, Addr: w.Addr(), Capacity: 1})
+	resp, err := w.callCoord(ctx, &wire.Register{Node: w.id, Addr: w.Addr(), Capacity: 1})
 	if err != nil {
 		return fmt.Errorf("core: worker %s register: %w", w.id, err)
 	}
@@ -189,6 +328,7 @@ func (w *Worker) register(ctx context.Context) error {
 	w.mu.Lock()
 	w.registered = true
 	w.mu.Unlock()
+	w.drainPushes(ctx)
 	return nil
 }
 
@@ -218,14 +358,19 @@ func (w *Worker) StartHeartbeats(interval time.Duration) {
 func (w *Worker) SendHeartbeat(ctx context.Context) error {
 	err := w.sendHeartbeatOnce(ctx)
 	var re *cluster.RemoteError
-	if !errors.As(err, &re) || re.Code != wire.CodeMustRegister {
-		return err
+	if errors.As(err, &re) && re.Code == wire.CodeMustRegister {
+		w.reg.Counter("heartbeat.reregister").Inc()
+		if err := w.register(ctx); err != nil {
+			return err
+		}
+		err = w.sendHeartbeatOnce(ctx)
 	}
-	w.reg.Counter("heartbeat.reregister").Inc()
-	if err := w.register(ctx); err != nil {
-		return err
+	if err == nil {
+		// The coordinator answered: replay anything deferred while it (or
+		// its predecessor) was unreachable.
+		w.drainPushes(ctx)
 	}
-	return w.sendHeartbeatOnce(ctx)
+	return err
 }
 
 func (w *Worker) sendHeartbeatOnce(ctx context.Context) error {
@@ -240,7 +385,7 @@ func (w *Worker) sendHeartbeatOnce(ctx context.Context) error {
 		Summary: w.summaryLocked(),
 	}
 	w.mu.Unlock()
-	resp, err := w.rpc.Call(ctx, w.coordAddr, hb)
+	resp, err := w.callCoord(ctx, hb)
 	if err != nil {
 		return err
 	}
@@ -457,9 +602,7 @@ func (w *Worker) onIngest(ctx context.Context, m *wire.IngestBatch) (any, error)
 
 	pushes := w.evaluateIngest(evals, latest)
 	for _, p := range pushes {
-		if _, err := w.rpc.Call(ctx, w.coordAddr, p); err != nil {
-			w.reg.Counter("push.errors").Inc()
-		}
+		w.pushCoord(ctx, p)
 	}
 	return &ack, nil
 }

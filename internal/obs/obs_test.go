@@ -246,3 +246,30 @@ func firstLines(s string, n int) string {
 	}
 	return strings.Join(lines, "\n")
 }
+
+// TestFailoverTelemetryExposition locks the exposition names of the
+// control-plane HA telemetry: the failover counter, the cumulative
+// leaderless-outage clock, and the worker-side deferred-push queue depth.
+func TestFailoverTelemetryExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("failover.total").Inc()
+	reg.Counter("leaderless.seconds").Add(2)
+	reg.Gauge("handoff.queue_depth").Set(5)
+
+	srv := httptest.NewServer(NewMux(Options{Node: "c2", Snapshot: reg.Snapshot}))
+	defer srv.Close()
+	body, status := scrape(t, srv.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	for name, want := range map[string]string{
+		"stcam_failover_total":      "1",
+		"stcam_leaderless_seconds":  "2",
+		"stcam_handoff_queue_depth": "5",
+	} {
+		sample := name + `{node="c2"} ` + want
+		if !strings.Contains(body, sample) {
+			t.Errorf("exposition missing %q:\n%s", sample, firstLines(body, 30))
+		}
+	}
+}

@@ -252,6 +252,9 @@ func Marshal(kind MsgKind, payload any) ([]byte, error) {
 		// empty payload
 	case *ClusterStatsResult:
 		e.u64(m.Epoch)
+		e.str(m.Role)
+		e.str(string(m.Leader))
+		e.str(m.LeaderAddr)
 		e.statsResult(&m.Coordinator)
 		e.varint(int64(len(m.Workers)))
 		for i := range m.Workers {
@@ -265,6 +268,29 @@ func Marshal(kind MsgKind, payload any) ([]byte, error) {
 			e.boolean(w.Scraped)
 			e.statsResult(&w.Stats)
 		}
+	case *Replicate:
+		e.str(string(m.Leader))
+		e.str(m.LeaderAddr)
+		e.u64(m.Epoch)
+		e.u64(m.Commit)
+		e.u64(m.FromIndex)
+		e.varint(int64(len(m.Records)))
+		for i := range m.Records {
+			e.controlRecord(&m.Records[i])
+		}
+	case *ReplicateAck:
+		e.u64(m.Applied)
+		e.u64(m.NeedFrom)
+	case *LeaderQuery:
+		// empty payload
+	case *LeaderInfo:
+		e.str(string(m.Node))
+		e.str(m.Addr)
+		e.boolean(m.IsLeader)
+		e.str(string(m.Leader))
+		e.str(m.LeaderAddr)
+		e.u64(m.Epoch)
+		e.u64(m.Applied)
 	case *Error:
 		e.varint(int64(m.Code))
 		e.str(m.Message)
@@ -536,6 +562,9 @@ func Unmarshal(kind MsgKind, body []byte) (any, error) {
 	case KindClusterStatsResult:
 		m := &ClusterStatsResult{}
 		m.Epoch = d.u64()
+		m.Role = d.str()
+		m.Leader = NodeID(d.str())
+		m.LeaderAddr = d.str()
 		d.statsResult(&m.Coordinator)
 		n := d.sliceLen()
 		if n > 0 {
@@ -552,6 +581,38 @@ func Unmarshal(kind MsgKind, body []byte) (any, error) {
 				d.statsResult(&w.Stats)
 			}
 		}
+		out = m
+	case KindReplicate:
+		m := &Replicate{}
+		m.Leader = NodeID(d.str())
+		m.LeaderAddr = d.str()
+		m.Epoch = d.u64()
+		m.Commit = d.u64()
+		m.FromIndex = d.u64()
+		n := d.sliceLen()
+		if n > 0 {
+			m.Records = make([]ControlRecord, n)
+			for i := range m.Records {
+				d.controlRecord(&m.Records[i])
+			}
+		}
+		out = m
+	case KindReplicateAck:
+		m := &ReplicateAck{}
+		m.Applied = d.u64()
+		m.NeedFrom = d.u64()
+		out = m
+	case KindLeaderQuery:
+		out = &LeaderQuery{}
+	case KindLeaderInfo:
+		m := &LeaderInfo{}
+		m.Node = NodeID(d.str())
+		m.Addr = d.str()
+		m.IsLeader = d.boolean()
+		m.Leader = NodeID(d.str())
+		m.LeaderAddr = d.str()
+		m.Epoch = d.u64()
+		m.Applied = d.u64()
 		out = m
 	case KindError:
 		m := &Error{}
@@ -634,6 +695,14 @@ func KindOf(payload any) MsgKind {
 		return KindClusterStatsQuery
 	case *ClusterStatsResult:
 		return KindClusterStatsResult
+	case *Replicate:
+		return KindReplicate
+	case *ReplicateAck:
+		return KindReplicateAck
+	case *LeaderQuery:
+		return KindLeaderQuery
+	case *LeaderInfo:
+		return KindLeaderInfo
 	case *Error:
 		return KindError
 	}
@@ -793,6 +862,32 @@ func (e *encoder) statsResult(s *StatsResult) {
 	e.kvs(s.Counters)
 	e.kvs(s.Gauges)
 	e.histStats(s.Histograms)
+}
+
+func (e *encoder) controlRecord(r *ControlRecord) {
+	e.u64(r.Index)
+	e.u64(r.Epoch)
+	e.varint(int64(r.Op))
+	e.cameraInfos(r.Cameras)
+	e.varint(int64(len(r.Assign)))
+	for i := range r.Assign {
+		a := &r.Assign[i]
+		e.u32(a.Camera)
+		e.str(string(a.Node))
+		e.varint(int64(len(a.Replicas)))
+		for _, n := range a.Replicas {
+			e.str(string(n))
+		}
+	}
+	e.u64(r.Track.TrackID)
+	e.str(string(r.Track.Owner))
+	e.u32(r.Track.LastCamera)
+	e.feature(r.Track.Feature)
+	e.timestamp(r.Track.LastSeen)
+	e.varint(int64(r.Track.Handoffs))
+	e.str(string(r.Member.Node))
+	e.str(r.Member.Addr)
+	e.varint(int64(r.Member.Capacity))
 }
 
 // --- primitive decoders ---
@@ -1023,4 +1118,36 @@ func (d *decoder) statsResult(s *StatsResult) {
 	s.Counters = d.kvs()
 	s.Gauges = d.kvs()
 	s.Histograms = d.histStats()
+}
+
+func (d *decoder) controlRecord(r *ControlRecord) {
+	r.Index = d.u64()
+	r.Epoch = d.u64()
+	r.Op = ControlOp(d.varint())
+	r.Cameras = d.cameraInfos()
+	n := d.sliceLen()
+	if n > 0 {
+		r.Assign = make([]AssignEntry, n)
+		for i := range r.Assign {
+			a := &r.Assign[i]
+			a.Camera = d.u32()
+			a.Node = NodeID(d.str())
+			rn := d.sliceLen()
+			if rn > 0 {
+				a.Replicas = make([]NodeID, rn)
+				for j := range a.Replicas {
+					a.Replicas[j] = NodeID(d.str())
+				}
+			}
+		}
+	}
+	r.Track.TrackID = d.u64()
+	r.Track.Owner = NodeID(d.str())
+	r.Track.LastCamera = d.u32()
+	r.Track.Feature = d.feature()
+	r.Track.LastSeen = d.timestamp()
+	r.Track.Handoffs = int(d.varint())
+	r.Member.Node = NodeID(d.str())
+	r.Member.Addr = d.str()
+	r.Member.Capacity = int(d.varint())
 }

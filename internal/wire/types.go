@@ -53,6 +53,10 @@ const (
 	KindFilterResult
 	KindClusterStatsQuery
 	KindClusterStatsResult
+	KindReplicate
+	KindReplicateAck
+	KindLeaderQuery
+	KindLeaderInfo
 )
 
 var kindNames = map[MsgKind]string{
@@ -89,6 +93,10 @@ var kindNames = map[MsgKind]string{
 	KindFilterResult:       "FilterResult",
 	KindClusterStatsQuery:  "ClusterStatsQuery",
 	KindClusterStatsResult: "ClusterStatsResult",
+	KindReplicate:          "Replicate",
+	KindReplicateAck:       "ReplicateAck",
+	KindLeaderQuery:        "LeaderQuery",
+	KindLeaderInfo:         "LeaderInfo",
 }
 
 // String implements fmt.Stringer.
@@ -493,11 +501,119 @@ type WorkerStatsEntry struct {
 	Stats   StatsResult
 }
 
-// ClusterStatsResult is the coordinator's merged cluster scrape.
+// ClusterStatsResult is the coordinator's merged cluster scrape. Role,
+// Leader, and LeaderAddr describe the answering coordinator's control-plane
+// position ("leader" or "standby", and the leader it follows), so stcamctl
+// top shows where the control plane is even when asked via a standby.
 type ClusterStatsResult struct {
 	Epoch       uint64
+	Role        string
+	Leader      NodeID
+	LeaderAddr  string
 	Coordinator StatsResult
 	Workers     []WorkerStatsEntry
+}
+
+// ControlOp enumerates the journaled control-plane mutations. Each journal
+// record carries exactly one op; the union fields of ControlRecord that the
+// op does not use stay zero on the wire.
+type ControlOp uint8
+
+// Control-plane journal operations.
+const (
+	// OpCameras upserts camera registrations into the replicated registry.
+	OpCameras ControlOp = iota + 1
+	// OpAssign replaces the full camera→worker assignment (plus replica
+	// placement) as of the record's epoch.
+	OpAssign
+	// OpTrack upserts one track-registry entry (start, ownership change,
+	// recovery).
+	OpTrack
+	// OpTrackRemove deletes one track-registry entry (stop).
+	OpTrackRemove
+	// OpMember upserts one worker-membership entry, so a promoted standby
+	// knows every worker's address without waiting for re-registration.
+	OpMember
+)
+
+// AssignEntry is one camera's placement in an OpAssign record.
+type AssignEntry struct {
+	Camera   uint32
+	Node     NodeID
+	Replicas []NodeID
+}
+
+// TrackRecord is the replicated form of one coordinator track-registry
+// entry: enough to keep the track alive across a leader failover. Position
+// history (the stitched path) is deliberately not replicated — it is
+// re-derivable from worker stores — so the journal stays small.
+type TrackRecord struct {
+	TrackID    uint64
+	Owner      NodeID
+	LastCamera uint32
+	Feature    []float32
+	LastSeen   time.Time
+	Handoffs   int
+}
+
+// MemberRecord is the replicated form of one worker-membership entry.
+type MemberRecord struct {
+	Node     NodeID
+	Addr     string
+	Capacity int
+}
+
+// ControlRecord is one journaled, versioned control-plane mutation. Index is
+// the journal position (contiguous from 1); Epoch is the assignment epoch in
+// force after applying the record. A standby that has applied index N holds
+// exactly the control state the leader had at N.
+type ControlRecord struct {
+	Index   uint64
+	Epoch   uint64
+	Op      ControlOp
+	Cameras []CameraInfo  // OpCameras
+	Assign  []AssignEntry // OpAssign
+	Track   TrackRecord   // OpTrack / OpTrackRemove (TrackID only)
+	Member  MemberRecord  // OpMember
+}
+
+// Replicate streams journal records from the leader coordinator to one
+// standby. It doubles as the leader lease: the leader sends one (possibly
+// empty) Replicate per lease interval, and a standby that misses leases past
+// the timeout starts an election. FromIndex is the journal index of
+// Records[0]; an empty Records slice is a pure lease renewal.
+type Replicate struct {
+	Leader     NodeID
+	LeaderAddr string
+	Epoch      uint64
+	Commit     uint64 // leader's journal tail (last appended index)
+	FromIndex  uint64
+	Records    []ControlRecord
+}
+
+// ReplicateAck reports how far a standby has applied. NeedFrom, when
+// non-zero, asks the leader to resend from that index (gap detected —
+// typically a standby that restarted or missed a stream segment).
+type ReplicateAck struct {
+	Applied  uint64
+	NeedFrom uint64
+}
+
+// LeaderQuery asks any coordinator who it believes the leader is, plus its
+// own replication progress. Standbys use it to rank each other during an
+// election; workers and clients use it for discovery.
+type LeaderQuery struct{}
+
+// LeaderInfo is a coordinator's self-description: its identity and role,
+// the leader it follows (itself when leading), and its journal progress.
+type LeaderInfo struct {
+	Node       NodeID
+	Addr       string
+	IsLeader   bool
+	Leader     NodeID
+	LeaderAddr string
+	Epoch      uint64
+	Applied    uint64
 }
 
 // Error is the wire form of a failed request.
@@ -519,4 +635,9 @@ const (
 	// membership): the worker must re-send Register before its heartbeats
 	// count again.
 	CodeMustRegister = 7
+	// CodeNotLeader is a standby coordinator's answer to control traffic
+	// only the leader may handle (registration, heartbeats, tracking pushes,
+	// camera registration). The error message carries the current leader's
+	// address when the standby knows one, so the caller can redirect.
+	CodeNotLeader = 8
 )

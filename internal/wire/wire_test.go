@@ -71,7 +71,7 @@ func allMessages() []any {
 		&StatsResult{Node: "w2", Counters: map[string]int64{"ingest": 100, "queries": 5}, Gauges: map[string]int64{"stored": 42},
 			Histograms: map[string]HistStats{"rpc.call.Heartbeat": {Count: 9, Sum: 9_000_000, Min: 500_000, Max: 2_000_000, P50: 900_000, P95: 1_900_000, P99: 2_000_000}}},
 		&ClusterStatsQuery{},
-		&ClusterStatsResult{Epoch: 4,
+		&ClusterStatsResult{Epoch: 4, Role: "leader", Leader: "c1", LeaderAddr: "coord-1",
 			Coordinator: StatsResult{Node: "coordinator", Counters: map[string]int64{"queries.range": 12}},
 			Workers: []WorkerStatsEntry{
 				{Node: "w1", Addr: "127.0.0.1:7001", Alive: true, Load: 120.5, Stored: 9000, Cameras: 8, Scraped: true,
@@ -79,6 +79,21 @@ func allMessages() []any {
 						Histograms: map[string]HistStats{"ingest.latency": {Count: 3, Sum: 300, Min: 50, Max: 200, P50: 50, P95: 200, P99: 200}}}},
 				{Node: "w2", Addr: "127.0.0.1:7002", Alive: false, Load: 0, Stored: 400, Cameras: 0, Scraped: false},
 			}},
+		&Replicate{Leader: "c1", LeaderAddr: "coord-1", Epoch: 9, Commit: 41, FromIndex: 40, Records: []ControlRecord{
+			{Index: 40, Epoch: 8, Op: OpCameras, Cameras: []CameraInfo{{ID: 4, Pos: geo.Pt(10, 20), Orient: 0.25, HalfFOV: 0.5, Range: 60}}},
+			{Index: 41, Epoch: 9, Op: OpAssign, Assign: []AssignEntry{
+				{Camera: 4, Node: "w1", Replicas: []NodeID{"w2", "w3"}},
+				{Camera: 5, Node: "w2"},
+			}},
+			{Index: 42, Epoch: 9, Op: OpTrack, Track: TrackRecord{TrackID: 21, Owner: "w1", LastCamera: 4, Feature: []float32{1, 0}, LastSeen: t0, Handoffs: 3}},
+			{Index: 43, Epoch: 9, Op: OpTrackRemove, Track: TrackRecord{TrackID: 21}},
+			{Index: 44, Epoch: 9, Op: OpMember, Member: MemberRecord{Node: "w4", Addr: "127.0.0.1:7004", Capacity: 2}},
+		}},
+		&Replicate{Leader: "c2", LeaderAddr: "coord-2", Epoch: 10, Commit: 44}, // pure lease renewal
+		&ReplicateAck{Applied: 44, NeedFrom: 0},
+		&ReplicateAck{Applied: 12, NeedFrom: 13},
+		&LeaderQuery{},
+		&LeaderInfo{Node: "c2", Addr: "coord-2", IsLeader: false, Leader: "c1", LeaderAddr: "coord-1", Epoch: 9, Applied: 44},
 		&Error{Code: CodeNotFound, Message: "no such track"},
 		&HeatmapQuery{QueryID: 30, Rect: geo.RectOf(0, 0, 500, 500), Window: TimeWindow{From: t0, To: t0.Add(time.Minute)}, CellSize: 50},
 		&HeatmapResult{QueryID: 30, CellSize: 50, Cells: []HeatCell{{CX: 1, CY: -2, Count: 17}, {CX: 0, CY: 0, Count: 3}}},

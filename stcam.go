@@ -69,6 +69,9 @@ type (
 	Worker = core.Worker
 	// Cluster bundles a coordinator and workers over one transport.
 	Cluster = core.Cluster
+	// HACluster bundles a replicated coordinator group, its workers, and
+	// the per-node fault-injection views they run over.
+	HACluster = core.HACluster
 	// Ingester routes detection batches to the owning workers, coalescing
 	// each frame into one sequenced RPC per worker and pipelining frames.
 	Ingester = core.Ingester
@@ -134,6 +137,10 @@ type (
 	Faulty = cluster.Faulty
 	// FaultProgram describes the faults injected on one link.
 	FaultProgram = cluster.FaultProgram
+	// FaultyNet hands each node its own seeded Faulty view over one base
+	// transport, making symmetric partitions and scripted link weather
+	// (HealAfter, FlapEvery) expressible across a whole cluster.
+	FaultyNet = cluster.FaultyNet
 	// QueryMeta reports answer completeness for a scatter-gather query.
 	QueryMeta = core.QueryMeta
 )
@@ -164,6 +171,10 @@ func NewResilient(inner Transport, p Policy) *Resilient { return cluster.NewResi
 // NewFaulty wraps a transport with seeded fault injection.
 func NewFaulty(inner Transport, seed int64) *Faulty { return cluster.NewFaulty(inner, seed) }
 
+// NewFaultyNet wraps a base transport in a cluster-wide fault coordinator:
+// build each node over its own View and partitions become symmetric.
+func NewFaultyNet(base Transport, seed int64) *FaultyNet { return cluster.NewFaultyNet(base, seed) }
+
 // NewInProc returns an in-process transport (tests, single-binary clusters).
 func NewInProc(opts ...cluster.InProcOption) *cluster.InProc { return cluster.NewInProc(opts...) }
 
@@ -191,6 +202,13 @@ func NewLocalCluster(n int, p Partitioner, opts Options) (*Cluster, error) {
 // typically a Faulty decorator for failure testing.
 func NewLocalClusterOver(t Transport, n int, p Partitioner, opts Options) (*Cluster, error) {
 	return core.NewLocalClusterOver(t, n, p, opts)
+}
+
+// NewHACluster assembles m replicated coordinators (the first boots leader)
+// plus n workers over a seeded FaultyNet, in-process — the harness for
+// failover and partition chaos testing.
+func NewHACluster(m, n int, p Partitioner, seed int64, opts Options) (*HACluster, error) {
+	return core.NewHACluster(m, n, p, seed, opts)
 }
 
 // NewIngester returns a detection router bound to a coordinator, with
