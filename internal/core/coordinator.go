@@ -131,6 +131,7 @@ func NewCoordinator(addr string, transport cluster.Transport, p cluster.Partitio
 			lease:    cluster.NewLease(opts.LeaseInterval),
 			acks:     make(map[wire.NodeID]uint64),
 			inFlight: make(map[wire.NodeID]bool),
+			commitCh: make(chan struct{}),
 		}
 	}
 	return c
@@ -228,9 +229,14 @@ func (c *Coordinator) dispatch(ctx context.Context, _ string, req any) (any, err
 		c.membership.Register(m, time.Now())
 		c.dropSummary(m.Node) // a restarted worker's sketch and hbSeq start over
 		c.reg.Counter("workers.registered").Inc()
-		c.haAppend(c.Epoch(), wire.ControlRecord{Op: wire.OpMember, Member: wire.MemberRecord{
+		// The ack is gated on majority replication: a minority-partitioned
+		// leader must not accept registrations that a failover would forget.
+		// The worker re-registers on its next heartbeat (CodeMustRegister).
+		if !c.haAppendWait(c.Epoch(), wire.ControlRecord{Op: wire.OpMember, Member: wire.MemberRecord{
 			Node: m.Node, Addr: m.Addr, Capacity: m.Capacity,
-		}})
+		}}) {
+			return &wire.Error{Code: wire.CodeUnavailable, Message: ErrNotCommitted.Error()}, nil
+		}
 		return &wire.RegisterAck{Accepted: true}, nil
 	case *wire.Heartbeat:
 		known := c.membership.Heartbeat(m, time.Now())
@@ -399,7 +405,9 @@ func (c *Coordinator) AddCameras(ctx context.Context, infos []wire.CameraInfo, m
 		c.camInfos[ci.ID] = ci
 	}
 	c.mu.Unlock()
-	c.haAppend(c.Epoch(), wire.ControlRecord{Op: wire.OpCameras, Cameras: infos})
+	if !c.haAppendWait(c.Epoch(), wire.ControlRecord{Op: wire.OpCameras, Cameras: infos}) {
+		return fmt.Errorf("core: add cameras: %w", ErrNotCommitted)
+	}
 	return c.Reassign(ctx)
 }
 
@@ -409,7 +417,7 @@ func (c *Coordinator) AddCameras(ctx context.Context, infos []wire.CameraInfo, m
 func (c *Coordinator) Reassign(ctx context.Context) error {
 	alive := c.membership.Alive()
 	if len(alive) == 0 {
-		return fmt.Errorf("core: no live workers to assign cameras to")
+		return errNoLiveWorkers
 	}
 	nodes := make([]wire.NodeID, len(alive))
 	addrByNode := make(map[wire.NodeID]string, len(alive))
@@ -464,7 +472,12 @@ func (c *Coordinator) Reassign(ctx context.Context) error {
 	}
 	assignRec := c.assignRecordLocked()
 	c.mu.Unlock()
-	c.haAppend(epoch, assignRec)
+	// The new assignment must be majority-durable before any worker acts on
+	// it: a minority-partitioned leader pushing an epoch a failover forgets
+	// would leave workers fenced on an epoch no future leader knows.
+	if !c.haAppendWait(epoch, assignRec) {
+		return fmt.Errorf("core: reassign to epoch %d: %w", epoch, ErrNotCommitted)
+	}
 
 	var firstErr error
 	for _, n := range nodes {
@@ -888,7 +901,16 @@ func (c *Coordinator) StartTrack(ctx context.Context, cam uint32, feature []floa
 	c.mu.Lock()
 	rec := trackRecordOf(tr)
 	c.mu.Unlock()
-	c.haAppend(c.Epoch(), rec)
+	// Ack only once a majority holds the track record; otherwise unwind so
+	// the client never acts on a track a failover would forget.
+	if !c.haAppendWait(c.Epoch(), rec) {
+		c.mu.Lock()
+		delete(c.tracks, id)
+		c.mu.Unlock()
+		close(tr.ch)
+		c.rpc.Call(ctx, addr, &wire.TrackStop{TrackID: id}) //nolint:errcheck // best-effort unwind
+		return 0, nil, fmt.Errorf("core: track start: %w", ErrNotCommitted)
+	}
 	c.reg.Gauge("tracks.active").Set(int64(c.trackCount()))
 	return id, tr.ch, nil
 }
@@ -908,7 +930,12 @@ func (c *Coordinator) StopTrack(ctx context.Context, id uint64) error {
 		c.rpc.Call(ctx, addr, &wire.TrackStop{TrackID: id}) //nolint:errcheck // best-effort cancel
 	}
 	close(tr.ch)
-	c.haAppend(c.Epoch(), wire.ControlRecord{Op: wire.OpTrackRemove, Track: wire.TrackRecord{TrackID: id}})
+	// The stop already happened locally and on the workers; the error tells
+	// the caller the removal is not majority-durable — a failover may
+	// resurrect the registry entry until a later stop or sweep clears it.
+	if !c.haAppendWait(c.Epoch(), wire.ControlRecord{Op: wire.OpTrackRemove, Track: wire.TrackRecord{TrackID: id}}) {
+		return fmt.Errorf("core: track stop %d: %w", id, ErrNotCommitted)
+	}
 	c.reg.Gauge("tracks.active").Set(int64(c.trackCount()))
 	return nil
 }
@@ -1126,6 +1153,10 @@ func (c *Coordinator) completeHandoff(m *wire.TrackHandoff) {
 	if !ok {
 		return
 	}
+	// Deliberately async (no majority wait): the handoff already happened on
+	// the workers, so refusing the push could not undo it, and blocking the
+	// worker's push RPC on replication would stall the data plane. A record
+	// lost to failover leaves a stale owner the next sweep re-recovers.
 	c.haAppend(c.Epoch(), rec)
 	c.reg.Counter("handoff.completed").Inc()
 	// Record the learned transit edge for the vision graph.
@@ -1222,6 +1253,9 @@ func (c *Coordinator) Sweep(ctx context.Context, now time.Time) []cluster.Member
 		}
 		c.mu.Unlock()
 		if committed {
+			// Async like the handoff path: the recovery is leader-internal
+			// (no client to ack), and a record lost to failover just means
+			// the next leader's sweep recovers the same orphan again.
 			c.haAppend(epoch, rec)
 			c.reg.Counter("tracks.recovered").Inc()
 		}

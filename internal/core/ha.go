@@ -23,21 +23,44 @@ func cameraOf(ci wire.CameraInfo) *camera.Camera {
 // The leader journals every control-plane mutation — camera registry,
 // assignment + epoch, worker membership, and track-registry transitions — as
 // versioned wire.ControlRecords and streams them to its standby peers inside
-// Replicate frames. A Replicate doubles as the leader lease: an empty one is
-// a pure renewal. Standbys apply the journal in index order, acknowledge how
-// far they got (ReplicateAck carries gap-recovery via NeedFrom), answer
-// leader-only traffic with CodeNotLeader redirects, and keep serving local
-// reads so the query plane degrades instead of failing.
+// Replicate frames. Client-facing mutations (registration, camera adds,
+// reassignment, track start/stop) are acknowledged only once the record is
+// durable on a majority of the group: haAppendWait journals the record, kicks
+// an immediate replication round, and blocks until the majority commit index
+// reaches it (or times out, in which case the caller surfaces
+// ErrNotCommitted instead of a false ack). Worker-push records (handoff
+// ownership moves, sweep recoveries) are journaled asynchronously — the
+// data-plane event they describe has already happened, so refusing the push
+// could not undo it; a failover that loses one is healed by the next sweep.
+//
+// A Replicate doubles as the leader lease: an empty one is a pure renewal.
+// Standbys apply the journal in index order, acknowledge how far they got
+// (ReplicateAck carries gap-recovery via NeedFrom), answer leader-only
+// traffic with CodeNotLeader redirects, and keep serving local reads so the
+// query plane degrades instead of failing.
+//
+// The journal does not grow without bound: once it exceeds
+// compactMinJournal records, the majority-durable prefix is folded away (the
+// live control state already *is* that prefix applied), keeping a
+// compactKeepTail tail for cheap catch-up. A peer that needs compacted
+// history — a fresh standby, or one resyncing after a leader change — gets a
+// full-state snapshot frame (Replicate.SnapIndex) instead of a replay from
+// index 1. Standbys compact too, bounded by the leader's advertised majority
+// commit index (Replicate.Commit).
 //
 // When a standby sees the lease lapse it polls its peers with LeaderQuery and
 // runs the deterministic election: the lowest coordinator ID among the
 // candidates with the maximum applied journal index wins, with no voting
-// round — every reachable standby computes the same answer. The winner marks
-// its replicated membership fresh, bumps the assignment epoch through
-// Reassign (which fences the deposed leader: workers reject older epochs),
-// and starts leasing. A deposed leader that hears a higher-epoch Replicate —
-// or a higher-epoch rejection to its own stream — steps down to standby and
-// resynchronizes from the new leader's journal.
+// round — every reachable standby computes the same answer. A reachable peer
+// claiming leadership stops the election only if its claim renews the lease
+// at a current epoch; a deposed leader still claiming at a stale epoch is
+// ranked as an ordinary candidate instead of deferring failover forever. The
+// winner marks its replicated membership fresh, flips the role (serialized
+// against any in-flight journal application via applyMu), bumps the
+// assignment epoch through Reassign — which fences the deposed leader:
+// workers reject older epochs — and starts leasing. A deposed leader that
+// hears a higher-epoch Replicate — or a higher-epoch rejection to its own
+// stream — steps down to standby and resynchronizes from the new leader.
 //
 // Track position updates are deliberately NOT journaled: they are the hot
 // path, and the track registry is replicated on transitions only (start,
@@ -46,29 +69,86 @@ func cameraOf(ci wire.CameraInfo) *camera.Camera {
 // survives coordinator failover by construction.
 
 // maxReplicateBatch bounds the journal records shipped per Replicate frame;
-// a further-behind standby catches up over successive lease ticks.
+// a further-behind standby catches up over successive frames (replicateTo
+// keeps streaming while the peer makes progress).
 const maxReplicateBatch = 512
+
+// Journal compaction bounds: past compactMinJournal resident records the
+// majority-durable prefix is folded into the live state, always retaining
+// compactKeepTail records so a slightly-behind peer catches up from the tail
+// instead of taking a full snapshot.
+const (
+	compactMinJournal = 1024
+	compactKeepTail   = 256
+)
+
+// haCommitWaitTTLs is the majority-commit wait budget in lease TTLs. It must
+// cover at least one replication round trip; two TTLs also spans a transient
+// peer hiccup plus the retried frame.
+const haCommitWaitTTLs = 2
+
+// ErrNotCommitted reports that a control-plane mutation was journaled on the
+// leader but not acknowledged by a majority of the HA group in time. The
+// mutation is not durable: a failover may lose it, so it must not be
+// acknowledged to the client as applied.
+var ErrNotCommitted = errors.New("core: control mutation not acknowledged by a majority of the HA group")
+
+// errNoLiveWorkers marks a Reassign that returned before bumping the epoch.
+var errNoLiveWorkers = errors.New("core: no live workers to assign cameras to")
 
 // haState is the coordinator's HA bookkeeping. Lock discipline: ha.mu is
 // independent of Coordinator.mu — neither is ever acquired while holding the
-// other — and applyMu serializes whole Replicate applications above both.
+// other — and applyMu serializes whole Replicate applications (and leader
+// promotion) above both.
 type haState struct {
 	id    wire.NodeID
 	peers map[wire.NodeID]string // peer coordinator ID → serve address
 	ttl   time.Duration          // lease lifetime; renewals at ttl/4
 
-	applyMu sync.Mutex // serializes Replicate application end-to-end
+	applyMu sync.Mutex // serializes Replicate application and promotion
 
 	mu           sync.Mutex
 	standby      bool
 	lease        *cluster.Lease
-	journal      []wire.ControlRecord
-	applied      uint64                 // journal prefix applied locally
+	journal      []wire.ControlRecord   // records (base+1 .. base+len]
+	base         uint64                 // indices <= base are compacted into live state
+	applied      uint64                 // journal prefix applied locally (absolute index)
 	acks         map[wire.NodeID]uint64 // leader: highest index each peer acked
 	inFlight     map[wire.NodeID]bool   // leader: replication RPC outstanding
+	commitCh     chan struct{}          // closed+replaced when acks or role change (broadcast)
 	streamLeader wire.NodeID            // standby: whose journal we follow
-	needReset    bool                   // standby: must resync from index 1
+	needReset    bool                   // standby: must resync from scratch
 	leaderlessAt time.Time              // standby: when the lease first lapsed
+}
+
+// lastIndexLocked is the highest journaled index. Caller holds ha.mu.
+func (h *haState) lastIndexLocked() uint64 { return h.base + uint64(len(h.journal)) }
+
+// notifyLocked wakes every majority-commit waiter. Caller holds ha.mu.
+func (h *haState) notifyLocked() {
+	close(h.commitCh)
+	h.commitCh = make(chan struct{})
+}
+
+// compactLocked folds the journal prefix up to durable (never closer than
+// compactKeepTail to the tail) into the base offset — the live control state
+// already equals that prefix applied. Returns the records dropped. Caller
+// holds ha.mu.
+func (h *haState) compactLocked(durable uint64) uint64 {
+	if len(h.journal) <= compactMinJournal {
+		return 0
+	}
+	cut := durable
+	if max := h.lastIndexLocked() - compactKeepTail; cut > max {
+		cut = max
+	}
+	if cut <= h.base {
+		return 0
+	}
+	n := cut - h.base
+	h.journal = append([]wire.ControlRecord(nil), h.journal[n:]...)
+	h.base = cut
+	return n
 }
 
 // haEnabled reports whether this coordinator runs the replicated control
@@ -110,23 +190,87 @@ func (c *Coordinator) JournalApplied() uint64 {
 	return c.ha.applied
 }
 
-// haAppend journals one control-plane mutation on the leader. Callers must
-// not hold c.mu (ha.mu and c.mu never nest). Standbys never append here —
-// their journal grows only by applying the leader's stream.
-func (c *Coordinator) haAppend(epoch uint64, rec wire.ControlRecord) {
+// JournalStats reports the compaction state: the index folded into the live
+// state (base) and the records still resident (diagnostics and tests).
+func (c *Coordinator) JournalStats() (base uint64, resident int) {
 	if c.ha == nil {
-		return
+		return 0, 0
+	}
+	c.ha.mu.Lock()
+	defer c.ha.mu.Unlock()
+	return c.ha.base, len(c.ha.journal)
+}
+
+// haAppend journals one control-plane mutation on the leader and kicks an
+// immediate replication round, returning the assigned index (0 when not HA
+// or not leading). Callers must not hold c.mu (ha.mu and c.mu never nest).
+// Standbys never append here — their journal grows only by applying the
+// leader's stream. Use haAppendWait for client-acknowledged mutations;
+// plain haAppend is for records describing data-plane events that already
+// happened (handoff moves, sweep recoveries), where refusing the append
+// could not undo anything and a lost record is healed by the next sweep.
+func (c *Coordinator) haAppend(epoch uint64, rec wire.ControlRecord) uint64 {
+	if c.ha == nil {
+		return 0
 	}
 	h := c.ha
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.standby {
-		return
+		h.mu.Unlock()
+		return 0
 	}
-	rec.Index = uint64(len(h.journal)) + 1
+	rec.Index = h.lastIndexLocked() + 1
 	rec.Epoch = epoch
 	h.journal = append(h.journal, rec)
 	h.applied = rec.Index
+	h.mu.Unlock()
+	c.replicateAll() // ship it now; the lease tick alone would add ttl/4 latency
+	return rec.Index
+}
+
+// haAppendWait journals one mutation and blocks until a majority of the HA
+// group (self included) has applied it. Reports false — and the caller must
+// not ack the client — when the group majority is unreachable within the
+// wait budget, or when this node stopped leading. Always true outside HA.
+func (c *Coordinator) haAppendWait(epoch uint64, rec wire.ControlRecord) bool {
+	if c.ha == nil {
+		return true
+	}
+	idx := c.haAppend(epoch, rec)
+	if idx == 0 {
+		return false
+	}
+	return c.haWaitCommitted(idx)
+}
+
+// haWaitCommitted blocks until the given journal index is durable on a
+// majority of the group, this node loses leadership, the coordinator stops,
+// or the wait budget (haCommitWaitTTLs lease TTLs) runs out.
+func (c *Coordinator) haWaitCommitted(idx uint64) bool {
+	h := c.ha
+	timer := time.NewTimer(haCommitWaitTTLs * h.ttl)
+	defer timer.Stop()
+	for {
+		h.mu.Lock()
+		if h.standby {
+			h.mu.Unlock()
+			return false
+		}
+		if h.commitIndexLocked() >= idx {
+			h.mu.Unlock()
+			return true
+		}
+		ch := h.commitCh
+		h.mu.Unlock()
+		select {
+		case <-ch:
+		case <-timer.C:
+			c.reg.Counter("ha.commit_timeouts").Inc()
+			return false
+		case <-c.stopCh:
+			return false
+		}
+	}
 }
 
 // assignRecordLocked snapshots the full camera→worker assignment (plus
@@ -153,6 +297,41 @@ func trackRecordOf(tr *coordTrack) wire.ControlRecord {
 		LastSeen:   tr.lastSeen,
 		Handoffs:   tr.handoffs,
 	}}
+}
+
+// snapshotRecords flattens the live control-plane state — cameras,
+// membership, assignment, tracks — into the record sequence a snapshot frame
+// carries. Application order matters only in that cameras precede the
+// assignment, mirroring the normal journal flow. Callers must not hold ha.mu
+// or c.mu.
+func (c *Coordinator) snapshotRecords() []wire.ControlRecord {
+	members := c.membership.All()
+	c.mu.Lock()
+	epoch := c.epoch
+	var recs []wire.ControlRecord
+	if len(c.camInfos) > 0 {
+		cams := make([]wire.CameraInfo, 0, len(c.camInfos))
+		for _, ci := range c.camInfos {
+			cams = append(cams, ci)
+		}
+		sort.Slice(cams, func(i, j int) bool { return cams[i].ID < cams[j].ID })
+		recs = append(recs, wire.ControlRecord{Epoch: epoch, Op: wire.OpCameras, Cameras: cams})
+	}
+	for _, m := range members {
+		recs = append(recs, wire.ControlRecord{Epoch: epoch, Op: wire.OpMember, Member: wire.MemberRecord{
+			Node: m.Node, Addr: m.Addr, Capacity: m.Capacity,
+		}})
+	}
+	ar := c.assignRecordLocked()
+	ar.Epoch = epoch
+	recs = append(recs, ar)
+	for _, tr := range c.tracks {
+		tr := trackRecordOf(tr)
+		tr.Epoch = epoch
+		recs = append(recs, tr)
+	}
+	c.mu.Unlock()
+	return recs
 }
 
 // --- HA loop -----------------------------------------------------------------
@@ -189,6 +368,10 @@ func (c *Coordinator) haLoop() {
 func (c *Coordinator) replicateAll() {
 	h := c.ha
 	h.mu.Lock()
+	if h.standby {
+		h.mu.Unlock()
+		return
+	}
 	var targets []wire.NodeID
 	for id := range h.peers {
 		if !h.inFlight[id] {
@@ -202,9 +385,10 @@ func (c *Coordinator) replicateAll() {
 	}
 }
 
-// replicateTo sends one Replicate frame to a peer and folds its answer into
-// the ack state. A higher-epoch rejection means a new leader exists: step
-// down and let its stream resynchronize us.
+// replicateTo streams to one peer until it is caught up (or stops making
+// progress): each round ships one frame and folds the answer, and the loop
+// immediately ships the next while the peer is behind — this is what makes
+// the majority-commit wait a round trip instead of a lease tick.
 func (c *Coordinator) replicateTo(peer wire.NodeID) {
 	h := c.ha
 	defer func() {
@@ -212,32 +396,57 @@ func (c *Coordinator) replicateTo(peer wire.NodeID) {
 		delete(h.inFlight, peer)
 		h.mu.Unlock()
 	}()
+	for c.replicateOnce(peer) {
+		select {
+		case <-c.stopCh:
+			return
+		default:
+		}
+	}
+}
+
+// replicateOnce sends one Replicate frame — a journal tail, or a full-state
+// snapshot when the peer needs compacted history — and folds its answer into
+// the ack state. A higher-epoch rejection means a new leader exists: step
+// down and let its stream resynchronize us. Reports whether the peer is
+// still behind and advancing, so replicateTo keeps streaming.
+func (c *Coordinator) replicateOnce(peer wire.NodeID) bool {
+	h := c.ha
 	epoch := c.Epoch()
 	h.mu.Lock()
 	if h.standby {
 		h.mu.Unlock()
-		return
+		return false
 	}
 	addr := h.peers[peer]
 	from := h.acks[peer] + 1
-	var recs []wire.ControlRecord
-	if from <= uint64(len(h.journal)) {
-		end := len(h.journal)
-		if end > int(from)-1+maxReplicateBatch {
-			end = int(from) - 1 + maxReplicateBatch
-		}
-		recs = append(recs, h.journal[from-1:end]...)
-	}
-	commit := h.commitIndexLocked()
+	snapshot := from <= h.base // the records it needs are compacted away
 	msg := &wire.Replicate{
 		Leader:     h.id,
 		LeaderAddr: c.Addr(),
 		Epoch:      epoch,
-		Commit:     commit,
+		Commit:     h.commitIndexLocked(),
 		FromIndex:  from,
-		Records:    recs,
 	}
-	h.mu.Unlock()
+	if snapshot {
+		msg.SnapIndex = h.lastIndexLocked()
+		h.mu.Unlock()
+		// Built outside ha.mu (takes c.mu; the two never nest). The state may
+		// include appends that raced past SnapIndex; the tail then replays
+		// them onto the standby, which is harmless — application is
+		// idempotent upserts.
+		msg.Records = c.snapshotRecords()
+	} else {
+		if from <= h.lastIndexLocked() {
+			lo := from - h.base - 1
+			hi := uint64(len(h.journal))
+			if hi > lo+maxReplicateBatch {
+				hi = lo + maxReplicateBatch
+			}
+			msg.Records = append(msg.Records, h.journal[lo:hi]...)
+		}
+		h.mu.Unlock()
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), h.ttl/2)
 	defer cancel()
@@ -250,13 +459,14 @@ func (c *Coordinator) replicateTo(peer wire.NodeID) {
 		} else {
 			c.reg.Counter("ha.replicate_errors").Inc()
 		}
-		return
+		return false
 	}
 	ack, ok := resp.(*wire.ReplicateAck)
 	if !ok {
-		return
+		return false
 	}
 	h.mu.Lock()
+	prev := h.acks[peer]
 	if ack.NeedFrom > 0 {
 		// Gap: rewind so the next frame restarts from what the peer needs.
 		if ack.NeedFrom-1 < h.acks[peer] || h.acks[peer] == 0 {
@@ -265,14 +475,30 @@ func (c *Coordinator) replicateTo(peer wire.NodeID) {
 	} else if ack.Applied > h.acks[peer] {
 		h.acks[peer] = ack.Applied
 	}
+	moved := h.acks[peer] != prev
+	if moved {
+		h.notifyLocked()
+	}
+	if n := h.compactLocked(h.commitIndexLocked()); n > 0 {
+		c.reg.Counter("ha.compacted").Add(int64(n))
+	}
+	pending := !h.standby && h.acks[peer] < h.lastIndexLocked()
 	h.mu.Unlock()
-	c.reg.Counter("ha.replicated").Add(int64(len(recs)))
+	if snapshot {
+		c.reg.Counter("ha.snapshots_sent").Inc()
+	} else {
+		c.reg.Counter("ha.replicated").Add(int64(len(msg.Records)))
+	}
+	// Keep streaming only while the ack state is advancing (a rewind counts:
+	// the next frame serves the requested gap); a stuck peer waits for the
+	// next lease tick instead of hot-looping.
+	return pending && moved
 }
 
 // commitIndexLocked is the highest journal index durable on a majority of
 // the HA group (self included). Caller holds ha.mu.
 func (h *haState) commitIndexLocked() uint64 {
-	idxs := []uint64{uint64(len(h.journal))}
+	idxs := []uint64{h.lastIndexLocked()}
 	for id := range h.peers {
 		idxs = append(idxs, h.acks[id])
 	}
@@ -320,6 +546,30 @@ func (c *Coordinator) onReplicate(m *wire.Replicate) (any, error) {
 		h.streamLeader = m.Leader
 		h.needReset = true
 	}
+	if m.SnapIndex > 0 {
+		// Full-state snapshot: the leader compacted away the history we
+		// need. Apply it and restart the journal at SnapIndex.
+		if !h.needReset && m.SnapIndex <= h.applied {
+			ack := &wire.ReplicateAck{Applied: h.applied}
+			h.mu.Unlock()
+			return ack, nil // stale snapshot; the tail already covers it
+		}
+		h.mu.Unlock()
+		for i := range m.Records {
+			c.applyRecord(&m.Records[i])
+		}
+		h.mu.Lock()
+		if h.standby && h.streamLeader == m.Leader {
+			h.journal = nil
+			h.base = m.SnapIndex
+			h.applied = m.SnapIndex
+			h.needReset = false
+		}
+		ack := &wire.ReplicateAck{Applied: h.applied}
+		h.mu.Unlock()
+		c.reg.Counter("ha.snapshots_applied").Inc()
+		return ack, nil
+	}
 	if h.needReset {
 		if m.FromIndex != 1 {
 			ack := &wire.ReplicateAck{Applied: 0, NeedFrom: 1}
@@ -327,6 +577,7 @@ func (c *Coordinator) onReplicate(m *wire.Replicate) (any, error) {
 			return ack, nil
 		}
 		h.journal = nil
+		h.base = 0
 		h.applied = 0
 		h.needReset = false
 	}
@@ -356,8 +607,20 @@ func (c *Coordinator) onReplicate(m *wire.Replicate) (any, error) {
 	}
 
 	h.mu.Lock()
-	h.journal = append(h.journal, toApply...)
-	h.applied += uint64(len(toApply))
+	if h.standby && h.streamLeader == m.Leader && !h.needReset {
+		h.journal = append(h.journal, toApply...)
+		h.applied += uint64(len(toApply))
+		// The leader's majority commit index bounds how much history any
+		// future leader could still need record-by-record; fold the rest.
+		if n := h.compactLocked(m.Commit); n > 0 {
+			c.reg.Counter("ha.compacted").Add(int64(n))
+		}
+	} else {
+		// The role or stream flipped while the batch applied (promotion is
+		// serialized on applyMu, so this is a defensive fence): discard the
+		// batch instead of splicing stale indices into a leader's journal.
+		toApply = nil
+	}
 	ack := &wire.ReplicateAck{Applied: h.applied}
 	h.mu.Unlock()
 	if len(toApply) > 0 {
@@ -453,8 +716,11 @@ func (c *Coordinator) onLeaderQuery() (any, error) {
 
 // maybeElect runs on each standby tick: if the lease lapsed, poll the peers
 // and promote when the deterministic election picks this node. A reachable
-// peer that claims leadership re-arms the lease instead — only Replicate
-// frames were lost, not the leader.
+// peer whose leadership claim renews the lease at a current epoch re-arms the
+// timer instead — only Replicate frames were lost, not the leader. A claim
+// the lease rejects (stale epoch: a deposed leader that never observed its
+// own deposition) must not defer failover, so the claimant is ranked as an
+// ordinary candidate.
 func (c *Coordinator) maybeElect() {
 	h := c.ha
 	now := time.Now()
@@ -482,13 +748,18 @@ func (c *Coordinator) maybeElect() {
 			continue
 		}
 		if li.IsLeader {
-			// The leader is alive and reachable; treat the answer as a
-			// renewal and stand down from the election.
 			h.mu.Lock()
-			h.lease.Renew(li.Node, li.Addr, li.Epoch, time.Now())
-			h.leaderlessAt = time.Time{}
+			renewed := h.lease.Renew(li.Node, li.Addr, li.Epoch, time.Now())
+			if renewed {
+				h.leaderlessAt = time.Time{}
+			}
 			h.mu.Unlock()
-			return
+			if renewed {
+				// The leader is alive and current; stand down from the
+				// election.
+				return
+			}
+			// Stale claimant — fall through and rank it like any candidate.
 		}
 		cands[id] = li.Applied
 	}
@@ -502,12 +773,19 @@ func (c *Coordinator) maybeElect() {
 // becomeLeader promotes this standby: adopt the replicated membership as
 // freshly seen, flip the role, bump the assignment epoch through Reassign —
 // which both redirects the data plane and fences any deposed leader — and
-// start leasing on the next tick.
+// start leasing on the next tick. Promotion is serialized against in-flight
+// journal application (applyMu): a long Replicate batch can outlive the
+// lease TTL, and flipping the role mid-apply would let the batch tail race
+// haAppend on the new leader's journal.
 func (c *Coordinator) becomeLeader() {
 	h := c.ha
+	h.applyMu.Lock()
+	defer h.applyMu.Unlock()
 	now := time.Now()
 	h.mu.Lock()
-	if !h.standby {
+	if !h.standby || !h.lease.Expired(now) {
+		// The role flipped, or a Replicate frame landed while we waited for
+		// the apply lock — the group has a live leader after all.
 		h.mu.Unlock()
 		return
 	}
@@ -530,11 +808,16 @@ func (c *Coordinator) becomeLeader() {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*c.opts.CallTimeout)
 	defer cancel()
 	if err := c.Reassign(ctx); err != nil {
-		// No live workers replicated yet, or pushes failed: claim the epoch
-		// anyway so the fence holds; workers adopt it as they re-register.
-		c.mu.Lock()
-		c.epoch++
-		c.mu.Unlock()
+		if errors.Is(err, errNoLiveWorkers) {
+			// Reassign returned before bumping the epoch: claim it here so
+			// the fence holds; workers adopt it as they re-register. Every
+			// other failure mode (push errors, majority unreachable) has
+			// already bumped and journaled the epoch — bumping again would
+			// desynchronize the in-memory epoch from the journaled one.
+			c.mu.Lock()
+			c.epoch++
+			c.mu.Unlock()
+		}
 		c.reg.Counter("ha.promote_reassign_errors").Inc()
 	}
 	c.reg.Counter("ha.promotions").Inc()
@@ -561,6 +844,7 @@ func (h *haState) stepDownLocked() {
 	h.streamLeader = ""
 	h.needReset = true
 	h.leaderlessAt = time.Time{}
+	h.notifyLocked() // majority-commit waiters must abort: we no longer lead
 }
 
 // standbyReject answers leader-only traffic on a standby with a redirect.

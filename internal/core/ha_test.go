@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -211,6 +212,216 @@ func TestHAFailoverElectsStandby(t *testing.T) {
 	if err := newLeader.StopTrack(ctx, trackID); err != nil {
 		t.Fatalf("stop track on new leader: %v", err)
 	}
+}
+
+// TestHAMajorityAckGatesClientAck is the regression test for the false-ack
+// hole: client-facing control mutations must not be acknowledged until a
+// majority of the HA group has applied the record. A leader partitioned from
+// every peer (group minority) must fail mutations with ErrNotCommitted and
+// reject registrations with CodeUnavailable instead of silently accepting
+// state a failover would forget; on the majority side, a successful mutation
+// implies at least one standby has already applied it by the time the call
+// returns.
+func TestHAMajorityAckGatesClientAck(t *testing.T) {
+	lease := 120 * time.Millisecond
+	hc := newHATestCluster(t, 3, 1, 5, haOpts(lease))
+	old := hc.Coordinators[0]
+
+	// Healthy majority: the mutation is synchronous, so when it returns at
+	// least one standby (the acking majority member) has already applied it.
+	if err := old.AddCameras(ctx, gridCams(world1, 2), 50); err != nil {
+		t.Fatal(err)
+	}
+	caughtUp := 0
+	for _, s := range hc.Coordinators[1:] {
+		if s.JournalApplied() == old.JournalApplied() {
+			caughtUp++
+		}
+	}
+	if caughtUp < 1 {
+		t.Fatalf("no standby had applied the mutation when the client ack returned (leader at %d)", old.JournalApplied())
+	}
+
+	// Cut the leader off from both peers (its worker link stays up): it is
+	// now the minority side and must stop acknowledging mutations.
+	hc.Net.Partition(CoordAddrHA(1), CoordAddrHA(2))
+	hc.Net.Partition(CoordAddrHA(1), CoordAddrHA(3))
+
+	if err := old.AddCameras(ctx, gridCams(world1, 3), 50); !errors.Is(err, ErrNotCommitted) {
+		t.Fatalf("minority leader acked AddCameras (err=%v), want ErrNotCommitted", err)
+	}
+	if c := old.Metrics().Counter("ha.commit_timeouts").Value(); c < 1 {
+		t.Fatalf("ha.commit_timeouts = %d on the minority leader, want >= 1", c)
+	}
+	_, err := hc.Net.View("client").Call(ctx, CoordAddrHA(1), &wire.Register{Node: "w09", Addr: "worker-09", Capacity: 1})
+	var re *cluster.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeUnavailable {
+		t.Fatalf("minority leader answered Register with %v, want CodeUnavailable", err)
+	}
+
+	// Meanwhile the majority side fails over and keeps committing.
+	survivors := hc.Coordinators[1:]
+	waitFor(t, 20*lease, "majority side to elect a leader", func() bool {
+		return leaderAmong(survivors) != nil
+	})
+	newLeader := leaderAmong(survivors)
+
+	hc.Net.Heal(CoordAddrHA(1), CoordAddrHA(2))
+	hc.Net.Heal(CoordAddrHA(1), CoordAddrHA(3))
+	waitFor(t, 20*lease, "deposed minority leader to step down", func() bool {
+		role, _, _ := old.Role()
+		return role == "standby"
+	})
+
+	// Majority restored: mutations commit again, synchronously.
+	if err := newLeader.AddCameras(ctx, gridCams(world1, 2), 50); err != nil {
+		t.Fatalf("post-heal AddCameras on the new leader: %v", err)
+	}
+	caughtUp = 0
+	for _, c := range hc.Coordinators {
+		if c != newLeader && c.JournalApplied() == newLeader.JournalApplied() {
+			caughtUp++
+		}
+	}
+	if caughtUp < 1 {
+		t.Fatalf("no standby in sync with the new leader (at %d) when its ack returned", newLeader.JournalApplied())
+	}
+}
+
+// TestHAJournalCompactionAndSnapshotCatchUp: the journal does not grow
+// without bound — past compactMinJournal resident records the
+// majority-durable prefix folds into the base offset — and a peer that needs
+// compacted history (here: a standby partitioned through thousands of
+// appends) catches up from a full-state snapshot frame instead of a replay
+// from index 1.
+func TestHAJournalCompactionAndSnapshotCatchUp(t *testing.T) {
+	lease := 120 * time.Millisecond
+	hc := newHATestCluster(t, 3, 1, 6, haOpts(lease))
+	leader, behind := hc.Coordinators[0], hc.Coordinators[2]
+
+	if err := leader.AddCameras(ctx, gridCams(world1, 2), 50); err != nil {
+		t.Fatal(err)
+	}
+	// c3 misses the whole append burst; c2 keeps the majority acking.
+	hc.Net.Partition(CoordAddrHA(1), CoordAddrHA(3))
+
+	client := hc.Net.View("client")
+	appends := compactMinJournal + 500
+	for i := 0; i < appends; i++ {
+		// Re-registering is an idempotent membership upsert and the cheapest
+		// journaled mutation; each call is majority-acked before returning.
+		if _, err := client.Call(ctx, CoordAddrHA(1), &wire.Register{Node: "w01", Addr: "worker-01", Capacity: 1}); err != nil {
+			t.Fatalf("register append %d: %v", i, err)
+		}
+	}
+
+	base, resident := leader.JournalStats()
+	if base == 0 {
+		t.Fatalf("leader journal never compacted after %d appends (resident %d)", appends, resident)
+	}
+	if resident > compactMinJournal+64 {
+		t.Fatalf("leader journal holds %d resident records after compaction, want <= %d", resident, compactMinJournal+64)
+	}
+	if c := leader.Metrics().Counter("ha.compacted").Value(); c < 1 {
+		t.Fatalf("ha.compacted = %d on the leader, want >= 1", c)
+	}
+
+	// Heal: the stale standby's ack cursor is far below the leader's base, so
+	// catch-up must ride a snapshot frame, then the live tail.
+	hc.Net.Heal(CoordAddrHA(1), CoordAddrHA(3))
+	waitFor(t, 5*time.Second, "partitioned standby to catch up via snapshot", func() bool {
+		return behind.JournalApplied() == leader.JournalApplied()
+	})
+	if c := leader.Metrics().Counter("ha.snapshots_sent").Value(); c < 1 {
+		t.Fatalf("ha.snapshots_sent = %d on the leader, want >= 1", c)
+	}
+	if c := behind.Metrics().Counter("ha.snapshots_applied").Value(); c < 1 {
+		t.Fatalf("ha.snapshots_applied = %d on the caught-up standby, want >= 1", c)
+	}
+	// The snapshot carried real state, not just an index: epoch, assignment,
+	// and membership all converged.
+	if got, want := behind.Epoch(), leader.Epoch(); got != want {
+		t.Fatalf("standby epoch %d after snapshot catch-up, leader %d", got, want)
+	}
+	la, sa := leader.Assignment(), behind.Assignment()
+	if len(sa) != len(la) {
+		t.Fatalf("standby assignment has %d cameras after snapshot, leader %d", len(sa), len(la))
+	}
+	for cam, node := range la {
+		if sa[cam] != node {
+			t.Fatalf("camera %d assigned to %s on standby, %s on leader", cam, sa[cam], node)
+		}
+	}
+	if len(behind.Alive()) != len(leader.Alive()) {
+		t.Fatalf("standby sees %d live workers after snapshot, leader %d", len(behind.Alive()), len(leader.Alive()))
+	}
+}
+
+// TestHAElectionIgnoresStaleLeaderClaim: a deposed leader that still claims
+// leadership at a stale epoch must not abort a standby's election — the
+// lease rejects the renewal, and the claimant is ranked as an ordinary
+// candidate. Before the fix, the standby cleared its election clock on any
+// reachable "I am the leader" answer, deferring failover for as long as the
+// stale claimant kept answering.
+func TestHAElectionIgnoresStaleLeaderClaim(t *testing.T) {
+	tr := cluster.NewInProc()
+	t.Cleanup(func() { tr.Close() })
+
+	// The stale claimant: always says it leads, at an epoch far below what
+	// the standby's lease has already accepted, with a journal behind the
+	// standby's — a deposed leader frozen in its old reign.
+	stale := &wire.LeaderInfo{Node: "c1", Addr: "coord-1", IsLeader: true, Leader: "c1", LeaderAddr: "coord-1", Epoch: 1, Applied: 0}
+	srv, err := tr.Serve("coord-1", func(_ context.Context, _ string, req any) (any, error) {
+		switch m := req.(type) {
+		case *wire.LeaderQuery:
+			return stale, nil
+		case *wire.Replicate:
+			// Ack whatever the (promoted) standby streams so its majority
+			// commit wait is satisfied.
+			if m.SnapIndex > 0 {
+				return &wire.ReplicateAck{Applied: m.SnapIndex}, nil
+			}
+			return &wire.ReplicateAck{Applied: m.FromIndex + uint64(len(m.Records)) - 1}, nil
+		}
+		return &wire.Error{Code: wire.CodeBadRequest, Message: "unexpected"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	opts := haOpts(100 * time.Millisecond)
+	opts.CoordinatorID = "c2"
+	opts.CoordinatorPeers = map[wire.NodeID]string{"c1": "coord-1"}
+	opts.Standby = true
+	standby := NewCoordinator("coord-2", tr, nil, opts)
+	if err := standby.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(standby.Stop)
+
+	// One real frame from the c1 reign at epoch 5: the standby's lease now
+	// knows epoch 5, and its journal is ahead of the stale claimant's.
+	resp, err := tr.Call(ctx, "coord-2", &wire.Replicate{
+		Leader: "c1", LeaderAddr: "coord-1", Epoch: 5, Commit: 1, FromIndex: 1,
+		Records: []wire.ControlRecord{{Index: 1, Epoch: 5, Op: wire.OpMember, Member: wire.MemberRecord{Node: "w99", Addr: "worker-99", Capacity: 1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack, ok := resp.(*wire.ReplicateAck); !ok || ack.Applied != 1 {
+		t.Fatalf("seed replicate ack = %#v, want Applied 1", resp)
+	}
+
+	// The real c1 never renews again; only the stale claim keeps answering.
+	// The standby must still fail over: renewal rejected, claimant outranked
+	// (applied 1 beats 0), promotion follows.
+	// The promotion counter lands after the role flip (Reassign runs in
+	// between), so wait on both.
+	waitFor(t, 5*time.Second, "standby to promote past the stale claimant", func() bool {
+		role, _, _ := standby.Role()
+		return role == "leader" && standby.Metrics().Counter("ha.promotions").Value() >= 1
+	})
 }
 
 // TestHAStaleLeaderStepsDown: a leader partitioned away keeps believing it

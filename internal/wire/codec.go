@@ -274,6 +274,7 @@ func Marshal(kind MsgKind, payload any) ([]byte, error) {
 		e.u64(m.Epoch)
 		e.u64(m.Commit)
 		e.u64(m.FromIndex)
+		e.u64(m.SnapIndex)
 		e.varint(int64(len(m.Records)))
 		for i := range m.Records {
 			e.controlRecord(&m.Records[i])
@@ -589,6 +590,7 @@ func Unmarshal(kind MsgKind, body []byte) (any, error) {
 		m.Epoch = d.u64()
 		m.Commit = d.u64()
 		m.FromIndex = d.u64()
+		m.SnapIndex = d.u64()
 		n := d.sliceLen()
 		if n > 0 {
 			m.Records = make([]ControlRecord, n)

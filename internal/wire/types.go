@@ -582,12 +582,19 @@ type ControlRecord struct {
 // empty) Replicate per lease interval, and a standby that misses leases past
 // the timeout starts an election. FromIndex is the journal index of
 // Records[0]; an empty Records slice is a pure lease renewal.
+//
+// When SnapIndex is non-zero the frame carries a full control-state snapshot
+// instead of a journal tail: Records flattens the leader's entire live state
+// (cameras, membership, assignment, tracks) as of journal index SnapIndex,
+// and the receiver replaces its journal bookkeeping with that index. The
+// leader sends a snapshot when the peer needs records it has compacted away.
 type Replicate struct {
 	Leader     NodeID
 	LeaderAddr string
 	Epoch      uint64
-	Commit     uint64 // leader's journal tail (last appended index)
+	Commit     uint64 // highest index durable on a majority of the group
 	FromIndex  uint64
+	SnapIndex  uint64 // non-zero: Records is a full-state snapshot at this index
 	Records    []ControlRecord
 }
 

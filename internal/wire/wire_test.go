@@ -90,6 +90,9 @@ func allMessages() []any {
 			{Index: 44, Epoch: 9, Op: OpMember, Member: MemberRecord{Node: "w4", Addr: "127.0.0.1:7004", Capacity: 2}},
 		}},
 		&Replicate{Leader: "c2", LeaderAddr: "coord-2", Epoch: 10, Commit: 44}, // pure lease renewal
+		&Replicate{Leader: "c2", LeaderAddr: "coord-2", Epoch: 10, Commit: 50, SnapIndex: 50, Records: []ControlRecord{
+			{Epoch: 10, Op: OpMember, Member: MemberRecord{Node: "w1", Addr: "127.0.0.1:7001", Capacity: 1}},
+		}}, // full-state snapshot after journal compaction
 		&ReplicateAck{Applied: 44, NeedFrom: 0},
 		&ReplicateAck{Applied: 12, NeedFrom: 13},
 		&LeaderQuery{},
