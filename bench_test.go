@@ -124,6 +124,14 @@ func BenchmarkR16ScatterPruning(b *testing.B) {
 	b.ReportMetric(cell(tbl, len(tbl.Rows)-1, 2), "pruned-asked/knn")
 }
 
+func BenchmarkR20CodecAlloc(b *testing.B) {
+	tbl := runExperiment(b, bench.R20CodecAlloc)
+	// Headline: pooled allocs/op for both hot-path messages (col 7) — the
+	// numbers the CI gate holds under its absolute ceiling.
+	b.ReportMetric(cell(tbl, 0, 7), "ingest-pooled-allocs/op")
+	b.ReportMetric(cell(tbl, 1, 7), "range-pooled-allocs/op")
+}
+
 func BenchmarkR13Planner(b *testing.B) {
 	tbl := runExperiment(b, bench.R13Planner)
 	// Headline: forced-spatial slowdown relative to adaptive (row 0, col 4

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"stcam/internal/geo"
+	"stcam/internal/wire"
+)
+
+// R20 prices the wire codec's two call styles on the two hot-path message
+// shapes: IngestBatch (every ingester sender lane frame) and RangeResult
+// (every gathered worker response). The value path allocates a fresh frame
+// and a fresh message per round trip; the pooled path appends into a borrowed
+// wire.Buf and decodes into a reused struct, and must stay allocation-free in
+// steady state. Unlike throughput, allocs/op is a deterministic property of
+// the code path — independent of host speed and message size — which makes it
+// a machine-robust CI gate: DefaultGate caps the pooled columns with an
+// absolute ceiling, so a change that reintroduces per-frame garbage on the
+// ingest or gather path fails benchdiff even on a noisy runner.
+//
+// Measurement is a plain runtime.MemStats delta over a warm loop rather than
+// testing.Benchmark: the latter grabs the testing package's global benchmark
+// lock, so calling it from inside a `go test -bench` target (bench_test.go
+// wraps every experiment) would self-deadlock.
+
+// r20IngestBatch builds a steady-state sender-lane batch of featured
+// observations (same shape as internal/wire's codec benchmarks).
+func r20IngestBatch(n int) *wire.IngestBatch {
+	t0 := time.Unix(1700000000, 0).UTC()
+	b := &wire.IngestBatch{Camera: 7, Source: "r20-ingest", Seq: 42}
+	for i := 0; i < n; i++ {
+		b.Observations = append(b.Observations, wire.Observation{
+			ObsID:   uint64(i) + 1,
+			Camera:  uint32(i % 16),
+			Time:    t0.Add(time.Duration(i) * time.Millisecond),
+			Pos:     geo.Pt(float64(i%100), float64(i%37)),
+			Feature: []float32{float32(i), 0.5, -1.25, float32(i) * 0.01},
+		})
+	}
+	return b
+}
+
+// r20RangeResult builds a busy gather response.
+func r20RangeResult(n int) *wire.RangeResult {
+	t0 := time.Unix(1700000000, 0).UTC()
+	r := &wire.RangeResult{QueryID: 99, Asked: 8, Answered: 8}
+	for i := 0; i < n; i++ {
+		r.Records = append(r.Records, wire.ResultRecord{
+			ObsID:    uint64(i) + 1,
+			TargetID: uint64(i % 5),
+			Camera:   uint32(i % 16),
+			Pos:      geo.Pt(float64(i%200), float64(i%53)),
+			Time:     t0.Add(time.Duration(i) * time.Second),
+		})
+	}
+	return r
+}
+
+type r20Result struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+}
+
+// r20Measure runs fn iters times and reports per-op wall time and heap
+// allocation deltas. One warm-up call sizes pools and reused capacity before
+// the GC fence, so the loop observes steady state.
+func r20Measure(iters int, fn func() error) (r20Result, error) {
+	if err := fn(); err != nil {
+		return r20Result{}, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return r20Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := float64(iters)
+	return r20Result{
+		nsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		bytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+		allocsPerOp: float64(m1.Mallocs-m0.Mallocs) / n,
+	}, nil
+}
+
+// r20Value measures Marshal + Unmarshal (fresh frame, fresh message).
+func r20Value(iters int, kind wire.MsgKind, msg any) (r20Result, error) {
+	return r20Measure(iters, func() error {
+		enc, err := wire.Marshal(kind, msg)
+		if err != nil {
+			return err
+		}
+		_, err = wire.Unmarshal(kind, enc)
+		return err
+	})
+}
+
+// r20Pooled measures AppendMarshal into a borrowed buffer + UnmarshalInto a
+// reused struct — the transport hot path.
+func r20Pooled(iters int, kind wire.MsgKind, msg, reused any) (r20Result, error) {
+	return r20Measure(iters, func() error {
+		buf := wire.BorrowBuf()
+		defer buf.Release()
+		frame, err := wire.AppendMarshal(buf.B[:0], kind, msg)
+		if err != nil {
+			return err
+		}
+		buf.B = frame
+		return wire.UnmarshalInto(kind, frame, reused)
+	})
+}
+
+// R20CodecAlloc reports ns/op, B/op and allocs/op for encode+decode round
+// trips of both hot-path message shapes through both call styles. Scale sizes
+// the messages; the pooled columns are size-invariant (that is the point),
+// the value columns grow with the message.
+func R20CodecAlloc(s Scale) *Table {
+	t := &Table{
+		ID:     "R20",
+		Title:  "Wire codec allocation: value vs pooled round trips",
+		Notes:  "encode+decode per op; pooled = AppendMarshal into wire.Buf + UnmarshalInto reused struct; pooled allocs/op is the CI-gated ceiling",
+		Header: []string{"message", "elems", "value ns/op", "value B/op", "value allocs/op", "pooled ns/op", "pooled B/op", "pooled allocs/op"},
+	}
+	iters := s.n(20000)
+	if iters < 500 {
+		iters = 500
+	}
+	type series struct {
+		name   string
+		kind   wire.MsgKind
+		msg    any
+		reused any
+		elems  int
+	}
+	cases := []series{
+		{"IngestBatch", wire.KindIngestBatch, r20IngestBatch(s.n(256)), &wire.IngestBatch{}, s.n(256)},
+		{"RangeResult", wire.KindRangeResult, r20RangeResult(s.n(256)), &wire.RangeResult{}, s.n(256)},
+	}
+	for _, c := range cases {
+		val, err := r20Value(iters, c.kind, c.msg)
+		if err != nil {
+			panic("bench: R20 value path: " + err.Error())
+		}
+		pool, err := r20Pooled(iters, c.kind, c.msg, c.reused)
+		if err != nil {
+			panic("bench: R20 pooled path: " + err.Error())
+		}
+		t.AddRow(c.name, c.elems,
+			val.nsPerOp, val.bytesPerOp, val.allocsPerOp,
+			pool.nsPerOp, pool.bytesPerOp, pool.allocsPerOp)
+	}
+	return t
+}

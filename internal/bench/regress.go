@@ -22,8 +22,8 @@ type BenchDoc struct {
 }
 
 // GateColumn names one column of one experiment the regression gate checks.
-// With Min set the check is an absolute floor (cur >= Min) independent of the
-// baseline; otherwise it is baseline-relative within Tol.
+// With Min or Max set the check is an absolute bound (cur >= Min, cur <= Max)
+// independent of the baseline; otherwise it is baseline-relative within Tol.
 type GateColumn struct {
 	Table string  // experiment ID, e.g. "R16"
 	Col   string  // header name, e.g. "asked/knn"
@@ -35,6 +35,11 @@ type GateColumn struct {
 	// ratios whose exact value is scheduler-noisy but whose collapse is the
 	// regression signal.
 	Min float64
+	// Max, when positive, turns the check into an absolute ceiling
+	// (fail when cur > Max). Use for counters with a hard budget — e.g. the
+	// codec's pooled allocs/op, which is deterministic per code path and must
+	// never exceed the committed ceiling regardless of host speed.
+	Max float64
 }
 
 // DefaultGate returns the columns CI compares. Covered:
@@ -46,6 +51,13 @@ type GateColumn struct {
 //     per-query fan-out counts and gathered bytes — fully deterministic, so
 //     baseline-relative ±25% catches any pruning regression (asked jumps
 //     toward broadcast levels) without flaking.
+//   - R20 "pooled allocs/op", "pooled B/op": allocation ceilings on the
+//     pooled codec round trip (IngestBatch and RangeResult rows). Allocs/op
+//     is a deterministic property of the code path, so the gate is an
+//     absolute Max: any change that reintroduces per-frame garbage on the
+//     ingest or gather hot path fails, regardless of runner speed. The B/op
+//     ceiling is deliberately loose — it exists to catch a large hidden
+//     copy that still fits in few allocations.
 func DefaultGate() []GateColumn {
 	return []GateColumn{
 		{Table: "R15", Col: "speedup", Min: 2.0},
@@ -53,6 +65,8 @@ func DefaultGate() []GateColumn {
 		{Table: "R16", Col: "pruned/knn", Tol: 0.25, MinBase: 0.5},
 		{Table: "R16", Col: "asked/range", Tol: 0.25, MinBase: 0.3},
 		{Table: "R16", Col: "KB/query", Tol: 0.25, MinBase: 0.1},
+		{Table: "R20", Col: "pooled allocs/op", Max: 2},
+		{Table: "R20", Col: "pooled B/op", Max: 512},
 	}
 }
 
@@ -221,11 +235,11 @@ func Compare(baseline, current *BenchDoc, gate []GateColumn) *Report {
 				continue // both sides in the noise floor
 			}
 			d := Delta{Table: g.Table, Col: g.Col, RowKey: rowKey(bt, brow), Base: base, Cur: cur}
-			if g.Min > 0 {
+			if g.Min > 0 || g.Max > 0 {
 				if base != 0 {
 					d.Rel = (cur - base) / math.Abs(base)
 				}
-				d.Fail = cur < g.Min
+				d.Fail = (g.Min > 0 && cur < g.Min) || (g.Max > 0 && cur > g.Max)
 			} else if base == 0 {
 				d.Rel = math.Inf(1)
 				if cur < 0 {

@@ -139,3 +139,64 @@ func TestReportMarkdown(t *testing.T) {
 		t.Errorf("passing markdown missing OK status:\n%s", ok)
 	}
 }
+
+// codecDoc builds an R20 table with the given pooled allocs/op and B/op
+// cells (two rows: IngestBatch, RangeResult).
+func codecDoc(allocs, bytes []string) *BenchDoc {
+	t := &Table{ID: "R20", Header: []string{
+		"message", "elems",
+		"value ns/op", "value B/op", "value allocs/op",
+		"pooled ns/op", "pooled B/op", "pooled allocs/op",
+	}}
+	names := []string{"IngestBatch", "RangeResult"}
+	for i := range allocs {
+		t.Rows = append(t.Rows, []string{
+			names[i%2], "256", "50000", "90432", "276", "30000", bytes[i], allocs[i],
+		})
+	}
+	return &BenchDoc{Scale: 1, Tables: []*Table{t}}
+}
+
+// The pooled codec columns are ceiling-gated: values at or under Max pass
+// regardless of how far they drift from the baseline (0 → 2 allocs is a
+// +Inf relative move and must still pass).
+func TestCompareMaxCeilingPasses(t *testing.T) {
+	base := codecDoc([]string{"0", "0"}, []string{"0", "0"})
+	cur := codecDoc([]string{"2.000", "1.000"}, []string{"96.0", "48.0"})
+	if r := Compare(base, cur, DefaultGate()); r.Failed() {
+		t.Fatalf("pooled allocs at the ceiling failed the gate:\n%s", r)
+	}
+}
+
+// One allocation over the committed ceiling fails, even though the host is
+// irrelevant to the count — that is the point of an absolute Max.
+func TestCompareMaxCeilingFails(t *testing.T) {
+	base := codecDoc([]string{"1.000", "1.000"}, []string{"48.0", "48.0"})
+	cur := codecDoc([]string{"1.000", "3.000"}, []string{"48.0", "144"})
+	r := Compare(base, cur, DefaultGate())
+	if !r.Failed() {
+		t.Fatal("pooled allocs over the ceiling passed the gate")
+	}
+	var failed *Delta
+	for i := range r.Deltas {
+		if r.Deltas[i].Fail {
+			failed = &r.Deltas[i]
+		}
+	}
+	if failed == nil || failed.Table != "R20" || failed.Col != "pooled allocs/op" {
+		t.Fatalf("wrong failing delta: %+v", failed)
+	}
+	if failed.RowKey != "message=RangeResult elems=256" {
+		t.Fatalf("failing delta names the wrong row: %q", failed.RowKey)
+	}
+}
+
+// A hidden copy that stays within the alloc budget but balloons bytes trips
+// the loose B/op ceiling.
+func TestCompareMaxBytesCeilingFails(t *testing.T) {
+	base := codecDoc([]string{"1.000", "1.000"}, []string{"48.0", "48.0"})
+	cur := codecDoc([]string{"1.000", "1.000"}, []string{"48.0", "2048"})
+	if r := Compare(base, cur, DefaultGate()); !r.Failed() {
+		t.Fatal("pooled B/op over the ceiling passed the gate")
+	}
+}

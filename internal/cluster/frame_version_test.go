@@ -64,7 +64,7 @@ func TestFrameUntracedIsV1(t *testing.T) {
 // trace bit tracking whether a trace ID rode along.
 func TestQuickFrameHeaderRoundTrip(t *testing.T) {
 	prop := func(reqID uint64, flags byte, traceID uint64, seq uint64) bool {
-		flags &^= flagTrace // encoder owns this bit
+		flags &^= flagTrace | flagFormat // encoder owns these bits
 		msg := &wire.Heartbeat{Node: "w1", Seq: seq}
 		frame, err := appendRPCFrame(nil, reqID, flags, traceID, msg)
 		if err != nil {

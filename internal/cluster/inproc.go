@@ -142,10 +142,15 @@ func (t *InProc) roundTrip(msg any) (any, int, error) {
 	if kind == 0 {
 		return nil, 0, &RemoteError{Code: wire.CodeBadRequest, Message: "unknown message type"}
 	}
-	body, err := wire.Marshal(kind, msg)
+	// Encode into a pooled buffer: decoded messages never alias the encode
+	// bytes, so the buffer goes back to the pool as soon as Unmarshal returns.
+	buf := wire.BorrowBuf()
+	defer buf.Release()
+	body, err := wire.AppendMarshal(buf.B[:0], kind, msg)
 	if err != nil {
 		return nil, 0, err
 	}
+	buf.B = body
 	out, err := wire.Unmarshal(kind, body)
 	if err != nil {
 		return nil, 0, err

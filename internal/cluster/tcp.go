@@ -18,14 +18,24 @@ import (
 //
 // RPC frame layout (inside the TCP stream):
 //
-//	[4B frame length][8B request id][1B flags][1B kind][8B trace id]?[payload]
+//	[4B frame length][8B request id][1B flags][1B kind][8B trace id]?[1B format]?[payload]
 //
-// where flags bit0 = response and flags bit1 = trace id present (frame v2:
-// the 8-byte trace field sits between the kind byte and the payload). Frames
-// without bit1 are the original v1 layout, so old and new peers interoperate:
-// a v1 frame decodes as an untraced call, and untraced calls are emitted as
-// v1 frames. The frame length covers everything after the length field
-// itself.
+// where flags bit0 = response, bit1 = trace id present (frame v2: the 8-byte
+// trace field sits between the kind byte and the payload), and bit2 = wire
+// format byte present (frame v3: a wire.Format byte follows the trace field —
+// or the kind byte when untraced — naming the payload encoding; without bit2
+// the payload is wire.FormatV1). Frames without bit1/bit2 are the original v1
+// layout, so old and new peers interoperate: a v1 frame decodes as an
+// untraced FormatV1 call, and untraced FormatV1 calls are emitted as v1
+// frames byte-for-byte. An unknown format byte fails the frame cleanly — it
+// is never mis-decoded as FormatV1. The frame length covers everything after
+// the length field itself.
+//
+// Frames are built in and read into pooled wire.Buf buffers: encode appends
+// the header and payload into one borrowed buffer released after the socket
+// write, and the reader decodes out of a borrowed buffer released after
+// wire.Unmarshal (decoded payloads never alias the read buffer), so steady
+// state frame handling does not allocate per message.
 type TCP struct {
 	mu      sync.Mutex
 	clients map[string]*tcpClient
@@ -43,6 +53,7 @@ var _ Transport = (*TCP)(nil)
 const (
 	flagResponse = 1 << 0
 	flagTrace    = 1 << 1 // frame v2: 8-byte trace id follows the kind byte
+	flagFormat   = 1 << 2 // frame v3: wire.Format byte follows the trace field
 	rpcHeaderLen = 8 + 1 + 1
 	rpcTraceLen  = 8
 )
@@ -150,16 +161,21 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 			// connection. Encoding failures turn into an Error response;
 			// write failures mean the stream state is unknown, so the only
 			// safe move is to drop the connection and let the client redial.
-			// The response frame echoes the request's trace ID.
-			frame, err := appendRPCFrame(nil, reqID, flagResponse, traceID, resp)
+			// The response frame echoes the request's trace ID. The frame is
+			// built in a pooled buffer released once the bufio writer has
+			// copied it.
+			buf := wire.BorrowBuf()
+			defer buf.Release()
+			frame, err := appendRPCFrame(buf.B[:0], reqID, flagResponse, traceID, resp)
 			if err != nil {
-				frame, err = appendRPCFrame(nil, reqID, flagResponse, traceID,
+				frame, err = appendRPCFrame(buf.B[:0], reqID, flagResponse, traceID,
 					&wire.Error{Code: wire.CodeUnknown, Message: "response encoding failed: " + err.Error()})
 				if err != nil {
 					conn.Close()
 					return
 				}
 			}
+			buf.B = frame
 			writeMu.Lock()
 			defer writeMu.Unlock()
 			if _, err := w.Write(frame); err != nil {
@@ -341,53 +357,77 @@ func (c *tcpClient) call(ctx context.Context, req any) (any, error) {
 	}
 }
 
-// appendRPCFrame marshals one framed RPC message onto buf. Encoding happens
-// entirely off the wire, so a failure here never corrupts a connection. A
-// non-zero traceID selects the v2 layout (flagTrace set, 8-byte trace field);
-// traceID 0 emits the original v1 frame byte-for-byte.
+// appendRPCFrame marshals one framed RPC message onto buf and returns the
+// extended slice. Encoding happens entirely off the wire, so a failure here
+// never corrupts a connection; on error buf is returned at its original
+// length. The header and payload are appended into the same buffer — there is
+// no intermediate body slice — so encoding into a pooled buffer is
+// allocation-free at steady state. A non-zero traceID selects the v2 layout
+// (flagTrace set, 8-byte trace field); traceID 0 emits the original v1 frame
+// byte-for-byte.
 func appendRPCFrame(buf []byte, reqID uint64, flags byte, traceID uint64, payload any) ([]byte, error) {
+	return appendRPCFrameFormat(buf, wire.FormatV1, reqID, flags, traceID, payload)
+}
+
+// appendRPCFrameFormat is appendRPCFrame for an explicit wire format.
+// FormatV1 is always emitted untagged (flagFormat clear, no format byte) so
+// v1 peers keep decoding it; any other format sets flagFormat and inserts its
+// format byte before the payload.
+func appendRPCFrameFormat(buf []byte, f wire.Format, reqID uint64, flags byte, traceID uint64, payload any) ([]byte, error) {
 	kind := wire.KindOf(payload)
 	if kind == 0 {
-		return nil, &RemoteError{Code: wire.CodeBadRequest, Message: fmt.Sprintf("unknown message type %T", payload)}
+		return buf, &RemoteError{Code: wire.CodeBadRequest, Message: fmt.Sprintf("unknown message type %T", payload)}
 	}
-	body, err := wire.Marshal(kind, payload)
-	if err != nil {
-		return nil, err
-	}
-	hdrLen := rpcHeaderLen
 	if traceID != 0 {
 		flags |= flagTrace
-		hdrLen += rpcTraceLen
 	} else {
 		flags &^= flagTrace
 	}
-	total := hdrLen + len(body)
-	if total > wire.MaxFrameSize {
-		return nil, wire.ErrFrameTooLarge
+	if f != wire.FormatV1 {
+		flags |= flagFormat
+	} else {
+		flags &^= flagFormat
 	}
-	var hdr [4 + rpcHeaderLen + rpcTraceLen]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(total))
-	binary.BigEndian.PutUint64(hdr[4:12], reqID)
-	hdr[12] = flags
-	hdr[13] = byte(kind)
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = binary.BigEndian.AppendUint64(buf, reqID)
+	buf = append(buf, flags, byte(kind))
 	if traceID != 0 {
-		binary.BigEndian.PutUint64(hdr[14:22], traceID)
+		buf = binary.BigEndian.AppendUint64(buf, traceID)
 	}
-	buf = append(buf, hdr[:4+hdrLen]...)
-	return append(buf, body...), nil
+	if f != wire.FormatV1 {
+		buf = append(buf, byte(f))
+	}
+	out, err := wire.MarshalFormat(f, buf, kind, payload)
+	if err != nil {
+		return buf[:start], err
+	}
+	total := len(out) - start - 4
+	if total > wire.MaxFrameSize {
+		return out[:start], wire.ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(out[start:start+4], uint32(total))
+	return out, nil
 }
 
-// writeRPCFrame marshals and writes one framed RPC message.
+// writeRPCFrame marshals and writes one framed RPC message via a pooled
+// buffer (w is buffered, so the frame is copied before release).
 func writeRPCFrame(w io.Writer, reqID uint64, flags byte, traceID uint64, payload any) error {
-	frame, err := appendRPCFrame(nil, reqID, flags, traceID, payload)
+	buf := wire.BorrowBuf()
+	defer buf.Release()
+	frame, err := appendRPCFrame(buf.B[:0], reqID, flags, traceID, payload)
 	if err != nil {
 		return err
 	}
+	buf.B = frame
 	_, err = w.Write(frame)
 	return err
 }
 
-// readRPCFrame reads one framed RPC message. traceID is 0 for v1 frames.
+// readRPCFrame reads one framed RPC message into a pooled buffer, released
+// before returning (decoded payloads never alias it). traceID is 0 for v1
+// frames. A flagFormat frame dispatches on its format byte; unknown formats
+// error cleanly instead of being decoded as FormatV1.
 func readRPCFrame(r io.Reader) (reqID uint64, flags byte, traceID uint64, env wire.Envelope, err error) {
 	var lenBuf [4]byte
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
@@ -397,7 +437,9 @@ func readRPCFrame(r io.Reader) (reqID uint64, flags byte, traceID uint64, env wi
 	if total < rpcHeaderLen || total > wire.MaxFrameSize {
 		return 0, 0, 0, wire.Envelope{}, wire.ErrFrameTooLarge
 	}
-	buf := make([]byte, total)
+	b := wire.BorrowBuf()
+	defer b.Release()
+	buf := b.Grow(int(total))
 	if _, err = io.ReadFull(r, buf); err != nil {
 		return 0, 0, 0, wire.Envelope{}, err
 	}
@@ -412,7 +454,15 @@ func readRPCFrame(r io.Reader) (reqID uint64, flags byte, traceID uint64, env wi
 		traceID = binary.BigEndian.Uint64(body[:rpcTraceLen])
 		body = body[rpcTraceLen:]
 	}
-	payload, err := wire.Unmarshal(kind, body)
+	format := wire.FormatV1
+	if flags&flagFormat != 0 {
+		if len(body) < 1 {
+			return 0, 0, 0, wire.Envelope{}, io.ErrUnexpectedEOF
+		}
+		format = wire.Format(body[0])
+		body = body[1:]
+	}
+	payload, err := wire.UnmarshalFormat(format, kind, body)
 	if err != nil {
 		return 0, 0, 0, wire.Envelope{}, err
 	}

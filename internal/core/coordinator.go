@@ -772,10 +772,15 @@ func (c *Coordinator) scatter(ctx context.Context, addrs []string, req any) ([]a
 			}
 			if c.opts.WireAccounting {
 				// Re-marshal the response so bytes-on-wire is measurable
-				// even on in-process transports (experiment R16).
-				if b, merr := wire.Marshal(wire.KindOf(resp), resp); merr == nil {
+				// even on in-process transports (experiment R16). The
+				// encoding is only counted, never kept, so it goes through
+				// a pooled buffer.
+				buf := wire.BorrowBuf()
+				if b, merr := wire.AppendMarshal(buf.B[:0], wire.KindOf(resp), resp); merr == nil {
 					c.reg.Counter("scatter.resp_bytes").Add(int64(len(b)))
+					buf.B = b
 				}
+				buf.Release()
 			}
 			out[i] = resp
 		}(i, addr)

@@ -443,7 +443,11 @@ func (c *Coordinator) replicateOnce(peer wire.NodeID) bool {
 			if hi > lo+maxReplicateBatch {
 				hi = lo + maxReplicateBatch
 			}
-			msg.Records = append(msg.Records, h.journal[lo:hi]...)
+			// Slice the journal directly instead of copying the batch: journal
+			// entries are append-only (concurrent appends land past hi, and
+			// compaction swaps in a fresh backing array rather than mutating
+			// this one), so the view stays stable while the frame is encoded.
+			msg.Records = h.journal[lo:hi]
 		}
 		h.mu.Unlock()
 	}

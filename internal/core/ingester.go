@@ -212,6 +212,15 @@ func (ing *Ingester) enqueue(ctx context.Context, addr string, batch *wire.Inges
 // runSender drains one worker's lane. The sender owns the lane's sequence
 // counter: stamping happens here, after any producer interleaving, so the
 // sequence a worker sees is exactly its arrival order.
+//
+// Frame encoding for each Call rides the transport's pooled buffers
+// (wire.AppendMarshal into a borrowed wire.Buf), so the lane adds no
+// per-frame wire allocations. The batch and its Observations, however, are
+// deliberately NOT recycled after the ack: on the zero-copy in-proc
+// transport the worker retains Observation.Feature backing arrays (staged
+// evaluation and the feature log hold references), so reusing them would
+// corrupt the worker's state. Only the wire bytes are pooled; payload
+// structs stay single-use on the producer side.
 func (ing *Ingester) runSender(addr string, s *ingestSender) {
 	defer ing.lifecycle.Done()
 	var seq uint64

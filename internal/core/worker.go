@@ -59,6 +59,12 @@ type Worker struct {
 	hbSeq      uint64
 	loadMeter  *metrics.Meter
 
+	// hbMu serializes heartbeat sends so hbShell — the reusable heartbeat
+	// message, rebuilt in place each send to keep the steady-state heartbeat
+	// path allocation-free — is never mutated under an in-flight call.
+	hbMu    sync.Mutex
+	hbShell wire.Heartbeat
+
 	// Heartbeat summary cache: the wire form of the last store sketch, valid
 	// while (epoch, record count, latest timestamp) are unchanged.
 	sumCache  *wire.WorkerSummary
@@ -374,16 +380,20 @@ func (w *Worker) SendHeartbeat(ctx context.Context) error {
 }
 
 func (w *Worker) sendHeartbeatOnce(ctx context.Context) error {
+	// Rebuild the reusable shell in place (hbMu keeps it off the wire between
+	// sends); the summary it points at is the independently-owned cache, so
+	// handing the same shell out every interval shares nothing mutable.
+	w.hbMu.Lock()
+	defer w.hbMu.Unlock()
+	hb := &w.hbShell
 	w.mu.Lock()
 	w.hbSeq++
-	hb := &wire.Heartbeat{
-		Node:    w.id,
-		Seq:     w.hbSeq,
-		Load:    w.loadMeter.Rate(),
-		Stored:  w.store.Len(),
-		Cameras: len(w.cameras),
-		Summary: w.summaryLocked(),
-	}
+	hb.Node = w.id
+	hb.Seq = w.hbSeq
+	hb.Load = w.loadMeter.Rate()
+	hb.Stored = w.store.Len()
+	hb.Cameras = len(w.cameras)
+	hb.Summary = w.summaryLocked()
 	w.mu.Unlock()
 	resp, err := w.callCoord(ctx, hb)
 	if err != nil {

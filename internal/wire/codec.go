@@ -5,10 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
-	"time"
-
-	"stcam/internal/geo"
 )
 
 // The codec is a hand-rolled binary format rather than encoding/gob: message
@@ -17,7 +13,20 @@ import (
 // state), and ingest batches are hot enough that reflection costs matter.
 //
 // Frame layout: 4-byte big-endian length, 1-byte kind, payload. The length
-// covers kind + payload.
+// covers everything after itself. If the kind byte has its high bit
+// (kindFormatTag) set, a one-byte Format follows the kind and names the
+// payload encoding; without the bit the payload is FormatV1. FormatV1 frames
+// are always emitted untagged, so the stream stays byte-identical to the
+// pre-format wire (see format.go and testdata/golden/).
+//
+// The codec comes in two API flavors per direction:
+//
+//	Marshal / Unmarshal            — value-returning, allocate per message.
+//	AppendMarshal / UnmarshalInto  — append into a caller buffer / decode into
+//	                                 a caller struct, reusing capacity.
+//
+// Hot paths pair the append flavor with pooled buffers (BorrowBuf/Release)
+// for near-zero allocations per frame; see pool.go for the ownership rules.
 
 // MaxFrameSize bounds a single frame; larger frames are rejected on both
 // sides to keep a corrupt or malicious peer from forcing huge allocations.
@@ -26,34 +35,105 @@ const MaxFrameSize = 64 << 20
 // ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 
+// kindFormatTag is the kind-byte flag marking that a Format byte follows the
+// kind. FormatV1 frames never carry it, which keeps them byte-identical to
+// the pre-format encoding; MsgKind values must therefore stay below 0x80.
+const kindFormatTag = 0x80
+
 // Envelope pairs a message kind with its decoded payload.
 type Envelope struct {
 	Kind    MsgKind
 	Payload any
 }
 
-// WriteMessage encodes and writes one framed message.
+// Marshal encodes a payload for the given kind into a fresh buffer.
+func Marshal(kind MsgKind, payload any) ([]byte, error) {
+	return AppendMarshal(nil, kind, payload)
+}
+
+// AppendMarshal appends the FormatV1 encoding of payload onto dst and returns
+// the extended slice. It allocates only when dst lacks capacity, so a pooled
+// or reused dst makes encoding allocation-free.
+func AppendMarshal(dst []byte, kind MsgKind, payload any) ([]byte, error) {
+	return appendV1(dst, kind, payload)
+}
+
+// Unmarshal decodes a FormatV1 payload of the given kind into a freshly
+// allocated message.
+func Unmarshal(kind MsgKind, body []byte) (any, error) {
+	return UnmarshalFormat(FormatV1, kind, body)
+}
+
+// UnmarshalInto decodes a FormatV1 payload of the given kind into msg,
+// reusing msg's existing slice capacity (Observations, Records, Feature
+// backing arrays, strings left untouched when unchanged) instead of
+// allocating. msg must be a pointer to the message struct matching kind.
+//
+// Reuse contract: the decode overwrites msg in place, including backing
+// arrays reached through it, so a struct may be handed back for reuse only
+// once nothing else references its previous contents. Decoded messages never
+// alias body — the input buffer may be pooled and released immediately after.
+func UnmarshalInto(kind MsgKind, body []byte, msg any) error {
+	return UnmarshalIntoFormat(FormatV1, kind, body, msg)
+}
+
+// AppendFrame appends one framed FormatV1 message (length, kind, payload)
+// onto dst and returns the extended slice.
+func AppendFrame(dst []byte, kind MsgKind, payload any) ([]byte, error) {
+	return AppendFrameFormat(dst, FormatV1, kind, payload)
+}
+
+// AppendFrameFormat appends one framed message in format f onto dst.
+// FormatV1 frames are emitted untagged (no format byte, kind bit clear) so
+// they stay byte-identical to the pre-format wire; any other format sets
+// kindFormatTag on the kind byte and inserts the format byte after it.
+func AppendFrameFormat(dst []byte, f Format, kind MsgKind, payload any) ([]byte, error) {
+	if byte(kind)&kindFormatTag != 0 {
+		return dst, fmt.Errorf("wire: kind %d collides with format tag bit", kind)
+	}
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	if f == FormatV1 {
+		dst = append(dst, byte(kind))
+	} else {
+		dst = append(dst, byte(kind)|kindFormatTag, byte(f))
+	}
+	out, err := MarshalFormat(f, dst, kind, payload)
+	if err != nil {
+		return dst[:start], err
+	}
+	size := len(out) - start - 4
+	if size > MaxFrameSize {
+		return out[:start], ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(out[start:start+4], uint32(size))
+	return out, nil
+}
+
+// WriteMessage encodes and writes one framed FormatV1 message. The frame is
+// built in a pooled buffer and written with a single Write call.
 func WriteMessage(w io.Writer, kind MsgKind, payload any) error {
-	body, err := Marshal(kind, payload)
+	return WriteMessageFormat(w, FormatV1, kind, payload)
+}
+
+// WriteMessageFormat encodes and writes one framed message in format f.
+func WriteMessageFormat(w io.Writer, f Format, kind MsgKind, payload any) error {
+	b := BorrowBuf()
+	defer b.Release()
+	frame, err := AppendFrameFormat(b.B[:0], f, kind, payload)
 	if err != nil {
 		return err
 	}
-	var hdr [5]byte
-	if len(body)+1 > MaxFrameSize {
-		return ErrFrameTooLarge
-	}
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
-	hdr[4] = byte(kind)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("wire: write body: %w", err)
+	b.B = frame
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadMessage reads and decodes one framed message.
+// ReadMessage reads and decodes one framed message, dispatching on the
+// frame's format tag. Unknown formats are consumed from the stream (framing
+// stays aligned) but error out — they are never mis-decoded as FormatV1.
 func ReadMessage(r io.Reader) (Envelope, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -63,571 +143,32 @@ func ReadMessage(r io.Reader) (Envelope, error) {
 	if size < 1 || size > MaxFrameSize {
 		return Envelope{}, ErrFrameTooLarge
 	}
-	kind := MsgKind(hdr[4])
-	body := make([]byte, size-1)
+	kb := hdr[4]
+	kind := MsgKind(kb &^ kindFormatTag)
+	format := FormatV1
+	rest := int(size) - 1
+	if kb&kindFormatTag != 0 {
+		if rest < 1 {
+			return Envelope{}, fmt.Errorf("wire: read format tag: %w", io.ErrUnexpectedEOF)
+		}
+		var fb [1]byte
+		if _, err := io.ReadFull(r, fb[:]); err != nil {
+			return Envelope{}, fmt.Errorf("wire: read format tag: %w", err)
+		}
+		format = Format(fb[0])
+		rest--
+	}
+	b := BorrowBuf()
+	defer b.Release()
+	body := b.Grow(rest)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Envelope{}, fmt.Errorf("wire: read body: %w", err)
 	}
-	payload, err := Unmarshal(kind, body)
+	payload, err := UnmarshalFormat(format, kind, body)
 	if err != nil {
 		return Envelope{}, err
 	}
 	return Envelope{Kind: kind, Payload: payload}, nil
-}
-
-// Marshal encodes a payload for the given kind.
-func Marshal(kind MsgKind, payload any) ([]byte, error) {
-	e := &encoder{}
-	switch m := payload.(type) {
-	case *Register:
-		e.str(string(m.Node))
-		e.str(m.Addr)
-		e.varint(int64(m.Capacity))
-	case *RegisterAck:
-		e.boolean(m.Accepted)
-		e.str(m.Reason)
-	case *Heartbeat:
-		e.str(string(m.Node))
-		e.u64(m.Seq)
-		e.f64(m.Load)
-		e.varint(int64(m.Stored))
-		e.varint(int64(m.Cameras))
-		e.summary(m.Summary)
-	case *HeartbeatAck:
-		e.u64(m.Epoch)
-	case *IngestBatch:
-		e.u32(m.Camera)
-		e.str(m.Source)
-		e.u64(m.Seq)
-		e.timestamp(m.FrameTime)
-		e.varint(int64(len(m.Observations)))
-		for i := range m.Observations {
-			e.observation(&m.Observations[i])
-		}
-	case *IngestAck:
-		e.varint(int64(m.Accepted))
-		e.varint(int64(m.Rejected))
-		e.varint(int64(m.Replicated))
-		e.boolean(m.Replayed)
-	case *RangeQuery:
-		e.u64(m.QueryID)
-		e.rect(m.Rect)
-		e.window(m.Window)
-		e.varint(int64(m.Limit))
-	case *RangeResult:
-		e.u64(m.QueryID)
-		e.varint(int64(len(m.Records)))
-		for i := range m.Records {
-			e.record(&m.Records[i])
-		}
-		e.boolean(m.Truncated)
-		e.varint(int64(m.Asked))
-		e.varint(int64(m.Answered))
-	case *KNNQuery:
-		e.u64(m.QueryID)
-		e.point(m.Center)
-		e.window(m.Window)
-		e.varint(int64(m.K))
-		e.f64(m.MaxDist2)
-	case *KNNResult:
-		e.u64(m.QueryID)
-		e.varint(int64(len(m.Records)))
-		for i := range m.Records {
-			e.record(&m.Records[i].ResultRecord)
-			e.f64(m.Records[i].Dist2)
-		}
-		e.varint(int64(m.Asked))
-		e.varint(int64(m.Answered))
-	case *CountQuery:
-		e.u64(m.QueryID)
-		e.rect(m.Rect)
-		e.window(m.Window)
-	case *CountResult:
-		e.u64(m.QueryID)
-		e.varint(int64(m.Count))
-		e.varint(int64(m.Asked))
-		e.varint(int64(m.Answered))
-	case *TrajectoryQuery:
-		e.u64(m.QueryID)
-		e.u64(m.TargetID)
-		e.window(m.Window)
-	case *TrajectoryResult:
-		e.u64(m.QueryID)
-		e.varint(int64(len(m.Records)))
-		for i := range m.Records {
-			e.record(&m.Records[i])
-		}
-	case *InstallContinuous:
-		e.u64(m.QueryID)
-		e.varint(int64(m.Kind))
-		e.rect(m.Rect)
-		e.varint(int64(m.Threshold))
-	case *RemoveContinuous:
-		e.u64(m.QueryID)
-	case *ContinuousUpdate:
-		e.u64(m.QueryID)
-		e.timestamp(m.Time)
-		e.varint(int64(len(m.Positive)))
-		for i := range m.Positive {
-			e.record(&m.Positive[i])
-		}
-		e.varint(int64(len(m.Negative)))
-		for i := range m.Negative {
-			e.record(&m.Negative[i])
-		}
-		e.varint(int64(m.Count))
-	case *AssignCameras:
-		e.u64(m.Epoch)
-		e.cameraInfos(m.Cameras)
-		e.cameraInfos(m.Replicas)
-	case *AssignAck:
-		e.u64(m.Epoch)
-		e.varint(int64(m.Accepted))
-	case *TrackStart:
-		e.u64(m.TrackID)
-		e.u32(m.Camera)
-		e.feature(m.Feature)
-		e.timestamp(m.Time)
-	case *TrackPrime:
-		e.u64(m.TrackID)
-		e.varint(int64(len(m.Cameras)))
-		for _, c := range m.Cameras {
-			e.u32(c)
-		}
-		e.feature(m.Feature)
-		e.timestamp(m.Expires)
-	case *TrackHandoff:
-		e.u64(m.TrackID)
-		e.u32(m.FromCamera)
-		e.u32(m.ToCamera)
-		e.feature(m.Feature)
-		e.timestamp(m.Time)
-		e.varint(int64(m.Hops))
-	case *TrackUpdate:
-		e.u64(m.TrackID)
-		e.u32(m.Camera)
-		e.point(m.Pos)
-		e.timestamp(m.Time)
-		e.boolean(m.Lost)
-	case *TrackStop:
-		e.u64(m.TrackID)
-	case *HeatmapQuery:
-		e.u64(m.QueryID)
-		e.rect(m.Rect)
-		e.window(m.Window)
-		e.f64(m.CellSize)
-	case *HeatmapResult:
-		e.u64(m.QueryID)
-		e.f64(m.CellSize)
-		e.varint(int64(len(m.Cells)))
-		for _, c := range m.Cells {
-			e.varint(int64(c.CX))
-			e.varint(int64(c.CY))
-			e.varint(c.Count)
-		}
-	case *FilterQuery:
-		e.u64(m.QueryID)
-		e.rect(m.Rect)
-		e.window(m.Window)
-		e.u64(m.TargetID)
-		e.varint(int64(len(m.Cameras)))
-		for _, c := range m.Cameras {
-			e.u32(c)
-		}
-		e.varint(int64(m.Limit))
-		e.str(m.ForcePlan)
-	case *FilterResult:
-		e.u64(m.QueryID)
-		e.varint(int64(len(m.Records)))
-		for i := range m.Records {
-			e.record(&m.Records[i])
-		}
-		e.str(m.Plan)
-		e.boolean(m.Truncated)
-	case *StatsQuery:
-		// empty payload
-	case *StatsResult:
-		e.statsResult(m)
-	case *ClusterStatsQuery:
-		// empty payload
-	case *ClusterStatsResult:
-		e.u64(m.Epoch)
-		e.str(m.Role)
-		e.str(string(m.Leader))
-		e.str(m.LeaderAddr)
-		e.statsResult(&m.Coordinator)
-		e.varint(int64(len(m.Workers)))
-		for i := range m.Workers {
-			w := &m.Workers[i]
-			e.str(string(w.Node))
-			e.str(w.Addr)
-			e.boolean(w.Alive)
-			e.f64(w.Load)
-			e.varint(int64(w.Stored))
-			e.varint(int64(w.Cameras))
-			e.boolean(w.Scraped)
-			e.statsResult(&w.Stats)
-		}
-	case *Replicate:
-		e.str(string(m.Leader))
-		e.str(m.LeaderAddr)
-		e.u64(m.Epoch)
-		e.u64(m.Commit)
-		e.u64(m.FromIndex)
-		e.u64(m.SnapIndex)
-		e.varint(int64(len(m.Records)))
-		for i := range m.Records {
-			e.controlRecord(&m.Records[i])
-		}
-	case *ReplicateAck:
-		e.u64(m.Applied)
-		e.u64(m.NeedFrom)
-	case *LeaderQuery:
-		// empty payload
-	case *LeaderInfo:
-		e.str(string(m.Node))
-		e.str(m.Addr)
-		e.boolean(m.IsLeader)
-		e.str(string(m.Leader))
-		e.str(m.LeaderAddr)
-		e.u64(m.Epoch)
-		e.u64(m.Applied)
-	case *Error:
-		e.varint(int64(m.Code))
-		e.str(m.Message)
-	default:
-		return nil, fmt.Errorf("wire: cannot marshal %T as %v", payload, kind)
-	}
-	return e.buf, nil
-}
-
-// Unmarshal decodes a payload of the given kind.
-func Unmarshal(kind MsgKind, body []byte) (any, error) {
-	d := &decoder{buf: body}
-	var out any
-	switch kind {
-	case KindRegister:
-		m := &Register{}
-		m.Node = NodeID(d.str())
-		m.Addr = d.str()
-		m.Capacity = int(d.varint())
-		out = m
-	case KindRegisterAck:
-		m := &RegisterAck{}
-		m.Accepted = d.boolean()
-		m.Reason = d.str()
-		out = m
-	case KindHeartbeat:
-		m := &Heartbeat{}
-		m.Node = NodeID(d.str())
-		m.Seq = d.u64()
-		m.Load = d.f64()
-		m.Stored = int(d.varint())
-		m.Cameras = int(d.varint())
-		m.Summary = d.summary()
-		out = m
-	case KindHeartbeatAck:
-		m := &HeartbeatAck{}
-		m.Epoch = d.u64()
-		out = m
-	case KindIngestBatch:
-		m := &IngestBatch{}
-		m.Camera = d.u32()
-		m.Source = d.str()
-		m.Seq = d.u64()
-		m.FrameTime = d.timestamp()
-		n := d.sliceLen()
-		if n > 0 {
-			m.Observations = make([]Observation, n)
-			for i := range m.Observations {
-				d.observation(&m.Observations[i])
-			}
-		}
-		out = m
-	case KindIngestAck:
-		m := &IngestAck{}
-		m.Accepted = int(d.varint())
-		m.Rejected = int(d.varint())
-		m.Replicated = int(d.varint())
-		m.Replayed = d.boolean()
-		out = m
-	case KindRangeQuery:
-		m := &RangeQuery{}
-		m.QueryID = d.u64()
-		m.Rect = d.rect()
-		m.Window = d.window()
-		m.Limit = int(d.varint())
-		out = m
-	case KindRangeResult:
-		m := &RangeResult{}
-		m.QueryID = d.u64()
-		n := d.sliceLen()
-		if n > 0 {
-			m.Records = make([]ResultRecord, n)
-			for i := range m.Records {
-				d.record(&m.Records[i])
-			}
-		}
-		m.Truncated = d.boolean()
-		m.Asked = int(d.varint())
-		m.Answered = int(d.varint())
-		out = m
-	case KindKNNQuery:
-		m := &KNNQuery{}
-		m.QueryID = d.u64()
-		m.Center = d.point()
-		m.Window = d.window()
-		m.K = int(d.varint())
-		m.MaxDist2 = d.f64()
-		out = m
-	case KindKNNResult:
-		m := &KNNResult{}
-		m.QueryID = d.u64()
-		n := d.sliceLen()
-		if n > 0 {
-			m.Records = make([]KNNRecord, n)
-			for i := range m.Records {
-				d.record(&m.Records[i].ResultRecord)
-				m.Records[i].Dist2 = d.f64()
-			}
-		}
-		m.Asked = int(d.varint())
-		m.Answered = int(d.varint())
-		out = m
-	case KindCountQuery:
-		m := &CountQuery{}
-		m.QueryID = d.u64()
-		m.Rect = d.rect()
-		m.Window = d.window()
-		out = m
-	case KindCountResult:
-		m := &CountResult{}
-		m.QueryID = d.u64()
-		m.Count = int(d.varint())
-		m.Asked = int(d.varint())
-		m.Answered = int(d.varint())
-		out = m
-	case KindTrajectoryQuery:
-		m := &TrajectoryQuery{}
-		m.QueryID = d.u64()
-		m.TargetID = d.u64()
-		m.Window = d.window()
-		out = m
-	case KindTrajectoryResult:
-		m := &TrajectoryResult{}
-		m.QueryID = d.u64()
-		n := d.sliceLen()
-		if n > 0 {
-			m.Records = make([]ResultRecord, n)
-			for i := range m.Records {
-				d.record(&m.Records[i])
-			}
-		}
-		out = m
-	case KindInstallContinuous:
-		m := &InstallContinuous{}
-		m.QueryID = d.u64()
-		m.Kind = ContinuousKind(d.varint())
-		m.Rect = d.rect()
-		m.Threshold = int(d.varint())
-		out = m
-	case KindRemoveContinuous:
-		m := &RemoveContinuous{}
-		m.QueryID = d.u64()
-		out = m
-	case KindContinuousUpdate:
-		m := &ContinuousUpdate{}
-		m.QueryID = d.u64()
-		m.Time = d.timestamp()
-		if n := d.sliceLen(); n > 0 {
-			m.Positive = make([]ResultRecord, n)
-			for i := range m.Positive {
-				d.record(&m.Positive[i])
-			}
-		}
-		if n := d.sliceLen(); n > 0 {
-			m.Negative = make([]ResultRecord, n)
-			for i := range m.Negative {
-				d.record(&m.Negative[i])
-			}
-		}
-		m.Count = int(d.varint())
-		out = m
-	case KindAssignCameras:
-		m := &AssignCameras{}
-		m.Epoch = d.u64()
-		m.Cameras = d.cameraInfos()
-		m.Replicas = d.cameraInfos()
-		out = m
-	case KindAssignAck:
-		m := &AssignAck{}
-		m.Epoch = d.u64()
-		m.Accepted = int(d.varint())
-		out = m
-	case KindTrackStart:
-		m := &TrackStart{}
-		m.TrackID = d.u64()
-		m.Camera = d.u32()
-		m.Feature = d.feature()
-		m.Time = d.timestamp()
-		out = m
-	case KindTrackPrime:
-		m := &TrackPrime{}
-		m.TrackID = d.u64()
-		n := d.sliceLen()
-		if n > 0 {
-			m.Cameras = make([]uint32, n)
-			for i := range m.Cameras {
-				m.Cameras[i] = d.u32()
-			}
-		}
-		m.Feature = d.feature()
-		m.Expires = d.timestamp()
-		out = m
-	case KindTrackHandoff:
-		m := &TrackHandoff{}
-		m.TrackID = d.u64()
-		m.FromCamera = d.u32()
-		m.ToCamera = d.u32()
-		m.Feature = d.feature()
-		m.Time = d.timestamp()
-		m.Hops = int(d.varint())
-		out = m
-	case KindTrackUpdate:
-		m := &TrackUpdate{}
-		m.TrackID = d.u64()
-		m.Camera = d.u32()
-		m.Pos = d.point()
-		m.Time = d.timestamp()
-		m.Lost = d.boolean()
-		out = m
-	case KindTrackStop:
-		m := &TrackStop{}
-		m.TrackID = d.u64()
-		out = m
-	case KindHeatmapQuery:
-		m := &HeatmapQuery{}
-		m.QueryID = d.u64()
-		m.Rect = d.rect()
-		m.Window = d.window()
-		m.CellSize = d.f64()
-		out = m
-	case KindHeatmapResult:
-		m := &HeatmapResult{}
-		m.QueryID = d.u64()
-		m.CellSize = d.f64()
-		if n := d.sliceLen(); n > 0 {
-			m.Cells = make([]HeatCell, n)
-			for i := range m.Cells {
-				m.Cells[i].CX = int32(d.varint())
-				m.Cells[i].CY = int32(d.varint())
-				m.Cells[i].Count = d.varint()
-			}
-		}
-		out = m
-	case KindFilterQuery:
-		m := &FilterQuery{}
-		m.QueryID = d.u64()
-		m.Rect = d.rect()
-		m.Window = d.window()
-		m.TargetID = d.u64()
-		if n := d.sliceLen(); n > 0 {
-			m.Cameras = make([]uint32, n)
-			for i := range m.Cameras {
-				m.Cameras[i] = d.u32()
-			}
-		}
-		m.Limit = int(d.varint())
-		m.ForcePlan = d.str()
-		out = m
-	case KindFilterResult:
-		m := &FilterResult{}
-		m.QueryID = d.u64()
-		if n := d.sliceLen(); n > 0 {
-			m.Records = make([]ResultRecord, n)
-			for i := range m.Records {
-				d.record(&m.Records[i])
-			}
-		}
-		m.Plan = d.str()
-		m.Truncated = d.boolean()
-		out = m
-	case KindStatsQuery:
-		out = &StatsQuery{}
-	case KindStatsResult:
-		m := &StatsResult{}
-		d.statsResult(m)
-		out = m
-	case KindClusterStatsQuery:
-		out = &ClusterStatsQuery{}
-	case KindClusterStatsResult:
-		m := &ClusterStatsResult{}
-		m.Epoch = d.u64()
-		m.Role = d.str()
-		m.Leader = NodeID(d.str())
-		m.LeaderAddr = d.str()
-		d.statsResult(&m.Coordinator)
-		n := d.sliceLen()
-		if n > 0 {
-			m.Workers = make([]WorkerStatsEntry, n)
-			for i := range m.Workers {
-				w := &m.Workers[i]
-				w.Node = NodeID(d.str())
-				w.Addr = d.str()
-				w.Alive = d.boolean()
-				w.Load = d.f64()
-				w.Stored = int(d.varint())
-				w.Cameras = int(d.varint())
-				w.Scraped = d.boolean()
-				d.statsResult(&w.Stats)
-			}
-		}
-		out = m
-	case KindReplicate:
-		m := &Replicate{}
-		m.Leader = NodeID(d.str())
-		m.LeaderAddr = d.str()
-		m.Epoch = d.u64()
-		m.Commit = d.u64()
-		m.FromIndex = d.u64()
-		m.SnapIndex = d.u64()
-		n := d.sliceLen()
-		if n > 0 {
-			m.Records = make([]ControlRecord, n)
-			for i := range m.Records {
-				d.controlRecord(&m.Records[i])
-			}
-		}
-		out = m
-	case KindReplicateAck:
-		m := &ReplicateAck{}
-		m.Applied = d.u64()
-		m.NeedFrom = d.u64()
-		out = m
-	case KindLeaderQuery:
-		out = &LeaderQuery{}
-	case KindLeaderInfo:
-		m := &LeaderInfo{}
-		m.Node = NodeID(d.str())
-		m.Addr = d.str()
-		m.IsLeader = d.boolean()
-		m.Leader = NodeID(d.str())
-		m.LeaderAddr = d.str()
-		m.Epoch = d.u64()
-		m.Applied = d.u64()
-		out = m
-	case KindError:
-		m := &Error{}
-		m.Code = int(d.varint())
-		m.Message = d.str()
-		out = m
-	default:
-		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
-	}
-	if d.err != nil {
-		return nil, fmt.Errorf("wire: decode %v: %w", kind, d.err)
-	}
-	return out, nil
 }
 
 // KindOf returns the MsgKind for a payload type, or 0 when unknown.
@@ -709,447 +250,4 @@ func KindOf(payload any) MsgKind {
 		return KindError
 	}
 	return 0
-}
-
-// --- primitive encoders ---
-
-type encoder struct {
-	buf []byte
-}
-
-func (e *encoder) u32(v uint32) {
-	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], v)
-	e.buf = append(e.buf, b[:]...)
-}
-
-func (e *encoder) u64(v uint64) {
-	var b [8]byte
-	binary.BigEndian.PutUint64(b[:], v)
-	e.buf = append(e.buf, b[:]...)
-}
-
-func (e *encoder) varint(v int64) {
-	e.buf = binary.AppendVarint(e.buf, v)
-}
-
-func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
-
-func (e *encoder) f32(v float32) { e.u32(math.Float32bits(v)) }
-
-func (e *encoder) boolean(v bool) {
-	if v {
-		e.buf = append(e.buf, 1)
-	} else {
-		e.buf = append(e.buf, 0)
-	}
-}
-
-func (e *encoder) str(s string) {
-	e.varint(int64(len(s)))
-	e.buf = append(e.buf, s...)
-}
-
-func (e *encoder) point(p geo.Point) {
-	e.f64(p.X)
-	e.f64(p.Y)
-}
-
-func (e *encoder) rect(r geo.Rect) {
-	e.point(r.Min)
-	e.point(r.Max)
-}
-
-func (e *encoder) timestamp(t time.Time) {
-	if t.IsZero() {
-		e.boolean(false)
-		return
-	}
-	e.boolean(true)
-	e.varint(t.Unix())
-	e.varint(int64(t.Nanosecond()))
-}
-
-func (e *encoder) window(w TimeWindow) {
-	e.timestamp(w.From)
-	e.timestamp(w.To)
-}
-
-func (e *encoder) feature(f []float32) {
-	e.varint(int64(len(f)))
-	for _, v := range f {
-		e.f32(v)
-	}
-}
-
-func (e *encoder) observation(o *Observation) {
-	e.u64(o.ObsID)
-	e.u32(o.Camera)
-	e.timestamp(o.Time)
-	e.point(o.Pos)
-	e.feature(o.Feature)
-	e.u64(o.TrueID)
-}
-
-func (e *encoder) record(r *ResultRecord) {
-	e.u64(r.ObsID)
-	e.u64(r.TargetID)
-	e.u32(r.Camera)
-	e.point(r.Pos)
-	e.timestamp(r.Time)
-}
-
-func (e *encoder) cameraInfos(cs []CameraInfo) {
-	e.varint(int64(len(cs)))
-	for i := range cs {
-		c := &cs[i]
-		e.u32(c.ID)
-		e.point(c.Pos)
-		e.f64(c.Orient)
-		e.f64(c.HalfFOV)
-		e.f64(c.Range)
-	}
-}
-
-func (e *encoder) kvs(m map[string]int64) {
-	e.varint(int64(len(m)))
-	// Deterministic order is not required on the wire; readers rebuild maps.
-	for k, v := range m {
-		e.str(k)
-		e.varint(v)
-	}
-}
-
-func (e *encoder) histStats(m map[string]HistStats) {
-	e.varint(int64(len(m)))
-	for k, v := range m {
-		e.str(k)
-		e.varint(v.Count)
-		e.varint(v.Sum)
-		e.varint(v.Min)
-		e.varint(v.Max)
-		e.varint(v.P50)
-		e.varint(v.P95)
-		e.varint(v.P99)
-	}
-}
-
-func (e *encoder) summary(s *WorkerSummary) {
-	if s == nil {
-		e.boolean(false)
-		return
-	}
-	e.boolean(true)
-	e.u64(s.Epoch)
-	e.varint(int64(s.Records))
-	e.f64(s.CellSize)
-	e.timestamp(s.BucketFrom)
-	e.varint(int64(s.BucketWidth))
-	e.varint(int64(len(s.Cells)))
-	for i := range s.Cells {
-		c := &s.Cells[i]
-		e.varint(int64(c.CX))
-		e.varint(int64(c.CY))
-		e.varint(c.Count)
-		e.rect(c.Bounds)
-		e.varint(int64(len(c.Buckets)))
-		for _, b := range c.Buckets {
-			e.varint(b)
-		}
-	}
-}
-
-func (e *encoder) statsResult(s *StatsResult) {
-	e.str(string(s.Node))
-	e.kvs(s.Counters)
-	e.kvs(s.Gauges)
-	e.histStats(s.Histograms)
-}
-
-func (e *encoder) controlRecord(r *ControlRecord) {
-	e.u64(r.Index)
-	e.u64(r.Epoch)
-	e.varint(int64(r.Op))
-	e.cameraInfos(r.Cameras)
-	e.varint(int64(len(r.Assign)))
-	for i := range r.Assign {
-		a := &r.Assign[i]
-		e.u32(a.Camera)
-		e.str(string(a.Node))
-		e.varint(int64(len(a.Replicas)))
-		for _, n := range a.Replicas {
-			e.str(string(n))
-		}
-	}
-	e.u64(r.Track.TrackID)
-	e.str(string(r.Track.Owner))
-	e.u32(r.Track.LastCamera)
-	e.feature(r.Track.Feature)
-	e.timestamp(r.Track.LastSeen)
-	e.varint(int64(r.Track.Handoffs))
-	e.str(string(r.Member.Node))
-	e.str(r.Member.Addr)
-	e.varint(int64(r.Member.Capacity))
-}
-
-// --- primitive decoders ---
-
-type decoder struct {
-	buf []byte
-	err error
-}
-
-var errShortBuffer = errors.New("short buffer")
-
-func (d *decoder) take(n int) []byte {
-	if d.err != nil {
-		return nil
-	}
-	if len(d.buf) < n {
-		d.err = errShortBuffer
-		return nil
-	}
-	out := d.buf[:n]
-	d.buf = d.buf[n:]
-	return out
-}
-
-func (d *decoder) u32() uint32 {
-	b := d.take(4)
-	if b == nil {
-		return 0
-	}
-	return binary.BigEndian.Uint32(b)
-}
-
-func (d *decoder) u64() uint64 {
-	b := d.take(8)
-	if b == nil {
-		return 0
-	}
-	return binary.BigEndian.Uint64(b)
-}
-
-func (d *decoder) varint() int64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(d.buf)
-	if n <= 0 {
-		d.err = errShortBuffer
-		return 0
-	}
-	d.buf = d.buf[n:]
-	return v
-}
-
-func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
-
-func (d *decoder) f32() float32 { return math.Float32frombits(d.u32()) }
-
-func (d *decoder) boolean() bool {
-	b := d.take(1)
-	return b != nil && b[0] != 0
-}
-
-func (d *decoder) str() string {
-	n := d.varint()
-	if n < 0 || n > int64(len(d.buf)) {
-		d.err = errShortBuffer
-		return ""
-	}
-	b := d.take(int(n))
-	return string(b)
-}
-
-// sliceLen reads a slice length and bounds-checks it against the remaining
-// buffer so corrupt lengths cannot force huge allocations.
-func (d *decoder) sliceLen() int {
-	n := d.varint()
-	if n < 0 || n > int64(len(d.buf)) {
-		d.err = errShortBuffer
-		return 0
-	}
-	return int(n)
-}
-
-func (d *decoder) point() geo.Point { return geo.Pt(d.f64(), d.f64()) }
-
-func (d *decoder) rect() geo.Rect {
-	return geo.Rect{Min: d.point(), Max: d.point()}
-}
-
-func (d *decoder) timestamp() time.Time {
-	if !d.boolean() {
-		return time.Time{}
-	}
-	sec := d.varint()
-	nsec := d.varint()
-	if d.err != nil {
-		return time.Time{}
-	}
-	return time.Unix(sec, nsec).UTC()
-}
-
-func (d *decoder) window() TimeWindow {
-	return TimeWindow{From: d.timestamp(), To: d.timestamp()}
-}
-
-func (d *decoder) feature() []float32 {
-	n := d.sliceLen()
-	if n == 0 {
-		return nil
-	}
-	out := make([]float32, n)
-	for i := range out {
-		out[i] = d.f32()
-	}
-	return out
-}
-
-func (d *decoder) observation(o *Observation) {
-	o.ObsID = d.u64()
-	o.Camera = d.u32()
-	o.Time = d.timestamp()
-	o.Pos = d.point()
-	o.Feature = d.feature()
-	o.TrueID = d.u64()
-}
-
-func (d *decoder) record(r *ResultRecord) {
-	r.ObsID = d.u64()
-	r.TargetID = d.u64()
-	r.Camera = d.u32()
-	r.Pos = d.point()
-	r.Time = d.timestamp()
-}
-
-func (d *decoder) cameraInfos() []CameraInfo {
-	n := d.sliceLen()
-	if n == 0 {
-		return nil
-	}
-	out := make([]CameraInfo, n)
-	for i := range out {
-		c := &out[i]
-		c.ID = d.u32()
-		c.Pos = d.point()
-		c.Orient = d.f64()
-		c.HalfFOV = d.f64()
-		c.Range = d.f64()
-	}
-	return out
-}
-
-func (d *decoder) kvs() map[string]int64 {
-	n := d.sliceLen()
-	if d.err != nil || n == 0 {
-		return nil
-	}
-	out := make(map[string]int64, n)
-	for i := 0; i < n; i++ {
-		k := d.str()
-		v := d.varint()
-		if d.err != nil {
-			return nil
-		}
-		out[k] = v
-	}
-	return out
-}
-
-func (d *decoder) histStats() map[string]HistStats {
-	n := d.sliceLen()
-	if d.err != nil || n == 0 {
-		return nil
-	}
-	out := make(map[string]HistStats, n)
-	for i := 0; i < n; i++ {
-		k := d.str()
-		var v HistStats
-		v.Count = d.varint()
-		v.Sum = d.varint()
-		v.Min = d.varint()
-		v.Max = d.varint()
-		v.P50 = d.varint()
-		v.P95 = d.varint()
-		v.P99 = d.varint()
-		if d.err != nil {
-			return nil
-		}
-		out[k] = v
-	}
-	return out
-}
-
-func (d *decoder) summary() *WorkerSummary {
-	if !d.boolean() {
-		return nil
-	}
-	s := &WorkerSummary{}
-	s.Epoch = d.u64()
-	s.Records = int(d.varint())
-	s.CellSize = d.f64()
-	s.BucketFrom = d.timestamp()
-	s.BucketWidth = time.Duration(d.varint())
-	n := d.sliceLen()
-	if n > 0 {
-		s.Cells = make([]SummaryCell, n)
-		for i := range s.Cells {
-			c := &s.Cells[i]
-			c.CX = int32(d.varint())
-			c.CY = int32(d.varint())
-			c.Count = d.varint()
-			c.Bounds = d.rect()
-			if bn := d.sliceLen(); bn > 0 {
-				c.Buckets = make([]int64, bn)
-				for j := range c.Buckets {
-					c.Buckets[j] = d.varint()
-				}
-			}
-		}
-	}
-	if d.err != nil {
-		return nil
-	}
-	return s
-}
-
-func (d *decoder) statsResult(s *StatsResult) {
-	s.Node = NodeID(d.str())
-	s.Counters = d.kvs()
-	s.Gauges = d.kvs()
-	s.Histograms = d.histStats()
-}
-
-func (d *decoder) controlRecord(r *ControlRecord) {
-	r.Index = d.u64()
-	r.Epoch = d.u64()
-	r.Op = ControlOp(d.varint())
-	r.Cameras = d.cameraInfos()
-	n := d.sliceLen()
-	if n > 0 {
-		r.Assign = make([]AssignEntry, n)
-		for i := range r.Assign {
-			a := &r.Assign[i]
-			a.Camera = d.u32()
-			a.Node = NodeID(d.str())
-			rn := d.sliceLen()
-			if rn > 0 {
-				a.Replicas = make([]NodeID, rn)
-				for j := range a.Replicas {
-					a.Replicas[j] = NodeID(d.str())
-				}
-			}
-		}
-	}
-	r.Track.TrackID = d.u64()
-	r.Track.Owner = NodeID(d.str())
-	r.Track.LastCamera = d.u32()
-	r.Track.Feature = d.feature()
-	r.Track.LastSeen = d.timestamp()
-	r.Track.Handoffs = int(d.varint())
-	r.Member.Node = NodeID(d.str())
-	r.Member.Addr = d.str()
-	r.Member.Capacity = int(d.varint())
 }

@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"stcam/internal/geo"
+)
+
+// Codec allocation benchmarks. The pooled round-trip benchmarks are the
+// ISSUE-level acceptance surface: AppendMarshal into a borrowed buffer plus
+// UnmarshalInto a reused struct must stay ≤2 allocs/op steady-state on the
+// IngestBatch (ingest hot path) and RangeResult (gather hot path) shapes.
+// The value-path benchmarks measure the same messages through Marshal /
+// Unmarshal for comparison; internal/bench.R20CodecAlloc measures both paths
+// with a runtime.MemStats delta and cmd/benchdiff gates the pooled allocs/op
+// ceiling against BENCH_CI.json.
+
+// benchIngestBatch mirrors a steady-state ingester lane frame: a full sender
+// batch of featured observations.
+func benchIngestBatch(n int) *IngestBatch {
+	t0 := time.Unix(1700000000, 0).UTC()
+	b := &IngestBatch{Camera: 7, Source: "ingest-bench", Seq: 42}
+	for i := 0; i < n; i++ {
+		b.Observations = append(b.Observations, Observation{
+			ObsID:   uint64(i) + 1,
+			Camera:  uint32(i % 16),
+			Time:    t0.Add(time.Duration(i) * time.Millisecond),
+			Pos:     geo.Pt(float64(i%100), float64(i%37)),
+			Feature: []float32{float32(i), 0.5, -1.25, float32(i) * 0.01},
+		})
+	}
+	return b
+}
+
+// benchRangeResult mirrors a worker's gather response for a busy range query.
+func benchRangeResult(n int) *RangeResult {
+	t0 := time.Unix(1700000000, 0).UTC()
+	r := &RangeResult{QueryID: 99, Asked: 8, Answered: 8}
+	for i := 0; i < n; i++ {
+		r.Records = append(r.Records, ResultRecord{
+			ObsID:    uint64(i) + 1,
+			TargetID: uint64(i % 5),
+			Camera:   uint32(i % 16),
+			Pos:      geo.Pt(float64(i%200), float64(i%53)),
+			Time:     t0.Add(time.Duration(i) * time.Second),
+		})
+	}
+	return r
+}
+
+func benchRoundTripPooled(b *testing.B, kind MsgKind, msg any, reused any) {
+	b.Helper()
+	// Warm the pool and the reused struct's internal capacity so the loop
+	// measures steady state, not first-touch growth.
+	buf := BorrowBuf()
+	frame, err := AppendMarshal(buf.B[:0], kind, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf.B = frame
+	if err := UnmarshalInto(kind, frame, reused); err != nil {
+		b.Fatal(err)
+	}
+	buf.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := BorrowBuf()
+		frame, err := AppendMarshal(buf.B[:0], kind, msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.B = frame
+		if err := UnmarshalInto(kind, frame, reused); err != nil {
+			b.Fatal(err)
+		}
+		buf.Release()
+	}
+}
+
+func benchRoundTripValue(b *testing.B, kind MsgKind, msg any) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := Marshal(kind, msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Unmarshal(kind, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIngestBatchRoundTrip(b *testing.B) {
+	for _, n := range []int{16, 256} {
+		msg := benchIngestBatch(n)
+		b.Run(fmt.Sprintf("pooled/obs=%d", n), func(b *testing.B) {
+			benchRoundTripPooled(b, KindIngestBatch, msg, &IngestBatch{})
+		})
+		b.Run(fmt.Sprintf("value/obs=%d", n), func(b *testing.B) {
+			benchRoundTripValue(b, KindIngestBatch, msg)
+		})
+	}
+}
+
+func BenchmarkRangeResultRoundTrip(b *testing.B) {
+	for _, n := range []int{16, 256} {
+		msg := benchRangeResult(n)
+		b.Run(fmt.Sprintf("pooled/rec=%d", n), func(b *testing.B) {
+			benchRoundTripPooled(b, KindRangeResult, msg, &RangeResult{})
+		})
+		b.Run(fmt.Sprintf("value/rec=%d", n), func(b *testing.B) {
+			benchRoundTripValue(b, KindRangeResult, msg)
+		})
+	}
+}

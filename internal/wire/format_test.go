@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestFrameV1IsUntagged: FormatV1 frames must carry no format byte — the
+// high bit of the kind byte stays clear, and the frame is exactly the
+// pre-format layout (the golden suite pins the full bytes; this pins the
+// mechanism).
+func TestFrameV1IsUntagged(t *testing.T) {
+	msg := &TrackStop{TrackID: 3}
+	frame, err := AppendFrameFormat(nil, FormatV1, KindTrackStop, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[4]&kindFormatTag != 0 {
+		t.Fatalf("FormatV1 frame has the format-tag bit set: kind byte %02x", frame[4])
+	}
+	plain, err := AppendFrame(nil, KindTrackStop, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, plain) {
+		t.Fatal("explicit FormatV1 differs from the default frame")
+	}
+}
+
+// TestFrameTaggedV1Accepted: a frame that explicitly tags FormatV1 (high bit
+// set, format byte 0x01) must decode identically to the untagged form — a
+// future sender may always tag.
+func TestFrameTaggedV1Accepted(t *testing.T) {
+	msg := &Heartbeat{Node: "w2", Seq: 8, Load: 0.5}
+	body, err := Marshal(KindHeartbeat, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := []byte{0, 0, 0, 0, byte(KindHeartbeat) | kindFormatTag, byte(FormatV1)}
+	frame = append(frame, body...)
+	frame[3] = byte(len(frame) - 4) // frame is tiny; single length byte
+
+	env, err := ReadMessage(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("tagged FormatV1 frame rejected: %v", err)
+	}
+	if env.Kind != KindHeartbeat || !reflect.DeepEqual(env.Payload, msg) {
+		t.Fatalf("tagged FormatV1 frame mis-decoded: %#v", env.Payload)
+	}
+}
+
+// TestFrameUnknownFormatRejected: an unknown format tag must error with
+// ErrUnknownFormat — never decode as FormatV1 even when the payload would
+// parse as one.
+func TestFrameUnknownFormatRejected(t *testing.T) {
+	body, err := Marshal(KindTrackStop, &TrackStop{TrackID: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []byte{0x00, 0x02, 0x7f, 0xff} {
+		frame := []byte{0, 0, 0, 0, byte(KindTrackStop) | kindFormatTag, f}
+		frame = append(frame, body...)
+		frame[3] = byte(len(frame) - 4)
+		_, err := ReadMessage(bytes.NewReader(frame))
+		if err == nil {
+			t.Fatalf("unknown format 0x%02x decoded without error", f)
+		}
+		if !errors.Is(err, ErrUnknownFormat) {
+			t.Fatalf("unknown format 0x%02x: got %v, want ErrUnknownFormat", f, err)
+		}
+	}
+}
+
+// TestFrameTruncatedFormatTag: a tagged frame whose length ends before the
+// format byte must error, not panic or misparse.
+func TestFrameTruncatedFormatTag(t *testing.T) {
+	frame := []byte{0, 0, 0, 1, byte(KindTrackStop) | kindFormatTag}
+	if _, err := ReadMessage(bytes.NewReader(frame)); err == nil {
+		t.Fatal("truncated format tag decoded without error")
+	}
+}
+
+// TestAppendFrameUnknownFormatErrors: the encoder refuses formats this build
+// does not implement, leaving dst untouched.
+func TestAppendFrameUnknownFormatErrors(t *testing.T) {
+	pre := []byte{1, 2, 3}
+	out, err := AppendFrameFormat(pre, Format(0x42), KindTrackStop, &TrackStop{TrackID: 1})
+	if err == nil || !errors.Is(err, ErrUnknownFormat) {
+		t.Fatalf("got %v, want ErrUnknownFormat", err)
+	}
+	if !bytes.Equal(out, pre) {
+		t.Fatal("failed append mutated dst")
+	}
+}
+
+// TestFormatStringer names known formats and shows raw bytes for unknown.
+func TestFormatStringer(t *testing.T) {
+	if FormatV1.String() != "v1" {
+		t.Fatalf("FormatV1.String() = %q", FormatV1.String())
+	}
+	if !FormatV1.Known() || Format(9).Known() {
+		t.Fatal("Known() wrong for v1 or format 9")
+	}
+	if s := Format(0x2a).String(); s != "Format(0x2a)" {
+		t.Fatalf("unknown format string = %q", s)
+	}
+}
+
+// TestUnmarshalFormatUnknown: the payload-level dispatch rejects unknown
+// formats before touching the kind — decode and decode-into both.
+func TestUnmarshalFormatUnknown(t *testing.T) {
+	if _, err := UnmarshalFormat(Format(3), KindHeartbeat, nil); !errors.Is(err, ErrUnknownFormat) {
+		t.Fatalf("UnmarshalFormat: got %v, want ErrUnknownFormat", err)
+	}
+	if err := UnmarshalIntoFormat(Format(3), KindHeartbeat, nil, &Heartbeat{}); !errors.Is(err, ErrUnknownFormat) {
+		t.Fatalf("UnmarshalIntoFormat: got %v, want ErrUnknownFormat", err)
+	}
+	if _, err := MarshalFormat(Format(3), nil, KindHeartbeat, &Heartbeat{}); !errors.Is(err, ErrUnknownFormat) {
+		t.Fatalf("MarshalFormat: got %v, want ErrUnknownFormat", err)
+	}
+}
