@@ -124,6 +124,15 @@ func BenchmarkR16ScatterPruning(b *testing.B) {
 	b.ReportMetric(cell(tbl, len(tbl.Rows)-1, 2), "pruned-asked/knn")
 }
 
+func BenchmarkR17TieredStorage(b *testing.B) {
+	tbl := runExperiment(b, bench.R17TieredStorage)
+	// Headline: retention multiplier and sealed bytes/observation at the
+	// largest stream — the numbers the CI gate floors and ceilings.
+	last := len(tbl.Rows) - 1
+	b.ReportMetric(cell(tbl, last, 4), "retention-x")
+	b.ReportMetric(cell(tbl, last, 3), "sealed-B/obs")
+}
+
 func BenchmarkR20CodecAlloc(b *testing.B) {
 	tbl := runExperiment(b, bench.R20CodecAlloc)
 	// Headline: pooled allocs/op for both hot-path messages (col 7) — the

@@ -138,6 +138,7 @@ func All() []Experiment {
 		{"R14", "Query availability under injected faults", R14FaultSweep},
 		{"R15", "Pipelined ingest throughput sweep", R15IngestPipeline},
 		{"R16", "Pruned scatter-gather vs broadcast fan-out", R16ScatterPruning},
+		{"R17", "Tiered track history: sealed-chunk compression and rollup routing", R17TieredStorage},
 		{"R20", "Wire codec allocation: value vs pooled round trips", R20CodecAlloc},
 	}
 }

@@ -173,6 +173,40 @@ func TestR16ShapePrunedStaysFlat(t *testing.T) {
 	}
 }
 
+// TestR17ShapeSealedTierCompresses verifies the tiered-store headline claims
+// at reduced scale: most of the stream seals, the sealed tier costs at most
+// a fifth of the flat store per observation (the ≥5× retention claim), and
+// every rollup-aligned long-range aggregate is answered without decoding a
+// chunk.
+func TestR17ShapeSealedTierCompresses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test skipped in -short mode")
+	}
+	tbl := R17TieredStorage(0.1)
+	if len(tbl.Rows) < 2 {
+		t.Fatalf("missing rows: %v", tbl.Rows)
+	}
+	for _, r := range tbl.Rows {
+		sealedFrac, _ := strconv.ParseFloat(r[1], 64)
+		flatB, _ := strconv.ParseFloat(r[2], 64)
+		sealedB, _ := strconv.ParseFloat(r[3], 64)
+		retentionX, _ := strconv.ParseFloat(r[4], 64)
+		rollupOnly, _ := strconv.ParseFloat(r[5], 64)
+		if sealedFrac < 0.5 {
+			t.Errorf("events=%s: only %.0f%% of the stream sealed", r[0], 100*sealedFrac)
+		}
+		if sealedB <= 0 || sealedB > flatB/5 {
+			t.Errorf("events=%s: sealed %.1f B/obs vs flat %.1f — under 5x compression", r[0], sealedB, flatB)
+		}
+		if retentionX < 5 {
+			t.Errorf("events=%s: retention× = %.1f, want >= 5", r[0], retentionX)
+		}
+		if rollupOnly != 1 {
+			t.Errorf("events=%s: rollup-only = %.3f, want 1.0 (aggregates decoded chunks)", r[0], rollupOnly)
+		}
+	}
+}
+
 // TestR9ShapeRetentionBounds verifies bounded retention holds fewer records
 // than unlimited retention and that the bound scales with the window.
 func TestR9ShapeRetentionBounds(t *testing.T) {

@@ -51,6 +51,15 @@ type GateColumn struct {
 //     per-query fan-out counts and gathered bytes — fully deterministic, so
 //     baseline-relative ±25% catches any pruning regression (asked jumps
 //     toward broadcast levels) without flaking.
+//   - R17 "retention×", "rollup-only", "sealed B/obs": the tiered-store
+//     contract. "sealed B/obs" is deterministic for the fixed stream (encoded
+//     bytes, no timing), so it gets an absolute ceiling; "retention×" floors
+//     the ≥5× fixed-memory retention claim (observed ~10×, and the flat side
+//     is a post-GC live-heap measure, so it moves little); "rollup-only"
+//     floors at 0.99 the fraction of aligned long-range aggregates answered
+//     with zero chunk decodes — any rollup-routing regression drops it to 0.
+//     Min/Max only: a relative gate would also be unusable for "rollup-only"
+//     deviations since the baseline fraction is exactly 1.0.
 //   - R20 "pooled allocs/op", "pooled B/op": allocation ceilings on the
 //     pooled codec round trip (IngestBatch and RangeResult rows). Allocs/op
 //     is a deterministic property of the code path, so the gate is an
@@ -65,6 +74,9 @@ func DefaultGate() []GateColumn {
 		{Table: "R16", Col: "pruned/knn", Tol: 0.25, MinBase: 0.5},
 		{Table: "R16", Col: "asked/range", Tol: 0.25, MinBase: 0.3},
 		{Table: "R16", Col: "KB/query", Tol: 0.25, MinBase: 0.1},
+		{Table: "R17", Col: "retention×", Min: 5.0},
+		{Table: "R17", Col: "rollup-only", Min: 0.99},
+		{Table: "R17", Col: "sealed B/obs", Max: 32},
 		{Table: "R20", Col: "pooled allocs/op", Max: 2},
 		{Table: "R20", Col: "pooled B/op", Max: 512},
 	}

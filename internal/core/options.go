@@ -35,6 +35,21 @@ type Options struct {
 	CellSize float64
 	// BucketWidth is the temporal index bucket (default 10s).
 	BucketWidth time.Duration
+	// SealHorizon enables the worker store's sealed tier: observations older
+	// than latest − SealHorizon are compacted into immutable delta-compressed
+	// chunks with rollup aggregates, cutting resident bytes per observation
+	// so a fixed memory budget holds a much longer history (see R17). Zero
+	// (the default) keeps the store flat.
+	SealHorizon time.Duration
+	// RollupWidth is the coarse time bucket for sealed-tier aggregates
+	// (default 16× BucketWidth). Long-range Count/Heatmap windows covering
+	// whole rollup buckets are answered without decoding chunks.
+	RollupWidth time.Duration
+	// RollupCellSize is the sealed-tier density-grid square (default
+	// CellSize). Heatmaps at exactly this cell size ride the rollup path.
+	RollupCellSize float64
+	// ChunkTarget caps records per sealed chunk (default 512).
+	ChunkTarget int
 	// BroadcastHandoff switches tracking from vision-graph-scoped priming to
 	// priming every camera on every worker — the baseline experiment R3
 	// compares against.

@@ -66,11 +66,13 @@ type Worker struct {
 	hbShell wire.Heartbeat
 
 	// Heartbeat summary cache: the wire form of the last store sketch, valid
-	// while (epoch, record count, latest timestamp) are unchanged.
-	sumCache  *wire.WorkerSummary
-	sumEpoch  uint64
-	sumLen    int
-	sumLatest time.Time
+	// while (epoch, store generation) are unchanged. The generation counter
+	// bumps on every store mutation, so an eviction followed by inserts that
+	// happen to restore the same Len and Latest still invalidates — keying
+	// on (len, latest) served a stale sketch in exactly that case.
+	sumCache *wire.WorkerSummary
+	sumEpoch uint64
+	sumGen   uint64
 
 	// Readiness state: whether registration succeeded, and the assignment
 	// epoch the coordinator last acknowledged — when it runs ahead of our
@@ -152,9 +154,13 @@ func NewWorker(id wire.NodeID, addr, coordAddr string, transport cluster.Transpo
 		cameras:     make(map[uint32]*camera.Camera),
 		primary:     make(map[uint32]bool),
 		store: stindex.NewStore(stindex.Config{
-			CellSize:    opts.CellSize,
-			BucketWidth: opts.BucketWidth,
-			Retention:   opts.Retention,
+			CellSize:       opts.CellSize,
+			BucketWidth:    opts.BucketWidth,
+			Retention:      opts.Retention,
+			SealHorizon:    opts.SealHorizon,
+			RollupWidth:    opts.RollupWidth,
+			RollupCellSize: opts.RollupCellSize,
+			ChunkTarget:    opts.ChunkTarget,
 		}),
 		assoc:      vision.NewAssociator(opts.AssocThreshold),
 		featureLog: newFeatureRing(opts.FeatureLogSize),
@@ -411,8 +417,8 @@ func (w *Worker) sendHeartbeatOnce(ctx context.Context) error {
 // it only when the store content or the assignment epoch changed since the
 // last heartbeat. Callers hold w.mu.
 func (w *Worker) summaryLocked() *wire.WorkerSummary {
-	n, latest := w.store.Len(), w.store.Latest()
-	if w.sumCache != nil && w.sumEpoch == w.epoch && w.sumLen == n && w.sumLatest.Equal(latest) {
+	gen := w.store.Gen()
+	if w.sumCache != nil && w.sumEpoch == w.epoch && w.sumGen == gen {
 		return w.sumCache
 	}
 	s := w.store.Summarize(w.opts.SummaryCellSize, w.opts.SummaryTimeBuckets)
@@ -429,7 +435,7 @@ func (w *Worker) summaryLocked() *wire.WorkerSummary {
 			ws.Cells[i] = wire.SummaryCell{CX: c.CX, CY: c.CY, Count: c.Count, Bounds: c.Bounds, Buckets: c.Buckets}
 		}
 	}
-	w.sumCache, w.sumEpoch, w.sumLen, w.sumLatest = ws, w.epoch, n, latest
+	w.sumCache, w.sumEpoch, w.sumGen = ws, w.epoch, gen
 	w.reg.Counter("summary.rebuilds").Inc()
 	return ws
 }
@@ -755,7 +761,20 @@ func (w *Worker) onHeatmap(m *wire.HeatmapQuery) (any, error) {
 // /metrics exposition endpoint.
 func (w *Worker) StatsSnapshot() metrics.RegistrySnapshot {
 	mirrorRPCStats(w.reg, w.rpc.Stats())
+	mirrorTierStats(w.reg, w.store.TierStats())
 	return w.reg.Snapshot()
+}
+
+// mirrorTierStats copies the store's sealed-tier sizes and query-path
+// counters into the registry as gauges, so /metrics and the stats RPC expose
+// chunk residency (count, compressed bytes, records) and the decode-vs-rollup
+// balance of the query path. All zeros when the store runs flat.
+func mirrorTierStats(reg *metrics.Registry, ts stindex.TierStats) {
+	reg.Gauge("store.sealed_chunks").Set(int64(ts.SealedChunks + ts.TargetChunks))
+	reg.Gauge("store.sealed_bytes").Set(ts.SealedBytes + ts.TargetBytes)
+	reg.Gauge("store.sealed_records").Set(int64(ts.SealedRecords))
+	reg.Gauge("store.chunk_decodes").Set(int64(ts.QueryDecodes))
+	reg.Gauge("store.rollup_hits").Set(int64(ts.RollupHits))
 }
 
 func (w *Worker) onStats() (any, error) {

@@ -1,0 +1,375 @@
+package stindex
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// This file is the sealed-chunk codec: once a run of observations ages past
+// the store's seal horizon it is compacted into an immutable, delta-compressed
+// byte blob. Chunks follow the wire.Format discipline (and metrictank's chunk
+// format enum): byte 0 names the encoding, decoding dispatches on that tag,
+// and an unknown tag or flag is a clean error — never a fallback to v1, since
+// mis-decoding a future encoding as v1 would corrupt query answers silently.
+
+// chunkFormat tags one encoding of a sealed chunk.
+type chunkFormat byte
+
+const (
+	// chunkFormatV1 is a columnar delta encoding. Layout after the tag:
+	//
+	//	uvarint record count n (0 ends the chunk)
+	//	byte    flags (bit 0: positions quantized)
+	//	uvarint time unit (GCD of successive deltas, ns)
+	//	varint  first timestamp (ns), then n-1 varint deltas in units
+	//	uvarint first ObsID, then n-1 zigzag deltas
+	//	uvarint first TargetID, then n-1 zigzag deltas
+	//	uvarint first Camera, then n-1 zigzag deltas
+	//	positions, X column then Y column:
+	//	  quantized: varint first scaled coord, then n-1 zigzag deltas
+	//	  raw: 8-byte big-endian float bits, then n-1 XOR'd values as
+	//	       (significant-byte count, that many big-endian bytes)
+	//
+	// Tag 0 is reserved as detectably invalid.
+	chunkFormatV1 chunkFormat = 1
+)
+
+// chunkFlagQuantized marks a chunk whose every coordinate sits exactly on the
+// 1/posScale-meter grid, encoded as integer deltas instead of float XOR.
+const chunkFlagQuantized byte = 1 << 0
+
+// posScale is the quantized-position grid: 1/1024 m (sub-millimeter). A
+// power of two, so scaling and unscaling are exact float operations and the
+// quantized path is lossless by construction — coordinates that do not sit on
+// the grid exactly take the XOR path instead of being rounded.
+const posScale = 1 << 10
+
+var (
+	// ErrUnknownChunkFormat is returned when a chunk names a format (or
+	// format-altering flag) this build does not implement.
+	ErrUnknownChunkFormat = errors.New("stindex: unknown chunk format")
+	// ErrCorruptChunk is returned when a chunk's body is truncated or
+	// internally inconsistent. Decoding fails closed: no partial records.
+	ErrCorruptChunk = errors.New("stindex: corrupt chunk")
+)
+
+// sealedChunk is one immutable compacted run of records for a spatial cell or
+// a target history. Span is the inclusive record time range; bucket is the
+// rollup time bucket the chunk belongs to (cell chunks never straddle rollup
+// buckets, so rollup-answered buckets can skip their chunks wholesale).
+type sealedChunk struct {
+	bucket     int64
+	start, end time.Time
+	count      int
+	data       []byte
+}
+
+// overlaps reports whether the chunk's span intersects [from, to].
+func (c *sealedChunk) overlaps(from, to time.Time) bool {
+	return !from.After(c.end) && !to.Before(c.start)
+}
+
+// quantizable reports whether v is exactly representable as an integer count
+// of 1/posScale meters. NaN and ±Inf are not; neither is anything large
+// enough to lose integer precision.
+func quantizable(v float64) bool {
+	if v == 0 {
+		return !math.Signbit(v) // -0 would decode as +0; keep its bits via XOR
+	}
+	f := v * posScale // exact: posScale is a power of two
+	return f == math.Trunc(f) && math.Abs(f) < 1<<53
+}
+
+// gcd64 folds |d| into the running GCD g.
+func gcd64(g uint64, d int64) uint64 {
+	u := uint64(d)
+	if d < 0 {
+		u = uint64(-d) // MinInt64 wraps to its own magnitude, which is correct
+	}
+	for u != 0 {
+		g, u = u, g%u
+	}
+	return g
+}
+
+// appendXor appends one XOR'd float-bits value: a significant-byte count,
+// then that many big-endian bytes. Consecutive positions of a slow-moving
+// target share sign, exponent, and high mantissa bits, so the XOR's leading
+// bytes are zero and drop out.
+func appendXor(dst []byte, x uint64) []byte {
+	sig := (bits.Len64(x) + 7) / 8
+	dst = append(dst, byte(sig))
+	for i := sig - 1; i >= 0; i-- {
+		dst = append(dst, byte(x>>(uint(i)*8)))
+	}
+	return dst
+}
+
+// appendChunk appends the chunkFormatV1 encoding of recs onto dst. Record
+// order is preserved exactly — the caller owns ordering policy (cell chunks
+// are canonically (time, ObsID)-sorted; per-target chunks keep history
+// order, which the merge at query time depends on).
+func appendChunk(dst []byte, recs []Record) []byte {
+	dst = append(dst, byte(chunkFormatV1))
+	dst = binary.AppendUvarint(dst, uint64(len(recs)))
+	if len(recs) == 0 {
+		return dst
+	}
+	quant := true
+	for i := range recs {
+		if !quantizable(recs[i].Pos.X) || !quantizable(recs[i].Pos.Y) {
+			quant = false
+			break
+		}
+	}
+	var flags byte
+	if quant {
+		flags |= chunkFlagQuantized
+	}
+	dst = append(dst, flags)
+
+	// Time column: regular frame cadences make every delta a multiple of the
+	// inter-frame gap, so dividing by the GCD collapses them to 1-2 bytes.
+	g := uint64(0)
+	for i := 1; i < len(recs); i++ {
+		g = gcd64(g, recs[i].Time.UnixNano()-recs[i-1].Time.UnixNano())
+	}
+	unit := int64(1)
+	if g != 0 && g <= math.MaxInt64 {
+		unit = int64(g)
+	}
+	dst = binary.AppendUvarint(dst, uint64(unit))
+	dst = binary.AppendVarint(dst, recs[0].Time.UnixNano())
+	for i := 1; i < len(recs); i++ {
+		dst = binary.AppendVarint(dst, (recs[i].Time.UnixNano()-recs[i-1].Time.UnixNano())/unit)
+	}
+
+	dst = binary.AppendUvarint(dst, recs[0].ObsID)
+	for i := 1; i < len(recs); i++ {
+		dst = binary.AppendVarint(dst, int64(recs[i].ObsID-recs[i-1].ObsID))
+	}
+	dst = binary.AppendUvarint(dst, recs[0].TargetID)
+	for i := 1; i < len(recs); i++ {
+		dst = binary.AppendVarint(dst, int64(recs[i].TargetID-recs[i-1].TargetID))
+	}
+	dst = binary.AppendUvarint(dst, uint64(recs[0].Camera))
+	for i := 1; i < len(recs); i++ {
+		dst = binary.AppendVarint(dst, int64(recs[i].Camera)-int64(recs[i-1].Camera))
+	}
+
+	if quant {
+		dst = binary.AppendVarint(dst, int64(recs[0].Pos.X*posScale))
+		for i := 1; i < len(recs); i++ {
+			dst = binary.AppendVarint(dst, int64(recs[i].Pos.X*posScale)-int64(recs[i-1].Pos.X*posScale))
+		}
+		dst = binary.AppendVarint(dst, int64(recs[0].Pos.Y*posScale))
+		for i := 1; i < len(recs); i++ {
+			dst = binary.AppendVarint(dst, int64(recs[i].Pos.Y*posScale)-int64(recs[i-1].Pos.Y*posScale))
+		}
+		return dst
+	}
+	prev := math.Float64bits(recs[0].Pos.X)
+	dst = binary.BigEndian.AppendUint64(dst, prev)
+	for i := 1; i < len(recs); i++ {
+		cur := math.Float64bits(recs[i].Pos.X)
+		dst = appendXor(dst, cur^prev)
+		prev = cur
+	}
+	prev = math.Float64bits(recs[0].Pos.Y)
+	dst = binary.BigEndian.AppendUint64(dst, prev)
+	for i := 1; i < len(recs); i++ {
+		cur := math.Float64bits(recs[i].Pos.Y)
+		dst = appendXor(dst, cur^prev)
+		prev = cur
+	}
+	return dst
+}
+
+// chunkReader is a bounds-checked cursor over a chunk body. The first overrun
+// or malformed varint latches err; every subsequent read is a no-op, so the
+// decode loop stays branch-light and the caller checks err once.
+type chunkReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *chunkReader) fail() {
+	if r.err == nil {
+		r.err = ErrCorruptChunk
+	}
+}
+
+func (r *chunkReader) readByte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *chunkReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *chunkReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *chunkReader) full8() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *chunkReader) xor() uint64 {
+	sig := int(r.readByte())
+	if r.err != nil {
+		return 0
+	}
+	if sig > 8 || r.off+sig > len(r.b) {
+		r.fail()
+		return 0
+	}
+	var v uint64
+	for i := 0; i < sig; i++ {
+		v = v<<8 | uint64(r.b[r.off+i])
+	}
+	r.off += sig
+	return v
+}
+
+// decodeChunk parses a sealed chunk back into records. It fails closed: an
+// unknown format tag or flag, a truncated body, an impossible record count,
+// or trailing garbage all error without returning partial records.
+func decodeChunk(data []byte) ([]Record, error) {
+	if len(data) == 0 {
+		return nil, ErrCorruptChunk
+	}
+	if chunkFormat(data[0]) != chunkFormatV1 {
+		return nil, fmt.Errorf("%w: 0x%02x", ErrUnknownChunkFormat, data[0])
+	}
+	r := &chunkReader{b: data, off: 1}
+	n64 := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n64 == 0 {
+		if r.off != len(data) {
+			return nil, ErrCorruptChunk
+		}
+		return nil, nil
+	}
+	// Every record costs at least one time-column byte, so a count beyond
+	// the chunk size is corruption — reject before allocating.
+	if n64 > uint64(len(data)) {
+		return nil, ErrCorruptChunk
+	}
+	n := int(n64)
+	flags := r.readByte()
+	if flags&^chunkFlagQuantized != 0 {
+		// Unknown flag bits change the layout; fail closed like an
+		// unknown format rather than guessing.
+		return nil, fmt.Errorf("%w: flags 0x%02x", ErrUnknownChunkFormat, flags)
+	}
+	recs := make([]Record, n)
+
+	unit := int64(r.uvarint())
+	if unit <= 0 {
+		r.fail()
+	}
+	ns := r.varint()
+	recs[0].Time = time.Unix(0, ns)
+	for i := 1; i < n; i++ {
+		ns += r.varint() * unit
+		recs[i].Time = time.Unix(0, ns)
+	}
+
+	obs := r.uvarint()
+	recs[0].ObsID = obs
+	for i := 1; i < n; i++ {
+		obs += uint64(r.varint())
+		recs[i].ObsID = obs
+	}
+	tgt := r.uvarint()
+	recs[0].TargetID = tgt
+	for i := 1; i < n; i++ {
+		tgt += uint64(r.varint())
+		recs[i].TargetID = tgt
+	}
+	cam := int64(r.uvarint())
+	recs[0].Camera = uint32(cam)
+	for i := 1; i < n; i++ {
+		cam += r.varint()
+		recs[i].Camera = uint32(cam)
+	}
+
+	if flags&chunkFlagQuantized != 0 {
+		ix := r.varint()
+		recs[0].Pos.X = float64(ix) / posScale
+		for i := 1; i < n; i++ {
+			ix += r.varint()
+			recs[i].Pos.X = float64(ix) / posScale
+		}
+		iy := r.varint()
+		recs[0].Pos.Y = float64(iy) / posScale
+		for i := 1; i < n; i++ {
+			iy += r.varint()
+			recs[i].Pos.Y = float64(iy) / posScale
+		}
+	} else {
+		xb := r.full8()
+		recs[0].Pos.X = math.Float64frombits(xb)
+		for i := 1; i < n; i++ {
+			xb ^= r.xor()
+			recs[i].Pos.X = math.Float64frombits(xb)
+		}
+		yb := r.full8()
+		recs[0].Pos.Y = math.Float64frombits(yb)
+		for i := 1; i < n; i++ {
+			yb ^= r.xor()
+			recs[i].Pos.Y = math.Float64frombits(yb)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, ErrCorruptChunk
+	}
+	return recs, nil
+}

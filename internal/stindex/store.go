@@ -4,12 +4,21 @@
 // histogram. It answers the snapshot query repertoire of the framework —
 // spatio-temporal range, k-nearest within a time window, target history and
 // trajectory reconstruction — and supports retention eviction.
+//
+// With SealHorizon configured the store is tiered: recent records stay in
+// mutable bucket cells (the hot tier), and records aging past the horizon are
+// compacted into immutable delta-compressed chunks with per-rollup-bucket
+// aggregates (chunk.go, rollup.go). Queries consult both tiers and return
+// exactly what the flat store would; the differential suite in
+// tier_differential_test.go holds that equivalence across seal boundaries,
+// eviction and out-of-order ingest.
 package stindex
 
 import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stcam/internal/geo"
@@ -37,6 +46,20 @@ type Config struct {
 	CellSize    float64       // spatial grid cell, meters (default 50)
 	BucketWidth time.Duration // temporal bucket width (default 10s)
 	Retention   time.Duration // 0 → keep everything until EvictBefore is called
+
+	// SealHorizon enables the sealed tier: records older than latest −
+	// SealHorizon are compacted into immutable compressed chunks. 0 keeps
+	// the store flat (everything hot), the pre-tiering behavior.
+	SealHorizon time.Duration
+	// RollupWidth is the coarse time bucket for sealed-tier aggregates
+	// (default 16 × BucketWidth, rounded up to a BucketWidth multiple).
+	RollupWidth time.Duration
+	// RollupCellSize is the sealed-tier density-grid square (default
+	// CellSize). Heatmap queries at exactly this cell size are answered
+	// from rollups without decoding.
+	RollupCellSize float64
+	// ChunkTarget caps records per sealed chunk (default 512).
+	ChunkTarget int
 }
 
 func (c *Config) fill() {
@@ -46,7 +69,30 @@ func (c *Config) fill() {
 	if c.BucketWidth <= 0 {
 		c.BucketWidth = 10 * time.Second
 	}
+	if c.SealHorizon > 0 {
+		if c.RollupWidth <= 0 {
+			c.RollupWidth = 16 * c.BucketWidth
+		}
+		if rem := c.RollupWidth % c.BucketWidth; rem != 0 {
+			c.RollupWidth += c.BucketWidth - rem
+		}
+		if c.RollupCellSize <= 0 {
+			c.RollupCellSize = c.CellSize
+		}
+		if c.ChunkTarget <= 0 {
+			c.ChunkTarget = 512
+		}
+	}
 }
+
+// Maintenance cadences for streams that do not advance the high-water mark:
+// a late/replayed stream (timestamps ≤ latest) must still trigger retention
+// eviction and straggler sealing, or expired data accumulates unboundedly
+// until a newer record happens to arrive.
+const (
+	evictCheckEvery = 256  // inserts between forced retention checks
+	sealCheckEvery  = 1024 // pre-frontier inserts between straggler seal sweeps
+)
 
 // Store is the spatio-temporal index. Safe for concurrent use.
 type Store struct {
@@ -54,9 +100,35 @@ type Store struct {
 
 	mu       sync.RWMutex
 	cells    map[cellKey]*temporal.BucketStore[Record]
-	byTarget map[uint64][]Record // time-ordered per target
-	n        int
+	byTarget map[uint64][]Record // time-ordered per target (hot tier)
+	n        int                 // cell-side records across both tiers
 	latest   time.Time
+
+	// Sealed tier (cfg.SealHorizon > 0). sealed holds each cell's chunks in
+	// seal order; rollups aggregates them per rollup bucket; targetSealed
+	// holds per-target history prefixes in history order. sealFrontier is
+	// the exclusive upper bound of sealed time: after a seal sweep no hot
+	// record is older than it (late arrivals may dip below until the next
+	// sweep compacts them).
+	sealed        map[cellKey][]*sealedChunk
+	rollups       map[cellKey]map[int64]*rollupEntry
+	targetSealed  map[uint64][]*sealedChunk
+	sealFrontier  time.Time
+	lateSinceSeal int
+
+	earliest   time.Time // eviction watermark: no record is older than this
+	sinceEvict int
+	gen        uint64 // bumped on every mutation (insert/seal/evict)
+
+	sealedChunks  int
+	sealedRecords int
+	sealedBytes   int64
+	targetChunks  int
+	targetRecords int
+	targetBytes   int64
+
+	queryDecodes atomic.Uint64 // chunks decoded to answer queries
+	rollupHits   atomic.Uint64 // query buckets answered from rollups alone
 }
 
 type cellKey struct{ cx, cy int32 }
@@ -65,16 +137,19 @@ type cellKey struct{ cx, cy int32 }
 func NewStore(cfg Config) *Store {
 	cfg.fill()
 	return &Store{
-		cfg:      cfg,
-		cells:    make(map[cellKey]*temporal.BucketStore[Record]),
-		byTarget: make(map[uint64][]Record),
+		cfg:          cfg,
+		cells:        make(map[cellKey]*temporal.BucketStore[Record]),
+		byTarget:     make(map[uint64][]Record),
+		sealed:       make(map[cellKey][]*sealedChunk),
+		rollups:      make(map[cellKey]map[int64]*rollupEntry),
+		targetSealed: make(map[uint64][]*sealedChunk),
 	}
 }
 
 // Config returns the effective configuration.
 func (s *Store) Config() Config { return s.cfg }
 
-// Len returns the number of stored records.
+// Len returns the number of stored records (hot + sealed).
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -88,6 +163,45 @@ func (s *Store) Latest() time.Time {
 	return s.latest
 }
 
+// Gen returns a counter that changes on every mutation (insert, seal,
+// eviction). Callers caching derived views — the worker's heartbeat summary —
+// key on (Gen, ...) so that any mutation invalidates, including an eviction
+// followed by inserts that happen to restore the same Len and Latest.
+func (s *Store) Gen() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// TierStats reports sealed-tier sizes and query-path counters. All zeros when
+// the store runs flat.
+type TierStats struct {
+	SealedChunks  int    // cell-side chunks resident
+	SealedRecords int    // records held in cell-side chunks
+	SealedBytes   int64  // encoded bytes of cell-side chunks
+	TargetChunks  int    // per-target history chunks resident
+	TargetRecords int    // records held in target chunks
+	TargetBytes   int64  // encoded bytes of target chunks
+	QueryDecodes  uint64 // cumulative chunks decoded to answer queries
+	RollupHits    uint64 // cumulative query buckets answered from rollups
+}
+
+// TierStats returns a snapshot of the sealed tier.
+func (s *Store) TierStats() TierStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return TierStats{
+		SealedChunks:  s.sealedChunks,
+		SealedRecords: s.sealedRecords,
+		SealedBytes:   s.sealedBytes,
+		TargetChunks:  s.targetChunks,
+		TargetRecords: s.targetRecords,
+		TargetBytes:   s.targetBytes,
+		QueryDecodes:  s.queryDecodes.Load(),
+		RollupHits:    s.rollupHits.Load(),
+	}
+}
+
 func (s *Store) keyOf(p geo.Point) cellKey {
 	return cellKey{
 		cx: int32(math.Floor(p.X / s.cfg.CellSize)),
@@ -95,10 +209,20 @@ func (s *Store) keyOf(p geo.Point) cellKey {
 	}
 }
 
-// Insert adds a record. When Retention is configured, insertion of a record
-// newer than everything seen also evicts expired data opportunistically.
+// Insert adds a record. When Retention is configured, expired data is evicted
+// opportunistically — on inserts that advance the high-water mark and on a
+// record-count cadence for late/replayed streams. When SealHorizon is
+// configured, aged buckets are compacted into the sealed tier on the way.
+// All maintenance runs inside the same critical section as the insert:
+// readers can never observe already-expired records, and two racing inserts
+// cannot both run a full eviction sweep.
 func (s *Store) Insert(rec Record) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(rec)
+}
+
+func (s *Store) insertLocked(rec Record) {
 	key := s.keyOf(rec.Pos)
 	cell, ok := s.cells[key]
 	if !ok {
@@ -107,9 +231,13 @@ func (s *Store) Insert(rec Record) {
 	}
 	cell.Add(rec.Time, rec)
 	s.n++
+	s.gen++
 	advanced := rec.Time.After(s.latest)
 	if advanced {
 		s.latest = rec.Time
+	}
+	if s.earliest.IsZero() || rec.Time.Before(s.earliest) {
+		s.earliest = rec.Time
 	}
 	if rec.TargetID != 0 {
 		hist := s.byTarget[rec.TargetID]
@@ -124,13 +252,188 @@ func (s *Store) Insert(rec Record) {
 			s.byTarget[rec.TargetID] = hist
 		}
 	}
-	var cutoff time.Time
-	if s.cfg.Retention > 0 && advanced {
-		cutoff = s.latest.Add(-s.cfg.Retention)
+	if s.cfg.SealHorizon > 0 {
+		if !s.sealFrontier.IsZero() && rec.Time.Before(s.sealFrontier) {
+			s.lateSinceSeal++
+		}
+		frontier := s.latest.Add(-s.cfg.SealHorizon)
+		// Seal once per rollup bucket of frontier progress, or when enough
+		// stragglers landed behind the frontier to be worth compacting.
+		if frontier.Sub(s.sealFrontier) >= s.cfg.RollupWidth || s.lateSinceSeal >= sealCheckEvery {
+			s.sealLocked(frontier)
+		}
 	}
-	s.mu.Unlock()
-	if !cutoff.IsZero() {
-		s.EvictBefore(cutoff)
+	if s.cfg.Retention > 0 {
+		s.sinceEvict++
+		if advanced || s.sinceEvict >= evictCheckEvery {
+			s.sinceEvict = 0
+			cutoff := s.latest.Add(-s.cfg.Retention)
+			// Watermark check keeps the no-op case O(1): a sweep runs only
+			// when something can actually be older than the cutoff.
+			if s.earliest.Before(cutoff) {
+				s.evictLocked(cutoff)
+			}
+		}
+	}
+}
+
+// Seal compacts every record older than latest − SealHorizon into the sealed
+// tier and returns how many records moved. Inserts do this opportunistically;
+// Seal forces it (tests, benchmarks, explicit compaction). No-op on a flat
+// store.
+func (s *Store) Seal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.SealHorizon <= 0 || s.latest.IsZero() {
+		return 0
+	}
+	return s.sealLocked(s.latest.Add(-s.cfg.SealHorizon))
+}
+
+// sealLocked moves every cell record strictly before the frontier into
+// sealed chunks (grouped by rollup bucket, split at ChunkTarget) and seals
+// the matching per-target history prefixes. Record counts do not change —
+// records move between tiers. Caller holds the write lock.
+func (s *Store) sealLocked(frontier time.Time) int {
+	if frontier.After(s.sealFrontier) {
+		s.sealFrontier = frontier
+	} else {
+		// Straggler sweep: re-seal up to the existing frontier.
+		frontier = s.sealFrontier
+	}
+	s.lateSinceSeal = 0
+	if frontier.IsZero() {
+		return 0
+	}
+	s.gen++
+	hi := frontier.Add(-time.Nanosecond) // Window is inclusive; seal t < frontier
+	sealedCount := 0
+	for key, cell := range s.cells {
+		if start, _, ok := cell.Span(); !ok || !start.Before(frontier) {
+			continue
+		}
+		var recs []Record
+		cell.Window(time.Time{}, hi, func(_ time.Time, rec Record) bool {
+			recs = append(recs, rec)
+			return true
+		})
+		if len(recs) == 0 {
+			continue
+		}
+		sortRecords(recs)
+		cell.EvictBefore(frontier) // removes exactly the records collected above
+		if cell.Len() == 0 {
+			delete(s.cells, key)
+		}
+		s.sealCellRecordsLocked(key, recs)
+		sealedCount += len(recs)
+	}
+	for id, hist := range s.byTarget {
+		lo := sort.Search(len(hist), func(i int) bool { return !hist[i].Time.Before(frontier) })
+		if lo == 0 {
+			continue
+		}
+		s.sealTargetRecordsLocked(id, hist[:lo])
+		if lo == len(hist) {
+			delete(s.byTarget, id)
+		} else {
+			s.byTarget[id] = append([]Record(nil), hist[lo:]...)
+		}
+	}
+	return sealedCount
+}
+
+// sealCellRecordsLocked encodes time-sorted records of one cell into chunks
+// and folds them into the cell's rollups. Chunks never straddle rollup
+// buckets, so a rollup-answered bucket skips its chunks wholesale.
+func (s *Store) sealCellRecordsLocked(key cellKey, recs []Record) {
+	for i := 0; i < len(recs); {
+		b := s.rollupBucket(recs[i].Time)
+		j := i + 1
+		for j < len(recs) && s.rollupBucket(recs[j].Time) == b {
+			j++
+		}
+		buckets := s.rollups[key]
+		if buckets == nil {
+			buckets = make(map[int64]*rollupEntry)
+			s.rollups[key] = buckets
+		}
+		e := buckets[b]
+		if e == nil {
+			e = newRollupEntry()
+			buckets[b] = e
+		}
+		for k := i; k < j; k++ {
+			e.add(recs[k], s.cfg.RollupCellSize)
+		}
+		for k := i; k < j; k += s.cfg.ChunkTarget {
+			end := k + s.cfg.ChunkTarget
+			if end > j {
+				end = j
+			}
+			c := newSealedChunk(b, recs[k:end])
+			s.sealed[key] = append(s.sealed[key], c)
+			s.sealedChunks++
+			s.sealedRecords += c.count
+			s.sealedBytes += int64(len(c.data))
+		}
+		i = j
+	}
+}
+
+// sealTargetRecordsLocked encodes a history prefix (already time-ordered)
+// into per-target chunks, preserving order: the concatenation of a target's
+// chunks in seal order plus its hot tail reproduces the flat history array.
+func (s *Store) sealTargetRecordsLocked(id uint64, prefix []Record) {
+	for k := 0; k < len(prefix); k += s.cfg.ChunkTarget {
+		end := k + s.cfg.ChunkTarget
+		if end > len(prefix) {
+			end = len(prefix)
+		}
+		c := newSealedChunk(s.rollupBucket(prefix[k].Time), prefix[k:end])
+		s.targetSealed[id] = append(s.targetSealed[id], c)
+		s.targetChunks++
+		s.targetRecords += c.count
+		s.targetBytes += int64(len(c.data))
+	}
+}
+
+// newSealedChunk encodes time-ordered records into one immutable chunk.
+func newSealedChunk(bucket int64, recs []Record) *sealedChunk {
+	return &sealedChunk{
+		bucket: bucket,
+		start:  recs[0].Time,
+		end:    recs[len(recs)-1].Time,
+		count:  len(recs),
+		data:   appendChunk(nil, recs),
+	}
+}
+
+// decodeForQuery decodes a sealed chunk on the query path, counting the
+// decode. Sealed data is immutable after encode, so a failure here is a
+// program bug, not an input condition.
+func (s *Store) decodeForQuery(c *sealedChunk) []Record {
+	recs, err := decodeChunk(c.data)
+	if err != nil {
+		panic("stindex: sealed chunk decode: " + err.Error())
+	}
+	s.queryDecodes.Add(1)
+	return recs
+}
+
+// scanSealed decodes the cell's sealed chunks overlapping [from, to] and
+// calls fn for each record inside the window; chunks outside the window are
+// skipped without decoding. Caller holds (at least) the read lock.
+func (s *Store) scanSealed(key cellKey, from, to time.Time, fn func(Record)) {
+	for _, c := range s.sealed[key] {
+		if !c.overlaps(from, to) {
+			continue
+		}
+		for _, rec := range s.decodeForQuery(c) {
+			if !rec.Time.Before(from) && !rec.Time.After(to) {
+				fn(rec)
+			}
+		}
 	}
 }
 
@@ -143,12 +446,19 @@ func (s *Store) RangeQuery(r geo.Rect, from, to time.Time) []Record {
 		return nil
 	}
 	var out []Record
-	s.forEachCellIn(r, func(cell *temporal.BucketStore[Record]) {
-		cell.Window(from, to, func(_ time.Time, rec Record) bool {
+	s.forEachCellKeyIn(r, func(key cellKey) {
+		if cell, ok := s.cells[key]; ok {
+			cell.Window(from, to, func(_ time.Time, rec Record) bool {
+				if r.Contains(rec.Pos) {
+					out = append(out, rec)
+				}
+				return true
+			})
+		}
+		s.scanSealed(key, from, to, func(rec Record) {
 			if r.Contains(rec.Pos) {
 				out = append(out, rec)
 			}
-			return true
 		})
 	})
 	sortRecords(out)
@@ -156,7 +466,9 @@ func (s *Store) RangeQuery(r geo.Rect, from, to time.Time) []Record {
 }
 
 // Count returns the number of records inside r with time in [from, to]
-// without materializing them.
+// without materializing them. Sealed rollup buckets fully covered by the
+// window and spatially provable against r are answered from aggregates
+// without decoding.
 func (s *Store) Count(r geo.Rect, from, to time.Time) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -164,37 +476,87 @@ func (s *Store) Count(r geo.Rect, from, to time.Time) int {
 		return 0
 	}
 	count := 0
-	s.forEachCellIn(r, func(cell *temporal.BucketStore[Record]) {
-		cell.Window(from, to, func(_ time.Time, rec Record) bool {
-			if r.Contains(rec.Pos) {
-				count++
-			}
-			return true
-		})
+	s.forEachCellKeyIn(r, func(key cellKey) {
+		if cell, ok := s.cells[key]; ok {
+			cell.Window(from, to, func(_ time.Time, rec Record) bool {
+				if r.Contains(rec.Pos) {
+					count++
+				}
+				return true
+			})
+		}
+		count += s.countSealedLocked(key, r, from, to)
 	})
 	return count
 }
 
-// forEachCellIn visits every materialized cell overlapping r. Caller holds
-// the read lock.
-func (s *Store) forEachCellIn(r geo.Rect, fn func(*temporal.BucketStore[Record])) {
+// countSealedLocked counts one cell's sealed records in r × [from, to],
+// answering whole rollup buckets from aggregates when provable and decoding
+// only the rest.
+func (s *Store) countSealedLocked(key cellKey, r geo.Rect, from, to time.Time) int {
+	chunks := s.sealed[key]
+	if len(chunks) == 0 {
+		return 0
+	}
+	count := 0
+	var resolved map[int64]bool
+	for b, e := range s.rollups[key] {
+		if !s.windowCoversBucket(from, to, b) {
+			continue
+		}
+		if n, ok := e.countIn(r); ok {
+			count += int(n)
+			if resolved == nil {
+				resolved = make(map[int64]bool)
+			}
+			resolved[b] = true
+			s.rollupHits.Add(1)
+		}
+	}
+	for _, c := range chunks {
+		if resolved[c.bucket] || !c.overlaps(from, to) {
+			continue
+		}
+		for _, rec := range s.decodeForQuery(c) {
+			if !rec.Time.Before(from) && !rec.Time.After(to) && r.Contains(rec.Pos) {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// forEachCellKeyIn visits every cell key overlapping r that has data in
+// either tier. Caller holds the read lock.
+func (s *Store) forEachCellKeyIn(r geo.Rect, fn func(cellKey)) {
 	lo, hi := s.keyOf(r.Min), s.keyOf(r.Max)
 	nx, ny := int64(hi.cx)-int64(lo.cx)+1, int64(hi.cy)-int64(lo.cy)+1
-	if nx*ny > int64(len(s.cells))*2 {
-		bounds := r
-		for key, cell := range s.cells {
-			cellRect := s.cellRect(key)
-			if cellRect.Intersects(bounds) {
-				fn(cell)
+	if nx*ny > int64(len(s.cells)+len(s.sealed))*2 {
+		for key := range s.cells {
+			if s.cellRect(key).Intersects(r) {
+				fn(key)
+			}
+		}
+		for key := range s.sealed {
+			if _, hot := s.cells[key]; hot {
+				continue // already visited
+			}
+			if s.cellRect(key).Intersects(r) {
+				fn(key)
 			}
 		}
 		return
 	}
 	for cx := lo.cx; cx <= hi.cx; cx++ {
 		for cy := lo.cy; cy <= hi.cy; cy++ {
-			if cell, ok := s.cells[cellKey{cx, cy}]; ok {
-				fn(cell)
+			key := cellKey{cx, cy}
+			_, hot := s.cells[key]
+			if !hot {
+				if _, ok := s.sealed[key]; !ok {
+					continue
+				}
 			}
+			fn(key)
 		}
 	}
 }
@@ -232,7 +594,7 @@ func (s *Store) KNNBounded(q geo.Point, from, to time.Time, k int, maxDist2 floa
 	}
 	center := s.keyOf(q)
 	maxRing := 1
-	for key := range s.cells {
+	widen := func(key cellKey) {
 		dx := int(key.cx) - int(center.cx)
 		if dx < 0 {
 			dx = -dx
@@ -247,6 +609,12 @@ func (s *Store) KNNBounded(q geo.Point, from, to time.Time, k int, maxDist2 floa
 		if dy > maxRing {
 			maxRing = dy
 		}
+	}
+	for key := range s.cells {
+		widen(key)
+	}
+	for key := range s.sealed {
+		widen(key)
 	}
 	var best []Neighbor // max-heap by (Dist2, ObsID)
 	less := func(a, b Neighbor) bool {
@@ -289,21 +657,23 @@ func (s *Store) KNNBounded(q geo.Point, from, to time.Time, k int, maxDist2 floa
 			}
 		}
 	}
-	scan := func(key cellKey) {
-		cell, ok := s.cells[key]
-		if !ok {
-			return
-		}
-		cell.Window(from, to, func(_ time.Time, rec Record) bool {
-			if keep == nil || keep(rec) {
-				d2 := q.Dist2(rec.Pos)
-				if maxDist2 > 0 && d2 > maxDist2 {
-					return true
-				}
-				offer(Neighbor{Record: rec, Dist2: d2})
+	consider := func(rec Record) {
+		if keep == nil || keep(rec) {
+			d2 := q.Dist2(rec.Pos)
+			if maxDist2 > 0 && d2 > maxDist2 {
+				return
 			}
-			return true
-		})
+			offer(Neighbor{Record: rec, Dist2: d2})
+		}
+	}
+	scan := func(key cellKey) {
+		if cell, ok := s.cells[key]; ok {
+			cell.Window(from, to, func(_ time.Time, rec Record) bool {
+				consider(rec)
+				return true
+			})
+		}
+		s.scanSealed(key, from, to, consider)
 	}
 	for ring := 0; ring <= maxRing; ring++ {
 		if ring > 0 {
@@ -344,29 +714,71 @@ type HeatCell struct {
 
 // Heatmap aggregates observation density over r and [from, to] into square
 // cells of the given size, applying the optional keep predicate. Only
-// non-empty cells are returned, unordered.
+// non-empty cells are returned, unordered. With keep == nil and cellSize
+// equal to the configured RollupCellSize, sealed rollup buckets fully covered
+// by the window fold their pre-computed density grids straight into the
+// result without decoding.
 func (s *Store) Heatmap(r geo.Rect, from, to time.Time, cellSize float64, keep func(Record) bool) []HeatCell {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if r.IsEmpty() || to.Before(from) || s.n == 0 || cellSize <= 0 {
 		return nil
 	}
+	// Rollup grids count every record, so the aggregate path needs keep to
+	// be absent and the query grid to coincide with the rollup grid exactly
+	// (same size ⇒ same floor keying; a coarser multiple is not provable
+	// near square boundaries under float division).
+	useRollup := keep == nil && s.cfg.SealHorizon > 0 && cellSize == s.cfg.RollupCellSize
 	acc := make(map[[2]int32]int64)
-	s.forEachCellIn(r, func(cell *temporal.BucketStore[Record]) {
-		cell.Window(from, to, func(_ time.Time, rec Record) bool {
-			if !r.Contains(rec.Pos) {
+	tally := func(rec Record) {
+		if !r.Contains(rec.Pos) {
+			return
+		}
+		if keep != nil && !keep(rec) {
+			return
+		}
+		key := [2]int32{
+			int32(math.Floor(rec.Pos.X / cellSize)),
+			int32(math.Floor(rec.Pos.Y / cellSize)),
+		}
+		acc[key]++
+	}
+	s.forEachCellKeyIn(r, func(key cellKey) {
+		if cell, ok := s.cells[key]; ok {
+			cell.Window(from, to, func(_ time.Time, rec Record) bool {
+				tally(rec)
 				return true
+			})
+		}
+		chunks := s.sealed[key]
+		if len(chunks) == 0 {
+			return
+		}
+		var resolved map[int64]bool
+		if useRollup {
+			for b, e := range s.rollups[key] {
+				if !s.windowCoversBucket(from, to, b) {
+					continue
+				}
+				if e.heatInto(r, acc) {
+					if resolved == nil {
+						resolved = make(map[int64]bool)
+					}
+					resolved[b] = true
+					s.rollupHits.Add(1)
+				}
 			}
-			if keep != nil && !keep(rec) {
-				return true
+		}
+		for _, c := range chunks {
+			if resolved[c.bucket] || !c.overlaps(from, to) {
+				continue
 			}
-			key := [2]int32{
-				int32(math.Floor(rec.Pos.X / cellSize)),
-				int32(math.Floor(rec.Pos.Y / cellSize)),
+			for _, rec := range s.decodeForQuery(c) {
+				if !rec.Time.Before(from) && !rec.Time.After(to) {
+					tally(rec)
+				}
 			}
-			acc[key]++
-			return true
-		})
+		}
 	})
 	out := make([]HeatCell, 0, len(acc))
 	for key, n := range acc {
@@ -376,21 +788,42 @@ func (s *Store) Heatmap(r geo.Rect, from, to time.Time, cellSize float64, keep f
 }
 
 // TargetHistory returns the records associated with a target in [from, to],
-// time-ordered.
+// time-ordered (insertion order among equal timestamps, matching the flat
+// store: sealed chunks concatenate in seal order, the hot tail follows, and
+// a stable sort merges late arrivals into place).
 func (s *Store) TargetHistory(id uint64, from, to time.Time) []Record {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	hist := s.byTarget[id]
-	if len(hist) == 0 || to.Before(from) {
+	if to.Before(from) {
 		return nil
 	}
-	lo := sort.Search(len(hist), func(i int) bool { return !hist[i].Time.Before(from) })
-	hi := sort.Search(len(hist), func(i int) bool { return hist[i].Time.After(to) })
-	if lo >= hi {
-		return nil
+	var out []Record
+	sealedPart := 0
+	for _, c := range s.targetSealed[id] {
+		if !c.overlaps(from, to) {
+			continue
+		}
+		for _, rec := range s.decodeForQuery(c) {
+			if !rec.Time.Before(from) && !rec.Time.After(to) {
+				out = append(out, rec)
+			}
+		}
 	}
-	out := make([]Record, hi-lo)
-	copy(out, hist[lo:hi])
+	sealedPart = len(out)
+	if hist := s.byTarget[id]; len(hist) > 0 {
+		lo := sort.Search(len(hist), func(i int) bool { return !hist[i].Time.Before(from) })
+		hi := sort.Search(len(hist), func(i int) bool { return hist[i].Time.After(to) })
+		if lo < hi {
+			out = append(out, hist[lo:hi]...)
+		}
+	}
+	if sealedPart > 0 {
+		// Straggler seals append old records after newer chunks, and late
+		// arrivals can leave hot records older than sealed ones; a stable
+		// sort restores global time order while preserving the insertion
+		// order the tiers already encode for equal timestamps.
+		sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	}
 	return out
 }
 
@@ -398,7 +831,11 @@ func (s *Store) TargetHistory(id uint64, from, to time.Time) []Record {
 func (s *Store) TargetCount(id uint64) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.byTarget[id])
+	n := len(s.byTarget[id])
+	for _, c := range s.targetSealed[id] {
+		n += c.count
+	}
+	return n
 }
 
 // Trajectory reconstructs a target's path over [from, to] from its indexed
@@ -416,18 +853,28 @@ func (s *Store) Trajectory(id uint64, from, to time.Time) geo.Trajectory {
 func (s *Store) Targets() []uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]uint64, 0, len(s.byTarget))
+	out := make([]uint64, 0, len(s.byTarget)+len(s.targetSealed))
 	for id := range s.byTarget {
 		out = append(out, id)
+	}
+	for id := range s.targetSealed {
+		if _, hot := s.byTarget[id]; !hot {
+			out = append(out, id)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// EvictBefore removes every record older than cutoff, returning the count.
+// EvictBefore removes every record older than cutoff, returning the count
+// (cell-side records, hot and sealed; the per-target index trims alongside).
 func (s *Store) EvictBefore(cutoff time.Time) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.evictLocked(cutoff)
+}
+
+func (s *Store) evictLocked(cutoff time.Time) int {
 	removed := 0
 	for key, cell := range s.cells {
 		removed += cell.EvictBefore(cutoff)
@@ -435,6 +882,7 @@ func (s *Store) EvictBefore(cutoff time.Time) int {
 			delete(s.cells, key)
 		}
 	}
+	removed += s.evictSealedLocked(cutoff)
 	for id, hist := range s.byTarget {
 		lo := sort.Search(len(hist), func(i int) bool { return !hist[i].Time.Before(cutoff) })
 		if lo == 0 {
@@ -446,15 +894,132 @@ func (s *Store) EvictBefore(cutoff time.Time) int {
 		}
 		s.byTarget[id] = append([]Record(nil), hist[lo:]...)
 	}
+	s.evictTargetSealedLocked(cutoff)
 	s.n -= removed
+	if s.earliest.Before(cutoff) {
+		s.earliest = cutoff
+	}
+	s.gen++
 	return removed
 }
 
-// CellCount returns the number of materialized spatial cells.
+// evictSealedLocked drops whole chunks that end before the cutoff, rewrites
+// straddling chunks to their surviving suffix, and rebuilds the rollups of
+// every touched bucket from the chunks that remain.
+func (s *Store) evictSealedLocked(cutoff time.Time) int {
+	removed := 0
+	for key, chunks := range s.sealed {
+		var rebuilt map[int64]bool
+		touch := func(b int64) {
+			if rebuilt == nil {
+				rebuilt = make(map[int64]bool)
+			}
+			rebuilt[b] = true
+		}
+		kept := chunks[:0]
+		for _, c := range chunks {
+			switch {
+			case !c.start.Before(cutoff): // wholly kept
+				kept = append(kept, c)
+			case c.end.Before(cutoff): // wholly expired
+				removed += c.count
+				s.sealedChunks--
+				s.sealedRecords -= c.count
+				s.sealedBytes -= int64(len(c.data))
+				touch(c.bucket)
+			default: // straddling: re-encode the surviving suffix
+				recs, err := decodeChunk(c.data)
+				if err != nil {
+					panic("stindex: sealed chunk decode: " + err.Error())
+				}
+				live := recs[:0]
+				for _, rec := range recs {
+					if rec.Time.Before(cutoff) {
+						removed++
+					} else {
+						live = append(live, rec)
+					}
+				}
+				s.sealedChunks--
+				s.sealedRecords -= c.count
+				s.sealedBytes -= int64(len(c.data))
+				touch(c.bucket)
+				if len(live) > 0 {
+					nc := newSealedChunk(c.bucket, live)
+					kept = append(kept, nc)
+					s.sealedChunks++
+					s.sealedRecords += nc.count
+					s.sealedBytes += int64(len(nc.data))
+				}
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.sealed, key)
+		} else {
+			s.sealed[key] = kept
+		}
+		for b := range rebuilt {
+			s.rebuildRollupLocked(key, b)
+		}
+	}
+	return removed
+}
+
+// evictTargetSealedLocked trims per-target chunks the same way; the removals
+// are not counted toward n (target history is an index over cell records).
+func (s *Store) evictTargetSealedLocked(cutoff time.Time) {
+	for id, chunks := range s.targetSealed {
+		kept := chunks[:0]
+		for _, c := range chunks {
+			switch {
+			case !c.start.Before(cutoff):
+				kept = append(kept, c)
+			case c.end.Before(cutoff):
+				s.targetChunks--
+				s.targetRecords -= c.count
+				s.targetBytes -= int64(len(c.data))
+			default:
+				recs, err := decodeChunk(c.data)
+				if err != nil {
+					panic("stindex: sealed chunk decode: " + err.Error())
+				}
+				live := recs[:0]
+				for _, rec := range recs {
+					if !rec.Time.Before(cutoff) {
+						live = append(live, rec)
+					}
+				}
+				s.targetChunks--
+				s.targetRecords -= c.count
+				s.targetBytes -= int64(len(c.data))
+				if len(live) > 0 {
+					nc := newSealedChunk(c.bucket, live)
+					kept = append(kept, nc)
+					s.targetChunks++
+					s.targetRecords += nc.count
+					s.targetBytes += int64(len(nc.data))
+				}
+			}
+		}
+		if len(kept) == 0 {
+			delete(s.targetSealed, id)
+		} else {
+			s.targetSealed[id] = kept
+		}
+	}
+}
+
+// CellCount returns the number of spatial cells with data in either tier.
 func (s *Store) CellCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.cells)
+	n := len(s.cells)
+	for key := range s.sealed {
+		if _, hot := s.cells[key]; !hot {
+			n++
+		}
+	}
+	return n
 }
 
 func sortRecords(recs []Record) {

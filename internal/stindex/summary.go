@@ -60,7 +60,8 @@ func (s *Store) Summarize(cellSize float64, timeBuckets int) Summary {
 		timeBuckets = 8
 	}
 
-	// Global time span across cells, at store-bucket granularity.
+	// Global time span across both tiers, at store-bucket granularity.
+	sw := s.cfg.BucketWidth
 	var from, end time.Time
 	for _, cell := range s.cells {
 		cf, ce, ok := cell.Span()
@@ -74,12 +75,23 @@ func (s *Store) Summarize(cellSize float64, timeBuckets int) Summary {
 			end = ce
 		}
 	}
+	for _, chunks := range s.sealed {
+		for _, c := range chunks {
+			cf := time.Unix(0, floorDiv64(c.start.UnixNano(), int64(sw))*int64(sw))
+			ce := time.Unix(0, floorDiv64(c.end.UnixNano(), int64(sw))*int64(sw)).Add(sw)
+			if from.IsZero() || cf.Before(from) {
+				from = cf
+			}
+			if ce.After(end) {
+				end = ce
+			}
+		}
+	}
 	if from.IsZero() {
 		return sum
 	}
 	span := end.Sub(from)
 	width := span / time.Duration(timeBuckets)
-	sw := s.cfg.BucketWidth
 	if rem := width % sw; rem != 0 || width == 0 {
 		width += sw - rem
 	}
@@ -91,7 +103,7 @@ func (s *Store) Summarize(cellSize float64, timeBuckets int) Summary {
 	sum.BucketWidth = width
 
 	acc := make(map[cellKey]*SummaryCell)
-	for key, cell := range s.cells {
+	coarse := func(key cellKey) *SummaryCell {
 		ck := cellKey{cx: floorDiv(key.cx, ratio), cy: floorDiv(key.cy, ratio)}
 		c, ok := acc[ck]
 		if !ok {
@@ -100,6 +112,10 @@ func (s *Store) Summarize(cellSize float64, timeBuckets int) Summary {
 		} else {
 			c.Bounds = c.Bounds.Union(s.cellRect(key))
 		}
+		return c
+	}
+	for key, cell := range s.cells {
+		c := coarse(key)
 		c.Count += int64(cell.Len())
 		cell.ForEachBucket(func(start time.Time, n int) {
 			i := int(start.Sub(from) / width)
@@ -111,6 +127,31 @@ func (s *Store) Summarize(cellSize float64, timeBuckets int) Summary {
 			}
 			c.Buckets[i] += int64(n)
 		})
+	}
+	// Sealed records fold in from the rollup aggregates: O(rollup entries),
+	// never decoding chunks. A rollup bucket can straddle several summary
+	// buckets, so its count is credited to every one it overlaps — an
+	// over-count per bucket, which is safe: readers treat buckets as
+	// absence proofs only (a false positive merely skips a pruning
+	// opportunity), while Count and Records stay exact.
+	for key, buckets := range s.rollups {
+		c := coarse(key)
+		for b, e := range buckets {
+			c.Count += e.count
+			bStart := s.rollupBucketStart(b)
+			bEnd := bStart.Add(s.cfg.RollupWidth)
+			i0 := int(bStart.Sub(from) / width)
+			i1 := int(bEnd.Add(-time.Nanosecond).Sub(from) / width)
+			if i0 < 0 {
+				i0 = 0
+			}
+			if i1 >= nb {
+				i1 = nb - 1
+			}
+			for i := i0; i <= i1; i++ {
+				c.Buckets[i] += e.count
+			}
+		}
 	}
 	sum.Cells = make([]SummaryCell, 0, len(acc))
 	for _, c := range acc {
