@@ -1,0 +1,254 @@
+// Command stcamlint runs the project-invariant analyzer suite
+// (internal/analyzers) over the module: rpcunderlock, bufrelease, failclosed,
+// clockinject, and metricname — the bug classes this codebase has shipped and
+// re-fixed, encoded as compiler-enforced rules.
+//
+// Standalone use (the make lint path):
+//
+//	go run ./cmd/stcamlint ./...          # whole module
+//	go run ./cmd/stcamlint ./internal/core
+//	go run ./cmd/stcamlint -analyzers clockinject,metricname ./...
+//
+// Exit status is 1 when any diagnostic survives //lint:allow suppression.
+//
+// The binary also answers the two entry points `go vet -vettool` uses, so
+//
+//	go build -o stcamlint ./cmd/stcamlint && go vet -vettool=$PWD/stcamlint ./...
+//
+// works: -V=full prints an identity line, and a single *.cfg argument is
+// parsed as vet's unit-check config (the package's files are re-analyzed via
+// the module loader; diagnostics print to stderr and fail the build). The
+// standalone mode is canonical — it is what make lint and CI run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"stcam/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet protocol, part 1: handshakes. -flags asks for the tool's flag
+	// schema (we expose none to vet); -V=full asks for a version identity.
+	for _, a := range args {
+		switch a {
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return 0
+		case "-V=full", "--V=full":
+			fmt.Println("stcamlint version 1 buildID=stcamlint-static-suite")
+			return 0
+		}
+	}
+	// go vet protocol, part 2: a single JSON config file argument.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runVetCfg(args[0])
+	}
+
+	fs := flag.NewFlagSet("stcamlint", flag.ExitOnError)
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: stcamlint [-analyzers a,b] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Packages default to ./... relative to the module root.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var sel []string
+	if *names != "" {
+		sel = strings.Split(*names, ",")
+	}
+	as := analyzers.ByName(sel)
+	if len(as) == 0 {
+		fmt.Fprintf(os.Stderr, "stcamlint: no analyzers match %q\n", *names)
+		return 2
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stcamlint:", err)
+		return 2
+	}
+	loader, err := analyzers.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stcamlint:", err)
+		return 2
+	}
+
+	pkgs, err := resolvePackages(loader, wd, fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stcamlint:", err)
+		return 2
+	}
+
+	bad := 0
+	for _, p := range pkgs {
+		for _, d := range analyzers.RunPackage(p, as) {
+			fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", relPath(loader.ModuleRoot, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "stcamlint: %d diagnostic(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// resolvePackages turns CLI patterns into loaded packages. Supported shapes:
+// none (whole module), "./..." (whole module), "./x/..." (subtree), "./x"
+// (one package), and full import paths.
+func resolvePackages(loader *analyzers.Loader, wd string, patterns []string) ([]*analyzers.Package, error) {
+	if len(patterns) == 0 {
+		return loader.LoadAll()
+	}
+	var out []*analyzers.Package
+	seen := map[string]bool{}
+	add := func(p *analyzers.Package) {
+		if !seen[p.Path] {
+			seen[p.Path] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+			if pat == "." {
+				pat = "./"
+			}
+		}
+		var ip string
+		switch {
+		case pat == "./" || pat == ".":
+			rel, err := filepath.Rel(loader.ModuleRoot, wd)
+			if err != nil {
+				return nil, err
+			}
+			ip = loader.ModulePath
+			if rel != "." {
+				ip = loader.ModulePath + "/" + filepath.ToSlash(rel)
+			}
+		case strings.HasPrefix(pat, "./"):
+			abs := filepath.Join(wd, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+			rel, err := filepath.Rel(loader.ModuleRoot, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("pattern %q escapes the module", pat)
+			}
+			ip = loader.ModulePath + "/" + filepath.ToSlash(rel)
+		default:
+			ip = pat
+		}
+		if recursive {
+			all, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range all {
+				if p.Path == ip || strings.HasPrefix(p.Path, ip+"/") {
+					add(p)
+				}
+			}
+		} else {
+			p, err := loader.Load(ip)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+		}
+	}
+	return out, nil
+}
+
+// vetCfg is the subset of go vet's unit-check config stcamlint needs: the
+// package's import path (everything else — files, import maps, export data —
+// is re-derived through the module loader, which type-checks from source).
+type vetCfg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+func runVetCfg(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stcamlint:", err)
+		return 2
+	}
+	var cfg vetCfg
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "stcamlint: parse vet config:", err)
+		return 2
+	}
+	dir := cfg.Dir
+	if dir == "" && len(cfg.GoFiles) > 0 {
+		dir = filepath.Dir(cfg.GoFiles[0])
+	}
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "stcamlint: vet config has no package directory")
+		return 2
+	}
+	// go vet runs the tool over every package in the build, the standard
+	// library included (its source tree carries the `std` go.mod). Our
+	// invariants are project rules; anything outside this module is not ours
+	// to check.
+	if goroot := runtime.GOROOT(); goroot != "" {
+		if r, err := filepath.Rel(goroot, dir); err == nil && !strings.HasPrefix(r, "..") {
+			return 0
+		}
+	}
+	loader, err := analyzers.NewLoader(dir)
+	if err != nil {
+		// Outside our module (a dependency): nothing to check.
+		return 0
+	}
+	rel, err := filepath.Rel(loader.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return 0
+	}
+	ip := loader.ModulePath
+	if rel != "." {
+		ip = loader.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	p, err := loader.Load(ip)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stcamlint:", err)
+		return 2
+	}
+	bad := 0
+	for _, d := range analyzers.RunPackage(p, analyzers.All()) {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		bad++
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+func relPath(root, p string) string {
+	if r, err := filepath.Rel(root, p); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return p
+}

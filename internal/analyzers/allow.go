@@ -1,0 +1,69 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Position
+	used     bool
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows gathers every //lint:allow directive in the files. Directives
+// with a missing analyzer name or empty reason are reported as diagnostics
+// themselves: an undocumented suppression is exactly the "prose invariant
+// nobody can audit" failure mode this suite exists to remove.
+func collectAllows(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) []*allowDirective {
+	var out []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				pos := fset.Position(c.Pos())
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowances — not our directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(Diagnostic{Analyzer: "lintdirective", Pos: pos,
+						Message: "malformed //lint:allow: missing analyzer name and reason"})
+					continue
+				}
+				name := fields[0]
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+				if reason == "" {
+					report(Diagnostic{Analyzer: "lintdirective", Pos: pos,
+						Message: "//lint:allow " + name + " needs a reason: every suppression must document why the invariant is safe to waive here"})
+					continue
+				}
+				out = append(out, &allowDirective{Analyzer: name, Reason: reason, Pos: pos})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by a directive on the same line or
+// the line directly above, in the same file, naming d's analyzer.
+func suppressed(d Diagnostic, allows []*allowDirective) bool {
+	for _, a := range allows {
+		if a.Analyzer != d.Analyzer || a.Pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if a.Pos.Line == d.Pos.Line || a.Pos.Line == d.Pos.Line-1 {
+			a.used = true
+			return true
+		}
+	}
+	return false
+}

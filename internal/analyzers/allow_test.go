@@ -1,0 +1,119 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseAllows(t *testing.T, src string) ([]*allowDirective, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var diags []Diagnostic
+	allows := collectAllows(fset, []*ast.File{f}, func(d Diagnostic) { diags = append(diags, d) })
+	return allows, diags
+}
+
+func TestCollectAllowsParsesNameAndReason(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //lint:allow rpcunderlock buffered channel sized to worker count
+}
+`
+	allows, diags := parseAllows(t, src)
+	if len(diags) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", diags)
+	}
+	if len(allows) != 1 {
+		t.Fatalf("got %d directives, want 1", len(allows))
+	}
+	a := allows[0]
+	if a.Analyzer != "rpcunderlock" {
+		t.Errorf("analyzer = %q, want rpcunderlock", a.Analyzer)
+	}
+	if a.Reason != "buffered channel sized to worker count" {
+		t.Errorf("reason = %q", a.Reason)
+	}
+	if a.Pos.Line != 4 {
+		t.Errorf("line = %d, want 4", a.Pos.Line)
+	}
+}
+
+func TestCollectAllowsRejectsMissingReason(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //lint:allow metricname
+	_ = 2 //lint:allow
+}
+`
+	allows, diags := parseAllows(t, src)
+	if len(allows) != 0 {
+		t.Fatalf("malformed directives were accepted: %+v", allows[0])
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Errorf("missing-reason diagnostic: %q", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, "missing analyzer name") {
+		t.Errorf("missing-name diagnostic: %q", diags[1].Message)
+	}
+}
+
+func TestCollectAllowsIgnoresLookalikes(t *testing.T) {
+	src := `package p
+
+//lint:allowances is not our directive
+// lint:allow spaced out is not ours either
+func f() {}
+`
+	allows, diags := parseAllows(t, src)
+	if len(allows) != 0 || len(diags) != 0 {
+		t.Fatalf("lookalike comments were parsed: allows=%v diags=%v", allows, diags)
+	}
+}
+
+func TestSuppressedMatchesSameAndPreviousLine(t *testing.T) {
+	mk := func(line int) *allowDirective {
+		return &allowDirective{Analyzer: "failclosed", Pos: token.Position{Filename: "a.go", Line: line}}
+	}
+	d := Diagnostic{Analyzer: "failclosed", Pos: token.Position{Filename: "a.go", Line: 10}}
+
+	if !suppressed(d, []*allowDirective{mk(10)}) {
+		t.Error("same-line directive did not suppress")
+	}
+	if !suppressed(d, []*allowDirective{mk(9)}) {
+		t.Error("previous-line directive did not suppress")
+	}
+	if suppressed(d, []*allowDirective{mk(8)}) {
+		t.Error("two-lines-above directive suppressed")
+	}
+	other := mk(10)
+	other.Analyzer = "metricname"
+	if suppressed(d, []*allowDirective{other}) {
+		t.Error("directive for a different analyzer suppressed")
+	}
+	wrongFile := mk(10)
+	wrongFile.Pos.Filename = "b.go"
+	if suppressed(d, []*allowDirective{wrongFile}) {
+		t.Error("directive in a different file suppressed")
+	}
+}
+
+func TestSuppressedMarksDirectiveUsed(t *testing.T) {
+	a := &allowDirective{Analyzer: "bufrelease", Pos: token.Position{Filename: "a.go", Line: 5}}
+	d := Diagnostic{Analyzer: "bufrelease", Pos: token.Position{Filename: "a.go", Line: 5}}
+	suppressed(d, []*allowDirective{a})
+	if !a.used {
+		t.Error("suppressing a diagnostic did not mark the directive used")
+	}
+}

@@ -1,0 +1,468 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BufRelease enforces the wire.Buf pooling contract from DESIGN.md (the PR 7
+// aliasing rules):
+//
+//   - every wire.BorrowBuf must be Released on all return paths (a missed
+//     path silently degrades the pool back to per-message allocation);
+//   - the buffer — and any slice taken from b.B or b.Grow — must not be used
+//     after Release, when the backing array belongs to the pool again and the
+//     next borrower will scribble over it.
+//
+// The analysis is intra-procedural and branch-aware. A borrow that escapes
+// the function (stored, passed, or returned) transfers ownership and stops
+// being tracked: the contract is then the callee's to uphold.
+var BufRelease = &Analyzer{
+	Name: "bufrelease",
+	Doc: "every wire.BorrowBuf needs a Release on all return paths, and no use of the buffer " +
+		"or its bytes may follow the Release — the pool owns the backing array after that",
+	Run: runBufRelease,
+}
+
+func runBufRelease(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w := &bufWalker{pass: pass}
+				state := bufStates{}
+				if !w.walk(fd.Body.List, state) {
+					w.checkFallOff(state)
+				}
+			}
+		}
+	}
+}
+
+// bufState tracks one borrowed buffer along the current path.
+type bufState struct {
+	obj       types.Object // the *wire.Buf variable
+	borrowPos token.Pos
+	// mayUnreleased: some path reaching here has not released (drives
+	// missing-release diagnostics). released: every path reaching here has
+	// released (drives use-after-release diagnostics).
+	mayUnreleased bool
+	released      bool
+	deferred      bool // defer v.Release() seen: released at return
+	escaped       bool // ownership transferred; stop tracking
+	aliases       map[types.Object]bool
+}
+
+func (b *bufState) clone() *bufState {
+	c := *b
+	c.aliases = make(map[types.Object]bool, len(b.aliases))
+	for k := range b.aliases {
+		c.aliases[k] = true
+	}
+	return &c
+}
+
+type bufStates map[types.Object]*bufState
+
+func (s bufStates) clone() bufStates {
+	c := make(bufStates, len(s))
+	for k, v := range s {
+		c[k] = v.clone()
+	}
+	return c
+}
+
+// mergeFrom folds a surviving branch state into s.
+func (s bufStates) mergeFrom(o bufStates) {
+	for k, ob := range o {
+		b, ok := s[k]
+		if !ok {
+			s[k] = ob
+			continue
+		}
+		b.mayUnreleased = b.mayUnreleased || ob.mayUnreleased
+		b.released = b.released && ob.released
+		b.deferred = b.deferred || ob.deferred
+		b.escaped = b.escaped || ob.escaped
+		for a := range ob.aliases {
+			b.aliases[a] = true
+		}
+	}
+}
+
+type bufWalker struct {
+	pass *Pass
+}
+
+func (w *bufWalker) walk(stmts []ast.Stmt, st bufStates) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *bufWalker) walkStmt(s ast.Stmt, st bufStates) bool {
+	switch n := s.(type) {
+	case *ast.AssignStmt:
+		// Borrow: v := wire.BorrowBuf().
+		if len(n.Lhs) == 1 && len(n.Rhs) == 1 && isBorrowBufCall(w.pass, n.Rhs[0]) {
+			if id, ok := n.Lhs[0].(*ast.Ident); ok {
+				if obj := w.pass.Info.Defs[id]; obj != nil {
+					st[obj] = &bufState{obj: obj, borrowPos: n.Pos(), mayUnreleased: true, aliases: map[types.Object]bool{}}
+					return false
+				}
+				if obj := w.pass.Info.Uses[id]; obj != nil { // re-assignment with =
+					st[obj] = &bufState{obj: obj, borrowPos: n.Pos(), mayUnreleased: true, aliases: map[types.Object]bool{}}
+					return false
+				}
+			}
+			// Borrow into a non-ident target (field, index): ownership
+			// escapes immediately; nothing to track.
+			return false
+		}
+		// Alias: s := v.B or s := v.Grow(n).
+		if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+			if b := w.bytesAliasSource(n.Rhs[0], st); b != nil {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok {
+					if obj := w.pass.Info.Defs[id]; obj != nil {
+						w.scanExpr(n.Rhs[0], st)
+						b.aliases[obj] = true
+						return false
+					}
+				}
+			}
+		}
+		w.scan(s, st)
+	case *ast.ExprStmt:
+		// v.Release().
+		if b := w.releaseTarget(n.X, st); b != nil {
+			if b.released {
+				w.pass.Report(n.Pos(), "double Release of pooled buffer borrowed at line %d", w.line(b.borrowPos))
+			}
+			b.released = true
+			b.mayUnreleased = false
+			return false
+		}
+		w.scan(s, st)
+	case *ast.DeferStmt:
+		if b := w.releaseTarget(n.Call, st); b != nil {
+			b.deferred = true
+			b.mayUnreleased = false
+			return false
+		}
+		w.scan(s, st)
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			w.scanExpr(e, st)
+		}
+		w.checkReturn(n, st)
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return w.walk(n.List, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(n.Stmt, st)
+	case *ast.IfStmt:
+		if n.Init != nil {
+			w.walkStmt(n.Init, st)
+		}
+		w.scanExpr(n.Cond, st)
+		thenSt := st.clone()
+		thenTerm := w.walk(n.Body.List, thenSt)
+		if n.Else != nil {
+			elseSt := st.clone()
+			elseTerm := w.walkStmt(n.Else, elseSt)
+			for k := range st {
+				delete(st, k)
+			}
+			if !thenTerm {
+				st.mergeFrom(thenSt)
+			}
+			if !elseTerm {
+				st.mergeFrom(elseSt)
+			}
+			return thenTerm && elseTerm
+		}
+		if !thenTerm {
+			st.mergeFrom(thenSt)
+		}
+		return false
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		w.walkCompound(n, st)
+	default:
+		w.scan(s, st)
+	}
+	return false
+}
+
+// walkCompound handles loops and switches: clause bodies run against clones,
+// survivors merge back.
+func (w *bufWalker) walkCompound(s ast.Stmt, st bufStates) {
+	switch n := s.(type) {
+	case *ast.ForStmt:
+		if n.Init != nil {
+			w.walkStmt(n.Init, st)
+		}
+		if n.Cond != nil {
+			w.scanExpr(n.Cond, st)
+		}
+		body := st.clone()
+		w.walk(n.Body.List, body)
+		if n.Post != nil {
+			w.walkStmt(n.Post, body)
+		}
+		st.mergeFrom(body)
+	case *ast.RangeStmt:
+		w.scanExpr(n.X, st)
+		body := st.clone()
+		w.walk(n.Body.List, body)
+		st.mergeFrom(body)
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			w.walkStmt(n.Init, st)
+		}
+		if n.Tag != nil {
+			w.scanExpr(n.Tag, st)
+		}
+		w.walkCaseClauses(n.Body, st)
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			w.walkStmt(n.Init, st)
+		}
+		w.walkCaseClauses(n.Body, st)
+	case *ast.SelectStmt:
+		for _, cl := range n.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			clause := st.clone()
+			if cc.Comm != nil {
+				w.walkStmt(cc.Comm, clause)
+			}
+			if !w.walk(cc.Body, clause) {
+				st.mergeFrom(clause)
+			}
+		}
+	}
+}
+
+func (w *bufWalker) walkCaseClauses(body *ast.BlockStmt, st bufStates) {
+	entry := st.clone()
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.scanExpr(e, entry)
+		}
+		clause := entry.clone()
+		if !w.walk(cc.Body, clause) {
+			st.mergeFrom(clause)
+		}
+	}
+}
+
+// checkReturn reports borrows that are not settled at this return.
+func (w *bufWalker) checkReturn(n *ast.ReturnStmt, st bufStates) {
+	for _, b := range st {
+		if b.escaped {
+			continue
+		}
+		if b.deferred {
+			// Returned bytes outlive the deferred Release. Only slice-typed
+			// results can retain the pooled array; len(b.B) or string(b.B)
+			// take a measurement or a copy and are fine.
+			for _, e := range n.Results {
+				if w.retainsSlice(e) && w.mentionsBytes(e, b) {
+					w.pass.Report(e.Pos(), "pooled buffer bytes (borrowed at line %d) returned past the deferred Release: the pool reclaims the backing array first — copy them out", w.line(b.borrowPos))
+				}
+			}
+			continue
+		}
+		if b.mayUnreleased {
+			w.pass.Report(n.Pos(), "return without Release of pooled buffer borrowed at line %d: missed paths degrade the pool to per-message allocation", w.line(b.borrowPos))
+			b.mayUnreleased = false // one report per leaking return is enough
+		}
+	}
+}
+
+// checkFallOff reports borrows still unreleased when the function body falls
+// off its end.
+func (w *bufWalker) checkFallOff(st bufStates) {
+	for _, b := range st {
+		if !b.escaped && !b.deferred && b.mayUnreleased {
+			w.pass.Report(b.borrowPos, "wire.BorrowBuf result is never Released on some path through this function")
+		}
+	}
+}
+
+// scan walks a whole statement for uses; scanExpr a single expression.
+func (w *bufWalker) scan(s ast.Stmt, st bufStates) { w.inspect(s, st) }
+
+func (w *bufWalker) scanExpr(e ast.Expr, st bufStates) {
+	if e != nil {
+		w.inspect(e, st)
+	}
+}
+
+// inspect looks for (a) uses of a released buffer or its aliases, (b) escapes
+// of the *Buf itself, (c) nested function literals (walked fresh — the borrow
+// contract is per-function).
+func (w *bufWalker) inspect(n ast.Node, st bufStates) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			w2 := &bufWalker{pass: w.pass}
+			inner := bufStates{}
+			if !w2.walk(e.Body.List, inner) {
+				w2.checkFallOff(inner)
+			}
+			return false
+		case *ast.SelectorExpr:
+			// v.B / v.Grow / v.Release: a use of the buffer through its
+			// API — legal before Release, flagged after.
+			if id, ok := e.X.(*ast.Ident); ok {
+				if b := w.stateFor(id, st); b != nil {
+					if b.released {
+						w.pass.Report(e.Pos(), "use of pooled buffer after Release (borrowed at line %d): the pool owns the backing array now", w.line(b.borrowPos))
+					}
+					return false // don't treat the qualifier ident as an escape
+				}
+			}
+		case *ast.Ident:
+			if b := w.stateFor(e, st); b != nil {
+				if b.released {
+					w.pass.Report(e.Pos(), "use of pooled buffer after Release (borrowed at line %d)", w.line(b.borrowPos))
+				} else {
+					// Bare mention of the *Buf outside its own API:
+					// ownership moves (argument, assignment, send, return).
+					b.escaped = true
+				}
+				return true
+			}
+			if b := w.aliasFor(e, st); b != nil && b.released {
+				w.pass.Report(e.Pos(), "use of bytes from a pooled buffer after its Release (borrowed at line %d)", w.line(b.borrowPos))
+			}
+		}
+		return true
+	})
+}
+
+func (w *bufWalker) stateFor(id *ast.Ident, st bufStates) *bufState {
+	obj := w.pass.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return st[obj]
+}
+
+func (w *bufWalker) aliasFor(id *ast.Ident, st bufStates) *bufState {
+	obj := w.pass.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	for _, b := range st {
+		if b.aliases[obj] {
+			return b
+		}
+	}
+	return nil
+}
+
+// releaseTarget matches v.Release() where v is a tracked borrow.
+func (w *bufWalker) releaseTarget(e ast.Expr, st bufStates) *bufState {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Release" {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return w.stateFor(id, st)
+}
+
+// bytesAliasSource matches v.B and v.Grow(n) for a tracked, unreleased v.
+func (w *bufWalker) bytesAliasSource(e ast.Expr, st bufStates) *bufState {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if x.Sel.Name != "B" {
+			return nil
+		}
+		if id, ok := x.X.(*ast.Ident); ok {
+			return w.stateFor(id, st)
+		}
+	case *ast.CallExpr:
+		sel, ok := x.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Grow" {
+			return nil
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			return w.stateFor(id, st)
+		}
+	}
+	return nil
+}
+
+// retainsSlice reports whether the returned expression is slice-typed, i.e.
+// capable of aliasing the pooled backing array.
+func (w *bufWalker) retainsSlice(e ast.Expr) bool {
+	tv, ok := w.pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return true // unresolvable: err toward reporting
+	}
+	_, isSlice := tv.Type.Underlying().(*types.Slice)
+	return isSlice
+}
+
+// mentionsBytes reports whether e mentions b's bytes (v.B or an alias).
+func (w *bufWalker) mentionsBytes(e ast.Expr, b *bufState) bool {
+	found := false
+	ast.Inspect(e, func(x ast.Node) bool {
+		switch n := x.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "B" {
+				if id, ok := n.X.(*ast.Ident); ok && w.pass.Info.Uses[id] == b.obj {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := w.pass.Info.Uses[n]; obj != nil && b.aliases[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isBorrowBufCall matches wire.BorrowBuf() / BorrowBuf() resolving to
+// stcam/internal/wire.BorrowBuf.
+func isBorrowBufCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	var id *ast.Ident
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return false
+	}
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	return ok && fn.Name() == "BorrowBuf" && fn.Pkg() != nil && fn.Pkg().Path() == "stcam/internal/wire"
+}
+
+func (w *bufWalker) line(p token.Pos) int { return w.pass.Fset.Position(p).Line }

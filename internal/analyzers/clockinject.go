@@ -1,0 +1,49 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClockInject forbids raw wall-clock reads in the deterministic packages.
+//
+// The seeded soaks (R19) replay fault schedules against controlled time; one
+// raw time.Now in a liveness path silently decouples that path from the
+// schedule and the soak stops proving what it claims. All wall-clock access
+// in internal/core, internal/cluster, and internal/stindex must go through
+// the stcam/internal/clock seam (core.Options.Clock / clock.Wall), which is
+// the one allowlisted implementation site.
+var ClockInject = &Analyzer{
+	Name: "clockinject",
+	Doc: "forbid time.Now/time.Sleep/time.Since in internal/core, internal/cluster, and internal/stindex; " +
+		"wall-clock access must ride the injected stcam/internal/clock seam so soak timing stays seeded",
+	Match: func(p string) bool {
+		return pathIn(p, "stcam/internal/core", "stcam/internal/cluster", "stcam/internal/stindex")
+	},
+	Run: runClockInject,
+}
+
+// time.Since is banned alongside Now and Sleep: it is time.Now in disguise
+// and was the most common way a raw wall-clock read slipped past review.
+var clockBanned = map[string]bool{"Now": true, "Sleep": true, "Since": true}
+
+func runClockInject(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !clockBanned[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			pass.Report(sel.Pos(), "raw time.%s in a deterministic package: inject it through stcam/internal/clock (Options.Clock / clock.Wall) so soak schedules stay seeded", sel.Sel.Name)
+			return true
+		})
+	}
+}

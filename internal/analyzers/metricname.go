@@ -1,0 +1,73 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// MetricName requires metric registry keys to be compile-time constants in
+// the stcam-exportable naming scheme.
+//
+// internal/obs renders every registry key as a Prometheus series
+// (stcam_<key with separators folded to _>). A key built from runtime data
+// is a label-cardinality explosion waiting for the first hostile input, and
+// a key outside the naming scheme breaks the exporter's stable-name
+// contract. Keys must therefore be constant expressions matching
+// ^[a-z][a-z0-9_]*([._][a-z0-9_]+)*$. The few deliberately dynamic keys
+// (per-RPC-kind histograms, whose cardinality is bounded by the wire.MsgKind
+// enum) carry //lint:allow metricname directives documenting the bound.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "metric registry keys must be literal constants matching the stcam-exportable naming scheme " +
+		"(^[a-z][a-z0-9_]*([._][a-z0-9_]+)*$); dynamic keys risk unbounded series cardinality in internal/obs",
+	Run: runMetricName,
+}
+
+var metricKeyRE = regexp.MustCompile(`^[a-z][a-z0-9_]*([._][a-z0-9_]+)*$`)
+
+var metricCtors = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func runMetricName(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !metricCtors[sel.Sel.Name] {
+				return true
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok || !isMetricsRegistry(selection.Recv()) {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Report(call.Args[0].Pos(), "metric key for Registry.%s is not a compile-time constant: dynamic keys can explode series cardinality in internal/obs — use a constant, or document the cardinality bound with //lint:allow metricname", sel.Sel.Name)
+				return true
+			}
+			key := constant.StringVal(tv.Value)
+			if !metricKeyRE.MatchString(key) {
+				pass.Report(call.Args[0].Pos(), "metric key %q does not match the stcam-exportable naming scheme %s", key, metricKeyRE)
+			}
+			return true
+		})
+	}
+}
+
+// isMetricsRegistry reports whether t is stcam/internal/metrics.Registry or a
+// pointer to it.
+func isMetricsRegistry(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Path() == "stcam/internal/metrics"
+}

@@ -1,0 +1,568 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// RPCUnderLock flags remote calls and blocking waits reachable while a mutex
+// acquired in the same function is still held.
+//
+// This is the recurring bug class behind the PR 3 stale-handoff-prime fix,
+// the PR 5 applyMu promotion race, and the PR 8 insert-then-evict atomicity
+// fix: an RPC (bounded only by retry policy), an unbuffered channel
+// operation, or a WaitGroup.Wait inside a critical section turns one slow
+// peer into a pile-up behind the lock — and, when the remote handler calls
+// back into the same node, into a distributed deadlock.
+//
+// Flagged while any sync.Mutex/RWMutex Lock/RLock from the same function is
+// held (including held-for-the-rest-of-the-function via defer Unlock):
+//
+//   - calls to any method with the cluster.Transport Call signature
+//     func(context.Context, string, any) (any, error) — Transport, Resilient,
+//     and every concrete transport share it;
+//   - channel sends and receives, except inside a select with a default
+//     clause (those are non-blocking by construction);
+//   - sync.WaitGroup.Wait and sync.Cond.Wait;
+//   - time.Sleep and clock-seam Sleep calls.
+//
+// The analysis is intra-procedural and branch-aware: a lock released on one
+// branch stays held on the others, and goroutine bodies start with a clean
+// slate (they do not hold the spawner's locks).
+var RPCUnderLock = &Analyzer{
+	Name: "rpcunderlock",
+	Doc: "flag RPC calls, channel operations, and blocking waits reachable while a sync.Mutex/RWMutex " +
+		"acquired in the same function is held — slow peers must never stall a critical section",
+	Run: runRPCUnderLock,
+}
+
+func runRPCUnderLock(pass *Pass) {
+	condLockers := collectCondLockers(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				lw := &lockWalker{pass: pass, condLockers: condLockers}
+				lw.walk(fd.Body.List, lockState{})
+			}
+		}
+	}
+}
+
+// collectCondLockers maps every sync.Cond variable or field initialized with
+// sync.NewCond(&mu) in this package to its locker's field name. Cond.Wait
+// atomically releases that locker while parked, so holding it during Wait is
+// the documented protocol, not a pile-up — only *additional* locks held
+// across a Wait are hazards.
+func collectCondLockers(pass *Pass) map[types.Object]string {
+	out := map[types.Object]string{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "NewCond" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || pass.Info.Uses[id] == nil || pass.Info.Uses[id].Name() != "sync" {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			lockName := lastSelName(un.X)
+			condObj := lvalueObject(pass, as.Lhs[0])
+			if condObj != nil && lockName != "" {
+				out[condObj] = lockName
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lvalueObject resolves the object an assignment target refers to: the ident
+// for locals, the field object for selector targets.
+func lvalueObject(pass *Pass, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if o := pass.Info.Defs[x]; o != nil {
+			return o
+		}
+		return pass.Info.Uses[x]
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[x]; ok {
+			return s.Obj()
+		}
+	}
+	return nil
+}
+
+// lastSelName renders the final component of an expression like ing.statMu.
+func lastSelName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+// lockState maps a mutex expression (rendered as source, e.g. "c.mu") to the
+// position where it was locked.
+type lockState map[string]token.Pos
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// merge unions o into s (a lock held on any surviving path is held).
+func (s lockState) merge(o lockState) {
+	for k, v := range o {
+		if _, ok := s[k]; !ok {
+			s[k] = v
+		}
+	}
+}
+
+type lockWalker struct {
+	pass        *Pass
+	condLockers map[types.Object]string
+}
+
+// walk interprets stmts in order against held, returning whether the block
+// definitely terminates (return/branch) before falling off the end.
+func (w *lockWalker) walk(stmts []ast.Stmt, held lockState) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held lockState) bool {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := w.lockOp(st.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[key] = st.Pos()
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return false
+		}
+		w.scan(st.X, held)
+	case *ast.DeferStmt:
+		if _, op, ok := w.lockOp(st.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			// defer mu.Unlock(): the lock stays held for the rest of the
+			// function — no state change, everything below is under lock.
+			return false
+		}
+		// Deferred closures run at return time under whatever locks are
+		// still held then; modelling that precisely needs an exit-state
+		// analysis, so they are walked with a clean slate to stay
+		// false-positive-free. Arguments evaluate now, though.
+		for _, arg := range st.Call.Args {
+			w.scan(arg, held)
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.walk(lit.Body.List, lockState{})
+		}
+	case *ast.GoStmt:
+		for _, arg := range st.Call.Args {
+			w.scan(arg, held)
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.walk(lit.Body.List, lockState{}) // new goroutine: locks not inherited
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.scan(e, held)
+		}
+		for _, e := range st.Lhs {
+			w.scan(e, held)
+		}
+	case *ast.DeclStmt:
+		w.scan(st, held)
+	case *ast.IncDecStmt:
+		w.scan(st.X, held)
+	case *ast.SendStmt:
+		w.scan(st.Chan, held)
+		w.scan(st.Value, held)
+		w.reportBlocked(st.Arrow, "channel send", held)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.scan(e, held)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true // break/continue/goto leave this block
+	case *ast.BlockStmt:
+		return w.walk(st.List, held)
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		w.scan(st.Cond, held)
+		thenHeld := held.clone()
+		thenTerm := w.walk(st.Body.List, thenHeld)
+		if st.Else != nil {
+			elseHeld := held.clone()
+			elseTerm := w.walkStmt(st.Else, elseHeld)
+			for k := range held {
+				delete(held, k)
+			}
+			if !thenTerm {
+				held.merge(thenHeld)
+			}
+			if !elseTerm {
+				held.merge(elseHeld)
+			}
+			return thenTerm && elseTerm
+		}
+		// No else: the not-taken path keeps the entry state.
+		if !thenTerm {
+			held.merge(thenHeld)
+		}
+		return false
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.scan(st.Cond, held)
+		}
+		body := held.clone()
+		w.walk(st.Body.List, body)
+		if st.Post != nil {
+			w.walkStmt(st.Post, body)
+		}
+		held.merge(body)
+	case *ast.RangeStmt:
+		w.scan(st.X, held)
+		body := held.clone()
+		w.walk(st.Body.List, body)
+		held.merge(body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			w.scan(st.Tag, held)
+		}
+		w.walkClauses(st.Body, held)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		w.walkClauses(st.Body, held)
+	case *ast.SelectStmt:
+		w.walkSelect(st, held)
+	}
+	return false
+}
+
+// walkClauses analyzes each switch clause against a copy of the entry state
+// and merges the states of clauses that fall out of the switch.
+func (w *lockWalker) walkClauses(body *ast.BlockStmt, held lockState) {
+	entry := held.clone()
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.scan(e, entry)
+		}
+		clause := entry.clone()
+		if !w.walk(cc.Body, clause) {
+			held.merge(clause)
+		}
+	}
+}
+
+// walkSelect flags blocking comm operations under lock unless the select has
+// a default clause, then analyzes each clause body.
+func (w *lockWalker) walkSelect(st *ast.SelectStmt, held lockState) {
+	hasDefault := false
+	for _, cl := range st.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	entry := held.clone()
+	for _, cl := range st.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm != nil && !hasDefault {
+			switch cm := cc.Comm.(type) {
+			case *ast.SendStmt:
+				w.reportBlocked(cm.Arrow, "channel send (select without default)", entry)
+			default:
+				w.reportBlocked(cc.Comm.Pos(), "channel receive (select without default)", entry)
+			}
+		}
+		clause := entry.clone()
+		if !w.walk(cc.Body, clause) {
+			held.merge(clause)
+		}
+	}
+}
+
+// scan inspects an expression tree for banned operations under held locks.
+// Function literals are definitions, not executions, and are analyzed with a
+// clean slate — except immediately-invoked ones, which run right here.
+func (w *lockWalker) scan(n ast.Node, held lockState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			w.walk(e.Body.List, lockState{})
+			return false
+		case *ast.CallExpr:
+			if lit, ok := e.Fun.(*ast.FuncLit); ok {
+				for _, a := range e.Args {
+					w.scan(a, held)
+				}
+				w.walk(lit.Body.List, held.clone()) // immediately invoked: same goroutine
+				return false
+			}
+			if w.isCondWait(e) {
+				w.reportCondWait(e, held)
+				return true
+			}
+			if what, bad := w.blockingCall(e); bad {
+				w.reportBlocked(e.Pos(), what, held)
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				w.reportBlocked(e.Pos(), "channel receive", held)
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock on sync.Mutex/RWMutex
+// (including promoted methods of embedded mutexes) and returns the lock key.
+func (w *lockWalker) lockOp(e ast.Expr) (key, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	selection, found := w.pass.Info.Selections[sel]
+	if !found {
+		return "", "", false
+	}
+	fn, isFn := selection.Obj().(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), name, true
+}
+
+// blockingCall classifies calls that block on remote or concurrent progress.
+func (w *lockWalker) blockingCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+
+	// time.Sleep / clock-seam Sleep.
+	if name == "Sleep" {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := w.pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "time" {
+				return "time.Sleep", true
+			}
+		}
+	}
+
+	selection, found := w.pass.Info.Selections[sel]
+	if !found {
+		return "", false
+	}
+	fn, isFn := selection.Obj().(*types.Func)
+	if !isFn {
+		return "", false
+	}
+
+	switch name {
+	case "Wait":
+		if fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			recv := selection.Recv()
+			if p, isPtr := recv.(*types.Pointer); isPtr {
+				recv = p.Elem()
+			}
+			if n, isNamed := recv.(*types.Named); isNamed && n.Obj().Name() == "WaitGroup" {
+				return "sync.WaitGroup.Wait", true
+			}
+		}
+	case "Call":
+		if isTransportCallSig(fn) {
+			return "transport Call (RPC)", true
+		}
+	case "Sleep":
+		if isClockSleepSig(fn) {
+			return "clock Sleep", true
+		}
+	}
+	return "", false
+}
+
+// isTransportCallSig matches func(context.Context, string, any) (any, error)
+// — the cluster.Transport Call shape shared by Resilient and every concrete
+// transport, without needing the interface object itself.
+func isTransportCallSig(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 3 || sig.Results().Len() != 2 {
+		return false
+	}
+	p := sig.Params()
+	if !isNamedType(p.At(0).Type(), "context", "Context") {
+		return false
+	}
+	if b, ok := p.At(1).Type().(*types.Basic); !ok || b.Kind() != types.String {
+		return false
+	}
+	if !isEmptyInterface(p.At(2).Type()) {
+		return false
+	}
+	r := sig.Results()
+	return isEmptyInterface(r.At(0).Type()) && isErrorType(r.At(1).Type())
+}
+
+// isClockSleepSig matches func(context.Context, time.Duration) error — the
+// stcam/internal/clock Sleep shape.
+func isClockSleepSig(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isNamedType(sig.Params().At(0).Type(), "context", "Context") &&
+		isNamedType(sig.Params().At(1).Type(), "time", "Duration") &&
+		isErrorType(sig.Results().At(0).Type())
+}
+
+func isNamedType(t types.Type, pkg, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkg
+}
+
+func isEmptyInterface(t types.Type) bool {
+	for {
+		switch u := t.(type) {
+		case *types.Named:
+			t = u.Underlying()
+		case *types.Interface:
+			return u.NumMethods() == 0
+		default:
+			return false
+		}
+	}
+}
+
+// isCondWait matches c.Wait() on a sync.Cond receiver.
+func (w *lockWalker) isCondWait(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	selection, found := w.pass.Info.Selections[sel]
+	if !found {
+		return false
+	}
+	fn, isFn := selection.Obj().(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := selection.Recv()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	n, isNamed := recv.(*types.Named)
+	return isNamed && n.Obj().Name() == "Cond"
+}
+
+// reportCondWait flags a Cond.Wait only for locks other than the Cond's own
+// locker (which Wait releases while parked). When the locker cannot be
+// resolved from a sync.NewCond(&mu) in this package, nothing is reported —
+// the correct-usage shape must never false-positive.
+func (w *lockWalker) reportCondWait(call *ast.CallExpr, held lockState) {
+	if len(held) == 0 {
+		return
+	}
+	sel := call.Fun.(*ast.SelectorExpr)
+	condObj := lvalueObject(w.pass, sel.X)
+	lockName, known := "", false
+	if condObj != nil {
+		lockName, known = w.condLockers[condObj]
+	}
+	if !known {
+		return
+	}
+	others := lockState{}
+	for k, p := range held {
+		if k != lockName && !hasSuffixComponent(k, lockName) {
+			others[k] = p
+		}
+	}
+	w.reportBlocked(call.Pos(), "sync.Cond.Wait", others)
+}
+
+// hasSuffixComponent reports whether key's final dotted component is name.
+func hasSuffixComponent(key, name string) bool {
+	if i := len(key) - len(name); i > 0 && key[i-1] == '.' && key[i:] == name {
+		return true
+	}
+	return false
+}
+
+func (w *lockWalker) reportBlocked(pos token.Pos, what string, held lockState) {
+	if len(held) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lock := keys[0]
+	w.pass.Report(pos, "%s while %s is held (locked at line %d): release the lock before blocking on remote or concurrent progress",
+		what, lock, w.pass.Fset.Position(held[lock]).Line)
+}

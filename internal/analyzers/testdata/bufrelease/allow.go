@@ -1,0 +1,12 @@
+// Suppression fixture: a documented deliberate exception.
+package fixture
+
+import "stcam/internal/wire"
+
+var scratch []byte
+
+// A process-lifetime scratch buffer deliberately never returns to the pool.
+func pinnedScratch() {
+	b := wire.BorrowBuf() //lint:allow bufrelease pinned for the process lifetime as the trace scratch buffer
+	scratch = b.B
+}

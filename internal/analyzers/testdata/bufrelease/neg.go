@@ -1,0 +1,59 @@
+// Negative fixtures: every sanctioned borrow/release shape, no diagnostics.
+package fixture
+
+import "stcam/internal/wire"
+
+// The canonical shape: borrow, defer the release, use freely until return.
+func deferRelease() int {
+	b := wire.BorrowBuf()
+	defer b.Release()
+	b.B = append(b.B, 1, 2, 3)
+	return len(b.B) // len() does not retain the bytes
+}
+
+// Explicit release on every path.
+func releaseAllPaths(cond bool) {
+	b := wire.BorrowBuf()
+	if cond {
+		b.B = append(b.B, 1)
+		b.Release()
+		return
+	}
+	b.Release()
+}
+
+// Copying out before Release is the documented way to keep bytes.
+func copyOutBeforeRelease() []byte {
+	b := wire.BorrowBuf()
+	b.B = append(b.B, 1, 2, 3)
+	out := append([]byte(nil), b.B...)
+	b.Release()
+	return out
+}
+
+// Grow + read + release inside one call chain.
+func growAndRelease(n int) int {
+	b := wire.BorrowBuf()
+	body := b.Grow(n)
+	total := 0
+	for _, x := range body {
+		total += int(x)
+	}
+	b.Release()
+	return total
+}
+
+// Passing the *Buf to another function transfers ownership: the contract is
+// the callee's to uphold, so nothing is reported here.
+func handOff(sink func(*wire.Buf)) {
+	b := wire.BorrowBuf()
+	sink(b)
+}
+
+// String conversion copies, so returning it past the deferred Release is fine.
+func stringCopyEscapesSafely() string {
+	b := wire.BorrowBuf()
+	defer b.Release()
+	b.B = append(b.B, 'o', 'k')
+	return string(b.B)
+}

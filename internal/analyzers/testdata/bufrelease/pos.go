@@ -1,0 +1,60 @@
+// Positive fixtures: violations of the wire.Buf pooling contract.
+package fixture
+
+import "stcam/internal/wire"
+
+// No Release anywhere: the pool never gets the buffer back.
+func fallOffLeaks() {
+	b := wire.BorrowBuf() // want `never Released on some path`
+	b.B = append(b.B, 1)
+}
+
+// An early return skips the Release on the error path.
+func earlyReturnLeaks(fail bool) int {
+	b := wire.BorrowBuf()
+	if fail {
+		return 0 // want `return without Release of pooled buffer borrowed at line \d+`
+	}
+	b.Release()
+	return 1
+}
+
+// Returning the bytes of a buffer whose deferred Release reclaims them first.
+func deferredEscape() []byte {
+	b := wire.BorrowBuf()
+	defer b.Release()
+	b.B = append(b.B, 1, 2, 3)
+	return b.B // want `returned past the deferred Release`
+}
+
+// Using the buffer after handing it back to the pool.
+func useAfterRelease() int {
+	b := wire.BorrowBuf()
+	b.B = append(b.B, 7)
+	b.Release()
+	return len(b.B) // want `use of pooled buffer after Release`
+}
+
+// A slice taken from Grow aliases the pooled array past its Release.
+func aliasRetained() []byte {
+	b := wire.BorrowBuf()
+	s := b.Grow(8)
+	b.Release()
+	return s // want `use of bytes from a pooled buffer after its Release`
+}
+
+// Releasing twice hands the same buffer to two future borrowers.
+func doubleRelease() {
+	b := wire.BorrowBuf()
+	b.Release()
+	b.Release() // want `double Release of pooled buffer borrowed at line \d+`
+}
+
+// One branch releases, the other forgets: the merge still flags the return.
+func halfReleased(ok bool) int {
+	b := wire.BorrowBuf()
+	if ok {
+		b.Release()
+	}
+	return 0 // want `return without Release`
+}

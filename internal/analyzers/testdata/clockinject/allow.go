@@ -1,0 +1,10 @@
+// Suppression fixture: a documented wall-clock read in a deterministic
+// package (the shape the real allowlisted seam implementation uses).
+package fixture
+
+import "time"
+
+// A log-only timestamp that never feeds scheduling decisions.
+func logStamp() int64 {
+	return time.Now().UnixNano() //lint:allow clockinject log-only timestamp, never feeds a scheduling decision
+}

@@ -1,0 +1,48 @@
+// Negative fixtures: the sanctioned ways to touch time in a deterministic
+// package — through the injected seam, or without reading the wall clock.
+package fixture
+
+import (
+	"context"
+	"time"
+
+	"stcam/internal/clock"
+)
+
+type node struct {
+	clk clock.Clock
+}
+
+// The seam: Now and Sleep ride the injected clock, not package time.
+func (n *node) heartbeat(ctx context.Context) error {
+	t0 := n.clk.Now()
+	if err := n.clk.Sleep(ctx, 50*time.Millisecond); err != nil {
+		return err
+	}
+	_ = n.clk.Now().Sub(t0)
+	return nil
+}
+
+// time.Duration arithmetic and constants never read the wall clock.
+func backoff(attempt int) time.Duration {
+	d := 100 * time.Millisecond << uint(attempt)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// time.Time values flowing through as data are fine; only Now/Sleep are reads.
+func newer(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+// A local method named Now on a non-time receiver is not a wall-clock read.
+type fakeSource struct{ t time.Time }
+
+func (f *fakeSource) Now() time.Time { return f.t }
+
+func viaSource(f *fakeSource) time.Time { return f.Now() }

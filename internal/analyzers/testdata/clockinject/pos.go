@@ -1,0 +1,32 @@
+// Positive fixtures: raw wall-clock access in a deterministic package.
+package fixture
+
+import (
+	"time"
+	tt "time"
+)
+
+// Raw time.Now decouples this path from the seeded soak schedule.
+func stamp() time.Time {
+	return time.Now() // want `raw time\.Now in a deterministic package`
+}
+
+// Raw time.Sleep blocks on the wall clock instead of the injected one.
+func pause() {
+	time.Sleep(10 * time.Millisecond) // want `raw time\.Sleep in a deterministic package`
+}
+
+// Renaming the import does not hide the call.
+func stampAliased() tt.Time {
+	return tt.Now() // want `raw time\.Now in a deterministic package`
+}
+
+// Calls buried in expressions are still found.
+func age(t0 time.Time) time.Duration {
+	return time.Now().Sub(t0) // want `raw time\.Now in a deterministic package`
+}
+
+// time.Since is time.Now in disguise and is banned with it.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `raw time\.Since in a deterministic package`
+}

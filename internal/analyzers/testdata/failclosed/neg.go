@@ -1,0 +1,74 @@
+// Negative fixtures: fail-closed dispatch shapes, plus switches out of scope.
+package fixture
+
+import "fmt"
+
+// Default returns an error: the canonical fail-closed shape.
+func dispatchReturnsError(k MsgKind) (int, error) {
+	switch k {
+	case KindA:
+		return 1, nil
+	case KindB:
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("unknown kind %d", k)
+	}
+}
+
+// Default panics: also visibly fails closed (internal invariant switches).
+func dispatchPanics(f ChunkFormat) int {
+	switch f {
+	case FormatV1:
+		return 1
+	default:
+		panic("unknown format")
+	}
+}
+
+// Decoder-struct style: the default records the error on an error-typed field.
+type decoder struct {
+	err error
+}
+
+func (d *decoder) decodeKind(k MsgKind) int {
+	switch k {
+	case KindA:
+		return 1
+	default:
+		d.err = fmt.Errorf("unknown kind %d", k)
+	}
+	return 0
+}
+
+// Type switch with a fail-closed default inside a decode function.
+func decodeChecked(v any) (int, error) {
+	switch v.(type) {
+	case int:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("unknown payload %T", v)
+	}
+}
+
+// A switch over a plain int is not an enum dispatch and is out of scope.
+func plainIntSwitch(n int) int {
+	switch n {
+	case 0:
+		return 1
+	case 1:
+		return 2
+	}
+	return 0
+}
+
+// Type switches outside decode/unmarshal functions are out of scope: this is
+// presentation logic, not a wire dispatch.
+func describe(v any) string {
+	switch v.(type) {
+	case int:
+		return "int"
+	case string:
+		return "string"
+	}
+	return "other"
+}

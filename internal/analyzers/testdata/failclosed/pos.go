@@ -1,0 +1,55 @@
+// Positive fixtures: decode switches that fall open on unknown values.
+package fixture
+
+import "fmt"
+
+type MsgKind uint8
+
+type ChunkFormat uint8
+
+const (
+	KindA MsgKind = iota
+	KindB
+)
+
+const (
+	FormatV1 ChunkFormat = iota
+	FormatV2
+)
+
+// Enum switch with no default: an unknown kind falls off and decodes as zero.
+func dispatchNoDefault(k MsgKind) int {
+	out := 0
+	switch k { // want `switch on .*Kind has no default clause`
+	case KindA:
+		out = 1
+	case KindB:
+		out = 2
+	}
+	return out
+}
+
+// A default that just logs keeps going: it does not fail closed.
+func dispatchSoftDefault(f ChunkFormat) int {
+	out := 0
+	switch f {
+	case FormatV1:
+		out = 1
+	default: // want `has a default that does not fail closed`
+		fmt.Println("unknown format", f)
+	}
+	return out
+}
+
+// Type switch inside a decode function with no default: unknown payloads pass
+// through silently.
+func decodePayload(v any) int {
+	out := 0
+	switch v.(type) { // want `decode-dispatch type switch has no default clause`
+	case int:
+		out = 1
+	case string:
+		out = 2
+	}
+	return out
+}

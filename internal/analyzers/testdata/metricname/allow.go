@@ -1,0 +1,19 @@
+// Suppression fixture: the sanctioned dynamic-key shape — cardinality bounded
+// by a closed enum and documented on the directive.
+package fixture
+
+import "stcam/internal/metrics"
+
+type opKind uint8
+
+func (k opKind) String() string {
+	if k == 0 {
+		return "read"
+	}
+	return "write"
+}
+
+// Per-kind counters whose cardinality is bounded by the opKind enum.
+func perKindCounter(reg *metrics.Registry, k opKind) {
+	reg.Counter("op.count." + k.String()).Inc() //lint:allow metricname cardinality bounded by the opKind enum (2 values)
+}

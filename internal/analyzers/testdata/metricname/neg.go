@@ -1,0 +1,34 @@
+// Negative fixtures: keys the exporter contract accepts, and lookalike calls
+// that are not the metrics registry at all.
+package fixture
+
+import "stcam/internal/metrics"
+
+const keyIngestRows = "ingest.rows_total"
+
+// Literal keys in the naming scheme.
+func literalKeys(reg *metrics.Registry) {
+	reg.Counter("rpc.sent").Inc()
+	reg.Gauge("worker.queue_depth").Set(3)
+	reg.Histogram("query.latency_ms").Observe(12)
+}
+
+// Named constants are compile-time constants too.
+func namedConstKey(reg *metrics.Registry) {
+	reg.Counter(keyIngestRows).Inc()
+}
+
+// Concatenation of constants is still a constant expression.
+func constConcat(reg *metrics.Registry) {
+	const prefix = "scatter."
+	reg.Counter(prefix + "fanout_total").Inc()
+}
+
+// A different type with a Counter method is not the metrics registry.
+type tally struct{ n map[string]int }
+
+func (t *tally) Counter(name string) int { return t.n[name] }
+
+func notTheRegistry(t *tally, peer string) int {
+	return t.Counter("anything-Goes " + peer)
+}

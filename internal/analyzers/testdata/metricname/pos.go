@@ -1,0 +1,25 @@
+// Positive fixtures: metric keys the exporter contract rejects.
+package fixture
+
+import "stcam/internal/metrics"
+
+// A key built from runtime data can mint unbounded Prometheus series.
+func dynamicKey(reg *metrics.Registry, peer string) {
+	reg.Counter("rpc.sent." + peer).Inc() // want `metric key for Registry\.Counter is not a compile-time constant`
+}
+
+// Same for gauges and histograms.
+func dynamicGauge(reg *metrics.Registry, shard string) {
+	reg.Gauge("shard.depth." + shard).Set(0) // want `metric key for Registry\.Gauge is not a compile-time constant`
+}
+
+func dynamicHistogram(reg *metrics.Registry, op string) {
+	reg.Histogram(op).Observe(1) // want `metric key for Registry\.Histogram is not a compile-time constant`
+}
+
+// Constant keys still have to match the exportable naming scheme.
+func badLiteralKeys(reg *metrics.Registry) {
+	reg.Counter("Rpc.Sent").Inc()      // want `does not match the stcam-exportable naming scheme`
+	reg.Counter("2fast").Inc()         // want `does not match the stcam-exportable naming scheme`
+	reg.Gauge("rpc.sent-total").Set(0) // want `does not match the stcam-exportable naming scheme`
+}

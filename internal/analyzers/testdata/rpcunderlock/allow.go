@@ -1,0 +1,24 @@
+// Suppression fixtures: deliberate violations documented with //lint:allow.
+package fixture
+
+import "sync"
+
+type allowNode struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// The send is deliberate and documented, so no diagnostic survives.
+func (n *allowNode) deliberateSendUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ch <- 1 //lint:allow rpcunderlock buffered handshake channel sized to the worker count, can never block
+}
+
+// Directive on the line above the violation also suppresses.
+func (n *allowNode) deliberateSendAbove() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//lint:allow rpcunderlock buffered handshake channel sized to the worker count, can never block
+	n.ch <- 1
+}

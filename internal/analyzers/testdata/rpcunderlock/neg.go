@@ -1,0 +1,93 @@
+// Negative fixtures: correct locking discipline, no diagnostics expected.
+package fixture
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type cleanNode struct {
+	mu   sync.Mutex
+	t    fakeTransport
+	ch   chan int
+	wg   sync.WaitGroup
+	cond *sync.Cond
+	data map[string]int
+}
+
+func newCleanNode() *cleanNode {
+	n := &cleanNode{ch: make(chan int, 1), data: map[string]int{}}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// The canonical shape: snapshot under the lock, call after releasing it.
+func (n *cleanNode) snapshotThenCall(ctx context.Context) {
+	n.mu.Lock()
+	addr := "w1"
+	n.data[addr]++
+	n.mu.Unlock()
+	n.t.Call(ctx, addr, nil)
+}
+
+// Non-blocking send: select with a default clause never parks.
+func (n *cleanNode) nonBlockingSendUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.ch <- 1:
+	default:
+	}
+}
+
+// A spawned goroutine does not inherit the spawner's locks.
+func (n *cleanNode) goroutineAfterLock(ctx context.Context) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		n.t.Call(ctx, "w1", nil)
+		n.ch <- 1
+	}()
+}
+
+// Cond.Wait holding only the Cond's own locker is the documented protocol.
+func (n *cleanNode) condWaitProper() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for len(n.data) == 0 {
+		n.cond.Wait()
+	}
+}
+
+// Unlock on every branch before the blocking call.
+func (n *cleanNode) branchesReleaseFirst(ctx context.Context, fast bool) {
+	n.mu.Lock()
+	if fast {
+		n.mu.Unlock()
+		n.t.Call(ctx, "w1", nil)
+		return
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Blocking operations with no lock held at all.
+func (n *cleanNode) noLock(ctx context.Context) {
+	n.t.Call(ctx, "w1", nil)
+	n.ch <- 1
+	<-n.ch
+	time.Sleep(time.Microsecond)
+	n.wg.Wait()
+}
+
+// A method named Call with a different signature is not a transport call.
+type notTransport struct{ mu sync.Mutex }
+
+func (m *notTransport) Call(n int) int { return n + 1 }
+
+func (m *notTransport) localCallUnderLock() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.Call(41)
+}

@@ -1,0 +1,108 @@
+// Positive fixtures: every line below must trip rpcunderlock.
+package fixture
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type fakeTransport struct{}
+
+func (fakeTransport) Call(ctx context.Context, addr string, req any) (any, error) {
+	return nil, nil
+}
+
+type node struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	t  fakeTransport
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (n *node) rpcUnderDeferredLock(ctx context.Context) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.t.Call(ctx, "w1", nil) // want `transport Call \(RPC\) while n\.mu is held`
+}
+
+func (n *node) rpcUnderExplicitLock(ctx context.Context) {
+	n.mu.Lock()
+	n.t.Call(ctx, "w1", nil) // want `transport Call \(RPC\) while n\.mu is held`
+	n.mu.Unlock()
+}
+
+func (n *node) sendUnderLock() {
+	n.mu.Lock()
+	n.ch <- 1 // want `channel send while n\.mu is held`
+	n.mu.Unlock()
+}
+
+func (n *node) recvUnderReadLock() int {
+	n.rw.RLock()
+	defer n.rw.RUnlock()
+	return <-n.ch // want `channel receive while n\.rw is held`
+}
+
+func (n *node) waitGroupUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.wg.Wait() // want `sync\.WaitGroup\.Wait while n\.mu is held`
+}
+
+func (n *node) sleepUnderLock() {
+	n.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while n\.mu is held`
+	n.mu.Unlock()
+}
+
+// The lock survives the early-unlock branch: the call on the fall-through
+// path still runs under it.
+func (n *node) branchStillHeld(ctx context.Context, done bool) {
+	n.mu.Lock()
+	if done {
+		n.mu.Unlock()
+		return
+	}
+	n.t.Call(ctx, "w1", nil) // want `transport Call \(RPC\) while n\.mu is held`
+	n.mu.Unlock()
+}
+
+// A select with no default clause blocks on its comm operations.
+func (n *node) selectWithoutDefault() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.ch <- 1: // want `channel send \(select without default\) while n\.mu is held`
+	case <-n.ch: // want `channel receive \(select without default\) while n\.mu is held`
+	}
+}
+
+// An immediately-invoked literal runs on this goroutine, under the lock.
+func (n *node) iife(ctx context.Context) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	func() {
+		n.t.Call(ctx, "w1", nil) // want `transport Call \(RPC\) while n\.mu is held`
+	}()
+}
+
+// An RPC inside a loop body entered with the lock held.
+func (n *node) loopUnderLock(ctx context.Context, addrs []string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, a := range addrs {
+		n.t.Call(ctx, a, nil) // want `transport Call \(RPC\) while n\.mu is held`
+	}
+}
+
+// Cond.Wait releases its own locker, but n.mu is also held across the park.
+func (n *node) condWaitWithExtraLock() {
+	c := sync.NewCond(&n.rw)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rw.Lock()
+	c.Wait() // want `sync\.Cond\.Wait while n\.mu is held`
+	n.rw.Unlock()
+}

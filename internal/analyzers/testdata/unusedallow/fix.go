@@ -1,0 +1,9 @@
+// Fixture for the stale-suppression check: the directive names a real
+// analyzer but nothing on this line violates it, so the directive itself is
+// reported and can never quietly outlive the violation it once documented.
+package fixture
+
+func fine() int {
+	x := 1 //lint:allow metricname the violation this documented was fixed long ago
+	return x
+}

@@ -1,0 +1,120 @@
+package clock
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWallNowAdvances(t *testing.T) {
+	a := Wall.Now()
+	if err := Wall.Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+	if b := Wall.Now(); !b.After(a) {
+		t.Fatalf("wall clock did not advance: %v -> %v", a, b)
+	}
+}
+
+func TestWallSleepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Wall.Sleep(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("cancelled Sleep = %v, want context.Canceled", err)
+	}
+}
+
+func TestFakeAdvanceWakesInOrder(t *testing.T) {
+	f := NewFake()
+	start := f.Now()
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i, d := range []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			if err := f.Sleep(context.Background(), d); err != nil {
+				t.Errorf("Sleep(%d): %v", i, err)
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i, d)
+	}
+	for f.Sleepers() != 3 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if got := f.Now(); !got.Equal(start) {
+		t.Fatalf("Now moved without Advance: %v", got)
+	}
+	f.Advance(50 * time.Millisecond)
+	wg.Wait()
+	if want := start.Add(50 * time.Millisecond); !f.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", f.Now(), want)
+	}
+	if len(order) != 3 {
+		t.Fatalf("order = %v, want 3 wakes", order)
+	}
+}
+
+func TestFakePartialAdvance(t *testing.T) {
+	f := NewFake()
+	done := make(chan error, 1)
+	go func() { done <- f.Sleep(context.Background(), 10*time.Second) }()
+	for f.Sleepers() != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	f.Advance(5 * time.Second)
+	select {
+	case err := <-done:
+		t.Fatalf("woke early: %v", err)
+	case <-time.After(5 * time.Millisecond):
+	}
+	f.Advance(5 * time.Second)
+	if err := <-done; err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+}
+
+func TestFakeSleepCancelRemovesWaiter(t *testing.T) {
+	f := NewFake()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- f.Sleep(ctx, time.Hour) }()
+	for f.Sleepers() != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Sleep = %v, want context.Canceled", err)
+	}
+	if n := f.Sleepers(); n != 0 {
+		t.Fatalf("Sleepers = %d after cancel, want 0", n)
+	}
+}
+
+func TestFakeSet(t *testing.T) {
+	f := NewFake()
+	target := f.Now().Add(time.Minute)
+	f.Set(target)
+	if !f.Now().Equal(target) {
+		t.Fatalf("Set: Now = %v, want %v", f.Now(), target)
+	}
+	f.Set(target.Add(-time.Hour)) // backwards Set is a no-op
+	if !f.Now().Equal(target) {
+		t.Fatalf("backwards Set moved the clock: %v", f.Now())
+	}
+}
+
+func TestFakeZeroAndNegativeSleep(t *testing.T) {
+	f := NewFake()
+	if err := f.Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("zero Sleep: %v", err)
+	}
+	if err := f.Sleep(context.Background(), -time.Second); err != nil {
+		t.Fatalf("negative Sleep: %v", err)
+	}
+}

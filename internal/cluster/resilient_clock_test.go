@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"stcam/internal/clock"
+)
+
+// TestResilientWithClockFake drives a full retry sequence off clock.Fake via
+// the WithClock option — the exact wiring core.Options.Clock uses — proving
+// the resilience layer's backoff timing rides the injected seam end to end:
+// no retry fires until the fake clock is advanced past its backoff deadline,
+// and the whole call completes with zero wall-clock sleeping.
+func TestResilientWithClockFake(t *testing.T) {
+	fake := clock.NewFake()
+	attempts := 0
+	tr := &scripted{call: func(ctx context.Context, addr string, req any) (any, error) {
+		attempts++
+		if attempts < 3 {
+			return nil, ErrUnreachable
+		}
+		return "ok", nil
+	}}
+	// Deterministic schedule: no jitter, 10ms then 20ms backoff.
+	r := NewResilient(tr, Policy{
+		MaxAttempts: 3,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  time.Second,
+		Multiplier:  2,
+		Jitter:      -1,
+	}, WithClock(fake))
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Call(context.Background(), "w1", "req")
+		done <- err
+	}()
+
+	for _, step := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond} {
+		waitForSleeper(t, fake)
+		select {
+		case err := <-done:
+			t.Fatalf("call finished before the fake clock advanced: %v", err)
+		default:
+		}
+		fake.Advance(step)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("call failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call never completed after advancing the fake clock")
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	if got := fake.Now().Sub(clock.NewFake().Now()); got != 30*time.Millisecond {
+		t.Errorf("fake clock advanced %v, want 30ms", got)
+	}
+}
+
+// TestWithClockNilKeepsWallDefaults pins the defensive default: a nil clock
+// leaves the wall-clock wiring in place instead of panicking later.
+func TestWithClockNilKeepsWallDefaults(t *testing.T) {
+	r := NewResilient(&scripted{call: func(ctx context.Context, addr string, req any) (any, error) {
+		return "ok", nil
+	}}, Policy{}, WithClock(nil))
+	if r.now == nil || r.sleep == nil {
+		t.Fatal("WithClock(nil) cleared the wall-clock defaults")
+	}
+	if _, err := r.Call(context.Background(), "w1", "req"); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+}
+
+// waitForSleeper blocks until the retry loop parks on fake.Sleep.
+func waitForSleeper(t *testing.T, fake *clock.Fake) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for fake.Sleepers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no sleeper appeared on the fake clock")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -152,6 +152,10 @@ func (c *Coordinator) Start() error {
 	return nil
 }
 
+// now reads the injected clock (Options.Clock): the only sanctioned
+// wall-clock source in this package, per the clockinject analyzer.
+func (c *Coordinator) now() time.Time { return c.opts.Clock.Now() }
+
 // Addr returns the bound address.
 func (c *Coordinator) Addr() string {
 	if c.server != nil {
@@ -199,9 +203,9 @@ func (c *Coordinator) Epoch() uint64 {
 // server-side latency distribution shows up in /metrics alongside the
 // client-side rpc.call one.
 func (c *Coordinator) handle(ctx context.Context, from string, req any) (any, error) {
-	start := time.Now()
+	start := c.now()
 	resp, err := c.dispatch(ctx, from, req)
-	c.reg.Histogram("rpc.serve." + wire.KindOf(req).String()).Observe(time.Since(start))
+	c.reg.Histogram("rpc.serve." + wire.KindOf(req).String()).Observe(c.now().Sub(start)) //lint:allow metricname per-kind latency series; cardinality bounded by the closed wire.MsgKind enum
 	return resp, err
 }
 
@@ -226,7 +230,7 @@ func (c *Coordinator) dispatch(ctx context.Context, _ string, req any) (any, err
 	}
 	switch m := req.(type) {
 	case *wire.Register:
-		c.membership.Register(m, time.Now())
+		c.membership.Register(m, c.now())
 		c.dropSummary(m.Node) // a restarted worker's sketch and hbSeq start over
 		c.reg.Counter("workers.registered").Inc()
 		// The ack is gated on majority replication: a minority-partitioned
@@ -239,7 +243,7 @@ func (c *Coordinator) dispatch(ctx context.Context, _ string, req any) (any, err
 		}
 		return &wire.RegisterAck{Accepted: true}, nil
 	case *wire.Heartbeat:
-		known := c.membership.Heartbeat(m, time.Now())
+		known := c.membership.Heartbeat(m, c.now())
 		if !known {
 			// Distinguishable "must re-register" answer: the worker resends
 			// Register (coordinator-restart recovery) instead of hammering
@@ -626,8 +630,8 @@ func (c *Coordinator) Range(ctx context.Context, rect geo.Rect, window wire.Time
 // partial view taken during a failure or partition; pruned workers do not
 // degrade completeness (they provably held nothing).
 func (c *Coordinator) RangeMeta(ctx context.Context, rect geo.Rect, window wire.TimeWindow, limit int) ([]wire.ResultRecord, QueryMeta, error) {
-	start := time.Now()
-	defer func() { c.reg.Histogram("query.range").Observe(time.Since(start)) }()
+	start := c.now()
+	defer func() { c.reg.Histogram("query.range").Observe(c.now().Sub(start)) }()
 	q := &wire.RangeQuery{QueryID: c.nextQueryID.Add(1), Rect: rect, Window: window, Limit: limit}
 	targets, pruned := c.pruneTargets(c.targetsFor(rect), rect, window)
 	resps, meta := c.scatter(ctx, addrsOfTargets(targets), q)
@@ -1302,7 +1306,7 @@ func (c *Coordinator) Ready() error {
 	if c.ha != nil {
 		c.ha.mu.Lock()
 		standby := c.ha.standby
-		expired := c.ha.lease.Expired(time.Now())
+		expired := c.ha.lease.Expired(c.now())
 		c.ha.mu.Unlock()
 		if standby {
 			// A standby is ready while its leader's lease is fresh: it is

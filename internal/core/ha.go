@@ -538,7 +538,7 @@ func (c *Coordinator) onReplicate(m *wire.Replicate) (any, error) {
 			return &wire.Error{Code: wire.CodeWrongEpoch, Message: c.Addr()}, nil
 		}
 	}
-	if !h.lease.Renew(m.Leader, m.LeaderAddr, m.Epoch, time.Now()) {
+	if !h.lease.Renew(m.Leader, m.LeaderAddr, m.Epoch, c.now()) {
 		_, laddr, _ := h.lease.Holder()
 		h.mu.Unlock()
 		return &wire.Error{Code: wire.CodeNotLeader, Message: laddr}, nil
@@ -668,7 +668,7 @@ func (c *Coordinator) applyRecord(rec *wire.ControlRecord) {
 			Node:     rec.Member.Node,
 			Addr:     rec.Member.Addr,
 			Capacity: rec.Member.Capacity,
-		}, time.Now())
+		}, c.now())
 	case wire.OpTrack:
 		t := rec.Track
 		c.mu.Lock()
@@ -727,7 +727,7 @@ func (c *Coordinator) onLeaderQuery() (any, error) {
 // ordinary candidate.
 func (c *Coordinator) maybeElect() {
 	h := c.ha
-	now := time.Now()
+	now := c.now()
 	h.mu.Lock()
 	if !h.standby || !h.lease.Expired(now) {
 		h.mu.Unlock()
@@ -753,7 +753,7 @@ func (c *Coordinator) maybeElect() {
 		}
 		if li.IsLeader {
 			h.mu.Lock()
-			renewed := h.lease.Renew(li.Node, li.Addr, li.Epoch, time.Now())
+			renewed := h.lease.Renew(li.Node, li.Addr, li.Epoch, c.now())
 			if renewed {
 				h.leaderlessAt = time.Time{}
 			}
@@ -785,7 +785,7 @@ func (c *Coordinator) becomeLeader() {
 	h := c.ha
 	h.applyMu.Lock()
 	defer h.applyMu.Unlock()
-	now := time.Now()
+	now := c.now()
 	h.mu.Lock()
 	if !h.standby || !h.lease.Expired(now) {
 		// The role flipped, or a Replicate frame landed while we waited for

@@ -12,6 +12,7 @@ package core
 import (
 	"time"
 
+	"stcam/internal/clock"
 	"stcam/internal/cluster"
 	"stcam/internal/wire"
 )
@@ -124,6 +125,13 @@ type Options struct {
 	// polls peers and the deterministic winner takes over, so failover
 	// completes within about two lease intervals.
 	LeaseInterval time.Duration
+	// Clock supplies every wall-clock read and sleep in the node (heartbeat
+	// stamps, lease renewal, snapshot timestamps, retry backoff). Defaults to
+	// clock.Wall; tests and seeded soaks inject clock.Fake to keep liveness
+	// timing on the controlled schedule. Raw time.Now/time.Sleep in
+	// internal/core and internal/cluster are rejected by the clockinject
+	// static analyzer.
+	Clock clock.Clock
 	// WireAccounting, when true, re-marshals every scatter response to count
 	// result bytes into the scatter.resp_bytes counter — meaningful even on
 	// in-process transports with no real wire. Off by default (it duplicates
@@ -174,6 +182,9 @@ func (o *Options) fill() {
 	}
 	if o.LeaseInterval <= 0 {
 		o.LeaseInterval = 250 * time.Millisecond
+	}
+	if o.Clock == nil {
+		o.Clock = clock.Wall
 	}
 }
 

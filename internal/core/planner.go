@@ -1,8 +1,6 @@
 package core
 
 import (
-	"time"
-
 	"stcam/internal/geo"
 	"stcam/internal/stindex"
 	"stcam/internal/wire"
@@ -84,7 +82,7 @@ func (w *Worker) planFilter(m *wire.FilterQuery) string {
 
 // onFilter executes a multi-predicate query with the chosen plan.
 func (w *Worker) onFilter(m *wire.FilterQuery) (any, error) {
-	start := time.Now()
+	start := w.now()
 	plan := w.planFilter(m)
 	camSet := make(map[uint32]bool, len(m.Cameras))
 	for _, c := range m.Cameras {
@@ -124,8 +122,8 @@ func (w *Worker) onFilter(m *wire.FilterQuery) (any, error) {
 		recs = recs[:m.Limit]
 		truncated = true
 	}
-	w.reg.Histogram("query.filter").Observe(time.Since(start))
-	w.reg.Counter("plan." + plan).Inc()
+	w.reg.Histogram("query.filter").Observe(w.now().Sub(start))
+	w.reg.Counter("plan." + plan).Inc() //lint:allow metricname cardinality bounded by the three planner strategies (spatial/temporal/target)
 	return &wire.FilterResult{
 		QueryID:   m.QueryID,
 		Records:   toWireRecords(recs),

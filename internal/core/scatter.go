@@ -392,8 +392,8 @@ func (c *Coordinator) knnMeta(ctx context.Context, center geo.Point, window wire
 	if k <= 0 {
 		return nil, QueryMeta{}, errKNNBadK
 	}
-	start := time.Now()
-	defer func() { c.reg.Histogram("query.knn").Observe(time.Since(start)) }()
+	start := c.now()
+	defer func() { c.reg.Histogram("query.knn").Observe(c.now().Sub(start)) }()
 	targets := c.allTargets()
 	if c.opts.DisablePrune {
 		q := &wire.KNNQuery{QueryID: c.nextQueryID.Add(1), Center: center, Window: window, K: k, MaxDist2: maxDist2}
@@ -440,13 +440,13 @@ func (c *Coordinator) knnMeta(ctx context.Context, center geo.Point, window wire
 		if len(best) >= k && r2 > 0 && (maxDist2 <= 0 || r2 < maxDist2) {
 			q.MaxDist2 = r2
 		}
-		roundStart := time.Now()
+		roundStart := c.now()
 		resps, m := c.scatter(ctx, addrsOfTargets(targetsOfCands(cands[next:hi])), q)
-		phase := "query.knn.expand"
+		phase := c.reg.Histogram("query.knn.expand")
 		if rounds == 0 {
-			phase = "query.knn.probe"
+			phase = c.reg.Histogram("query.knn.probe")
 		}
-		c.reg.Histogram(phase).Observe(time.Since(roundStart))
+		phase.Observe(c.now().Sub(roundStart))
 		meta.Asked += m.Asked
 		meta.Answered += m.Answered
 		best = mergeKNNResponses(best, resps, k)

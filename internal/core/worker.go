@@ -173,6 +173,10 @@ func NewWorker(id wire.NodeID, addr, coordAddr string, transport cluster.Transpo
 	}
 }
 
+// now reads the injected clock (Options.Clock): the only sanctioned
+// wall-clock source in this package, per the clockinject analyzer.
+func (w *Worker) now() time.Time { return w.opts.Clock.Now() }
+
 // ID returns the worker's node ID.
 func (w *Worker) ID() wire.NodeID { return w.id }
 
@@ -468,9 +472,9 @@ func (w *Worker) Stop() {
 // handle dispatches inbound RPCs, timing each into a per-kind rpc.serve
 // histogram for the exposition endpoint.
 func (w *Worker) handle(ctx context.Context, from string, req any) (any, error) {
-	start := time.Now()
+	start := w.now()
 	resp, err := w.dispatch(ctx, from, req)
-	w.reg.Histogram("rpc.serve." + wire.KindOf(req).String()).Observe(time.Since(start))
+	w.reg.Histogram("rpc.serve." + wire.KindOf(req).String()).Observe(w.now().Sub(start)) //lint:allow metricname per-kind latency series; cardinality bounded by the closed wire.MsgKind enum
 	return resp, err
 }
 
@@ -662,7 +666,7 @@ func (w *Worker) curEpoch() uint64 {
 }
 
 func (w *Worker) onRange(m *wire.RangeQuery) (any, error) {
-	start := time.Now()
+	start := w.now()
 	scanned := w.store.RangeQuery(m.Rect, m.Window.From, m.Window.To)
 	w.feedbackRange(m.Rect, len(scanned), w.store.Len())
 	recs := w.filterPrimary(scanned)
@@ -672,7 +676,7 @@ func (w *Worker) onRange(m *wire.RangeQuery) (any, error) {
 		truncated = true
 	}
 	out := &wire.RangeResult{QueryID: m.QueryID, Records: toWireRecords(recs), Truncated: truncated}
-	w.reg.Histogram("query.range").Observe(time.Since(start))
+	w.reg.Histogram("query.range").Observe(w.now().Sub(start))
 	return out, nil
 }
 
@@ -718,7 +722,7 @@ func (w *Worker) isPrimarySnapshot() func(stindex.Record) bool {
 }
 
 func (w *Worker) onKNN(m *wire.KNNQuery) (any, error) {
-	start := time.Now()
+	start := w.now()
 	if m.K <= 0 {
 		return &wire.Error{Code: wire.CodeBadRequest, Message: "knn: k must be positive"}, nil
 	}
@@ -727,7 +731,7 @@ func (w *Worker) onKNN(m *wire.KNNQuery) (any, error) {
 	for i, n := range ns {
 		out.Records[i] = wire.KNNRecord{ResultRecord: toWireRecord(n.Record), Dist2: n.Dist2}
 	}
-	w.reg.Histogram("query.knn").Observe(time.Since(start))
+	w.reg.Histogram("query.knn").Observe(w.now().Sub(start))
 	return out, nil
 }
 

@@ -288,8 +288,13 @@ func newMessageV1(kind MsgKind) any {
 		return &LeaderInfo{}
 	case KindError:
 		return &Error{}
+	default:
+		// Fail closed: an unknown kind yields nil, which UnmarshalFormat
+		// converts to an error. Falling off the switch would decode the same
+		// way today, but only by accident of the caller — the explicit
+		// default is the contract (and what the failclosed analyzer checks).
+		return nil
 	}
-	return nil
 }
 
 // --- primitive decoders ---
