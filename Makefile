@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race bench check fuzz soak-short soak lint stcamlint
+.PHONY: all build vet fmt test race bench check fuzz soak-short soak soak-core soak-serve lint stcamlint
 
 all: check
 
@@ -60,6 +60,18 @@ soak-short:
 SOAK_FRAMES ?= 3000
 soak:
 	STCAM_SOAK_FRAMES=$(SOAK_FRAMES) $(GO) test -race -count=1 -timeout 30m -run 'TestSoak' -v ./internal/core/
+
+# soak-core is the nightly matrix name for the core soak above.
+soak-core: soak
+
+# soak-serve is the serving-plane churn soak (PR-time CI job serve-soak):
+# seeded subscribe/unsubscribe storms, lagging pollers, and mid-stream epoch
+# bumps under the race detector, asserting no leaked installed queries and no
+# stale cache hits across epochs. SOAK_ROUNDS scales it up for the nightly
+# run (empty = the test's default).
+SOAK_ROUNDS ?=
+soak-serve:
+	STCAM_SOAK_ROUNDS=$(SOAK_ROUNDS) $(GO) test -race -count=1 -timeout 10m -run 'TestSoakServeChurn' -v ./internal/serve/
 
 # bench regenerates the experiment tables at CI scale.
 bench:

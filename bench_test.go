@@ -141,6 +141,20 @@ func BenchmarkR20CodecAlloc(b *testing.B) {
 	b.ReportMetric(cell(tbl, 1, 7), "range-pooled-allocs/op")
 }
 
+func BenchmarkR21Serving(b *testing.B) {
+	tbl := runExperiment(b, bench.R21Serving)
+	// Headline: shared-vs-per-sub delivery speedup and cache hit ratio on
+	// the shared row (row 1) — the pair the serving-plane gate floors.
+	if len(tbl.Rows) > 1 {
+		if v, err := strconv.ParseFloat(tbl.Rows[1][5], 64); err == nil {
+			b.ReportMetric(v, "shared-speedup-x")
+		}
+		if v, err := strconv.ParseFloat(tbl.Rows[1][6], 64); err == nil {
+			b.ReportMetric(v, "cache-hit-ratio")
+		}
+	}
+}
+
 func BenchmarkR13Planner(b *testing.B) {
 	tbl := runExperiment(b, bench.R13Planner)
 	// Headline: forced-spatial slowdown relative to adaptive (row 0, col 4

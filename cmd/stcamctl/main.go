@@ -177,6 +177,16 @@ func run(args []string) error {
 // renderTop writes the per-worker summary table: one row per registered
 // member, live or not, with the scraped ingest/tracking/RPC figures.
 func renderTop(out io.Writer, cs *wire.ClusterStatsResult) {
+	// A member polled before its first heartbeat (or a group mid-election)
+	// reports empty role/leader fields; default them rather than rendering
+	// blank cells.
+	leader, leaderAddr := cs.Leader, cs.LeaderAddr
+	if leader == "" {
+		leader = "-"
+	}
+	if leaderAddr == "" {
+		leaderAddr = "-"
+	}
 	switch cs.Role {
 	case "", "single":
 		fmt.Fprintf(out, "epoch %d, %d worker(s)\n", cs.Epoch, len(cs.Workers))
@@ -184,7 +194,10 @@ func renderTop(out io.Writer, cs *wire.ClusterStatsResult) {
 		fmt.Fprintf(out, "epoch %d, leader %s, %d worker(s)\n", cs.Epoch, cs.Leader, len(cs.Workers))
 	default:
 		fmt.Fprintf(out, "epoch %d, %s (leader %s @ %s), %d worker(s)\n",
-			cs.Epoch, cs.Role, cs.Leader, cs.LeaderAddr, len(cs.Workers))
+			cs.Epoch, cs.Role, leader, leaderAddr, len(cs.Workers))
+	}
+	if line := servingSummary(&cs.Coordinator); line != "" {
+		fmt.Fprintln(out, line)
 	}
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "NODE\tALIVE\tCAMS\tRATE\tACCEPTED\tTRACKS\tRECORDS\tRPCERR\tRETRY\tBRK")
@@ -204,6 +217,36 @@ func renderTop(out io.Writer, cs *wire.ClusterStatsResult) {
 			w.Stats.Counters["rpc.breaker_opens"])
 	}
 	tw.Flush() //nolint:errcheck // terminal output
+}
+
+// servingSummary condenses the coordinator's serve.* metrics into one line,
+// or returns "" when no serving plane has reported (keeping plain clusters'
+// output unchanged).
+func servingSummary(co *wire.StatsResult) string {
+	present := false
+	for n := range co.Counters {
+		if strings.HasPrefix(n, "serve.") {
+			present = true
+			break
+		}
+	}
+	if !present {
+		for n := range co.Gauges {
+			if strings.HasPrefix(n, "serve.") {
+				present = true
+				break
+			}
+		}
+	}
+	if !present {
+		return ""
+	}
+	shed := co.Counters["serve.shed.background"] + co.Counters["serve.shed.interactive"] +
+		co.Counters["serve.shed.control"] + co.Counters["serve.shed.none"]
+	return fmt.Sprintf("serving: cache %d/%d hit/miss (%dB), subs %d, shed %d, quota denied %d",
+		co.Counters["serve.cache.hits"], co.Counters["serve.cache.misses"],
+		co.Gauges["serve.cache.bytes"], co.Gauges["serve.subscribers"],
+		shed, co.Counters["serve.quota.denied"])
 }
 
 // renderStats dumps every scraped metric, coordinator first, then each

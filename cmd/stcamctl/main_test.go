@@ -159,6 +159,67 @@ func TestTopRendersClusterStats(t *testing.T) {
 	}
 }
 
+// TestTopDefaultsBlankRoleAndLeader is the regression for the blank-cell
+// bug: a member polled before its first heartbeat (or mid-election) reports
+// empty leader fields, and the header must render placeholders instead of
+// empty cells.
+func TestTopDefaultsBlankRoleAndLeader(t *testing.T) {
+	cs := &wire.ClusterStatsResult{
+		Epoch: 3,
+		Role:  "standby",
+		Workers: []wire.WorkerStatsEntry{
+			{Node: "w01"}, // registered, never heartbeated: zero-value row
+		},
+	}
+	var top bytes.Buffer
+	renderTop(&top, cs)
+	out := top.String()
+	if strings.Contains(out, "leader  @") || strings.Contains(out, "@ )") {
+		t.Fatalf("blank leader cells rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "(leader - @ -)") {
+		t.Fatalf("header missing placeholder leader fields:\n%s", out)
+	}
+	if !strings.Contains(out, "w01") {
+		t.Fatalf("pre-heartbeat worker row missing:\n%s", out)
+	}
+}
+
+// TestTopServingSummary: when the coordinator reports serve.* metrics, top
+// prints a one-line serving-plane summary; without them the line is absent.
+func TestTopServingSummary(t *testing.T) {
+	bare := &wire.ClusterStatsResult{Epoch: 1}
+	var out bytes.Buffer
+	renderTop(&out, bare)
+	if strings.Contains(out.String(), "serving:") {
+		t.Fatalf("serving line rendered without serve metrics:\n%s", out.String())
+	}
+	served := &wire.ClusterStatsResult{
+		Epoch: 1,
+		Coordinator: wire.StatsResult{
+			Node: "coordinator",
+			Counters: map[string]int64{
+				"serve.cache.hits":      10,
+				"serve.cache.misses":    4,
+				"serve.shed.background": 2,
+				"serve.quota.denied":    1,
+			},
+			Gauges: map[string]int64{
+				"serve.cache.bytes": 2048,
+				"serve.subscribers": 7,
+			},
+		},
+	}
+	out.Reset()
+	renderTop(&out, served)
+	got := out.String()
+	for _, want := range []string{"serving:", "10/4 hit/miss", "2048B", "subs 7", "shed 2", "quota denied 1"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("serving summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestRunRejectsBadInvocations(t *testing.T) {
 	for _, args := range [][]string{
 		{},                                       // no command

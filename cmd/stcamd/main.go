@@ -24,6 +24,12 @@
 // Either role can additionally expose an observability endpoint with
 // -http addr, serving Prometheus-format /metrics, /healthz, /readyz, and
 // /debug/pprof; -slow-rpc enables trace-tagged slow-call logging.
+//
+// A coordinator can attach the serving plane for heavy read traffic with
+// -serve (tune with -cache-bytes and -quota): repeated queries are answered
+// from an epoch-keyed cache, subscribers to the same continuous query share
+// one worker-side install, and query load sheds by priority class while
+// ingest and tracking are never shed.
 package main
 
 import (
@@ -89,6 +95,9 @@ func run() error {
 		ingestDepth = flag.Int("ingest-pipeline-depth", 0, "coordinator: max concurrent worker RPCs per proxied ingest batch (0 = default)")
 		httpAddr    = flag.String("http", "", "observability HTTP address serving /metrics, /healthz, /readyz, /debug/pprof (empty = disabled)")
 		slowRPC     = flag.Duration("slow-rpc", 0, "log outbound RPCs slower than this, with trace IDs (0 = disabled)")
+		serveFlag   = flag.Bool("serve", false, "coordinator: attach the serving plane (shared subscription fan-out, result cache, admission control)")
+		cacheBytes  = flag.Int64("cache-bytes", 8<<20, "coordinator -serve: result-cache byte budget (negative = caching disabled)")
+		quota       = flag.Float64("quota", 0, "coordinator -serve: per-tenant sustained queries/sec (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -134,6 +143,13 @@ func run() error {
 			log.Printf("coordinator listening on %s", coord.Addr())
 		} else {
 			log.Printf("coordinator %s listening on %s as %s", *id, coord.Addr(), lastRole)
+		}
+		if *serveFlag {
+			stcam.NewFrontend(coord, stcam.ServeOptions{
+				CacheBytes: *cacheBytes,
+				QuotaRate:  *quota,
+			})
+			log.Printf("serving plane attached (cache %d bytes, quota %.1f q/s/tenant)", *cacheBytes, *quota)
 		}
 		if *httpAddr != "" {
 			o, err := stcam.ServeObs(*httpAddr, stcam.ObsOptions{

@@ -140,5 +140,6 @@ func All() []Experiment {
 		{"R16", "Pruned scatter-gather vs broadcast fan-out", R16ScatterPruning},
 		{"R17", "Tiered track history: sealed-chunk compression and rollup routing", R17TieredStorage},
 		{"R20", "Wire codec allocation: value vs pooled round trips", R20CodecAlloc},
+		{"R21", "Serving plane: shared fan-out, result cache, admission control", R21Serving},
 	}
 }

@@ -67,6 +67,17 @@ type GateColumn struct {
 //     ingest or gather hot path fails, regardless of runner speed. The B/op
 //     ceiling is deliberately loose — it exists to catch a large hidden
 //     copy that still fits in few allocations.
+//   - R21 "dedup×", "speedup×", "cache hit", "ingest acked", "ingest p99×":
+//     the serving-plane contract, gated on the shared row only (the per-sub
+//     baseline row carries "-" cells, which parse as NaN and are skipped).
+//     "dedup×" (observed 16) and "speedup×" (a message-count ratio under the
+//     transport's fixed injected latency, observed well above the floor) are
+//     dimensionless and machine-robust; "cache hit" is deterministic for the
+//     fixed storm (49/50); "ingest acked" must be exactly 1.0 because ingest
+//     never passes admission control; "ingest p99×" ceilings proxied-ingest
+//     P99 under a shed query storm at +10% of idle — both sides are measured
+//     back-to-back in the same process over the same injected latency, so
+//     the ratio stays near 1.0 on any host.
 func DefaultGate() []GateColumn {
 	return []GateColumn{
 		{Table: "R15", Col: "speedup", Min: 2.0},
@@ -79,6 +90,11 @@ func DefaultGate() []GateColumn {
 		{Table: "R17", Col: "sealed B/obs", Max: 32},
 		{Table: "R20", Col: "pooled allocs/op", Max: 2},
 		{Table: "R20", Col: "pooled B/op", Max: 512},
+		{Table: "R21", Col: "dedup×", Min: 8},
+		{Table: "R21", Col: "speedup×", Min: 5},
+		{Table: "R21", Col: "cache hit", Min: 0.9},
+		{Table: "R21", Col: "ingest acked", Min: 0.999},
+		{Table: "R21", Col: "ingest p99×", Max: 1.10},
 	}
 }
 

@@ -27,6 +27,14 @@ func FuzzReadRPCFrame(f *testing.F) {
 	}
 	f.Add(traced)
 	f.Add(traced[:16]) // flagTrace set but trace field truncated
+	// The same message as a v4 QoS-tagged frame (priority + tenant).
+	tagged, err := appendRPCFrameFull(nil, wire.FormatV1, 42, 1, 0xdeadbeefcafef00d,
+		PriorityBackground, "acme", &wire.Heartbeat{Node: "w1", Seq: 9, Load: 1.5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tagged)
+	f.Add(tagged[:24]) // flagQoS set but tenant bytes truncated
 	// A sequenced multi-camera ingest batch (the coalesced pipeline shape)
 	// and a clock-only tick exercise the Source/Seq encoding paths.
 	multiCam, err := appendRPCFrame(nil, 43, 0, 7, &wire.IngestBatch{
@@ -61,27 +69,29 @@ func FuzzReadRPCFrame(f *testing.F) {
 	f.Add(badLen)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		reqID, flags, traceID, env, err := readRPCFrame(bytes.NewReader(data))
+		hdr, env, err := readRPCFrame(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
 		// Whatever decoded must re-encode to a frame that decodes equal:
 		// the reader and writer agree on the format. The re-encoder picks
-		// the frame version from the trace ID, so flags may gain or lose
-		// flagTrace when the input set the bit inconsistently (e.g. a
-		// traced frame whose trace field decoded to 0); mask it out of the
-		// header comparison and compare the trace ID directly.
-		frame, err := appendRPCFrame(nil, reqID, flags, traceID, env.Payload)
+		// the frame version from the trace ID and QoS tags, so flags may
+		// gain or lose flagTrace/flagQoS when the input set a bit
+		// inconsistently (e.g. a traced frame whose trace field decoded to
+		// 0, or a QoS frame tagged PriorityNone with an empty tenant); mask
+		// them out of the header comparison and compare the values directly.
+		frame, err := appendRPCFrameFull(nil, wire.FormatV1, hdr.reqID, hdr.flags, hdr.traceID, hdr.pri, hdr.tenant, env.Payload)
 		if err != nil {
 			t.Fatalf("decoded payload %T does not re-encode: %v", env.Payload, err)
 		}
-		reqID2, flags2, traceID2, env2, err := readRPCFrame(bytes.NewReader(frame))
+		hdr2, env2, err := readRPCFrame(bytes.NewReader(frame))
 		if err != nil {
 			t.Fatalf("re-encoded frame does not decode: %v", err)
 		}
-		if reqID2 != reqID || flags2&^flagTrace != flags&^flagTrace || traceID2 != traceID || env2.Kind != env.Kind {
-			t.Fatalf("round trip changed header: (%d,%d,%d,%v) vs (%d,%d,%d,%v)",
-				reqID, flags, traceID, env.Kind, reqID2, flags2, traceID2, env2.Kind)
+		const ownedBits = flagTrace | flagQoS
+		if hdr2.reqID != hdr.reqID || hdr2.flags&^byte(ownedBits) != hdr.flags&^byte(ownedBits) ||
+			hdr2.traceID != hdr.traceID || hdr2.pri != hdr.pri || hdr2.tenant != hdr.tenant || env2.Kind != env.Kind {
+			t.Fatalf("round trip changed header: (%+v,%v) vs (%+v,%v)", hdr, env.Kind, hdr2, env2.Kind)
 		}
 		// Compare payloads by their encoding, not reflect.DeepEqual: NaN
 		// floats round-trip byte-identically but are never reflect-equal.

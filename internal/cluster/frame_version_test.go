@@ -33,12 +33,12 @@ func encodeV1Frame(t testing.TB, reqID uint64, flags byte, payload any) []byte {
 func TestFrameV1Decode(t *testing.T) {
 	msg := &wire.Heartbeat{Node: "w7", Seq: 3, Load: 0.25, Stored: 10, Cameras: 2}
 	old := encodeV1Frame(t, 99, 0, msg)
-	reqID, flags, traceID, env, err := readRPCFrame(bytes.NewReader(old))
+	hdr, env, err := readRPCFrame(bytes.NewReader(old))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if reqID != 99 || flags != 0 || traceID != 0 {
-		t.Fatalf("header = (%d, %d, %d), want (99, 0, 0)", reqID, flags, traceID)
+	if hdr.reqID != 99 || hdr.flags != 0 || hdr.traceID != 0 || hdr.pri != PriorityNone || hdr.tenant != "" {
+		t.Fatalf("header = %+v, want reqID 99, zero flags/trace/QoS", hdr)
 	}
 	if !reflect.DeepEqual(env.Payload, msg) {
 		t.Fatalf("payload mismatch: %#v", env.Payload)
@@ -64,13 +64,13 @@ func TestFrameUntracedIsV1(t *testing.T) {
 // trace bit tracking whether a trace ID rode along.
 func TestQuickFrameHeaderRoundTrip(t *testing.T) {
 	prop := func(reqID uint64, flags byte, traceID uint64, seq uint64) bool {
-		flags &^= flagTrace | flagFormat // encoder owns these bits
+		flags &^= flagTrace | flagFormat | flagQoS // encoder owns these bits
 		msg := &wire.Heartbeat{Node: "w1", Seq: seq}
 		frame, err := appendRPCFrame(nil, reqID, flags, traceID, msg)
 		if err != nil {
 			return false
 		}
-		reqID2, flags2, traceID2, env, err := readRPCFrame(bytes.NewReader(frame))
+		hdr, env, err := readRPCFrame(bytes.NewReader(frame))
 		if err != nil {
 			return false
 		}
@@ -78,7 +78,7 @@ func TestQuickFrameHeaderRoundTrip(t *testing.T) {
 		if traceID != 0 {
 			wantFlags |= flagTrace
 		}
-		return reqID2 == reqID && flags2 == wantFlags && traceID2 == traceID &&
+		return hdr.reqID == reqID && hdr.flags == wantFlags && hdr.traceID == traceID &&
 			reflect.DeepEqual(env.Payload, msg)
 	}
 	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(7))}
@@ -98,7 +98,79 @@ func TestFrameTraceTruncated(t *testing.T) {
 	cut := frame[:4+rpcHeaderLen+4]
 	trunc := append([]byte(nil), cut...)
 	binary.BigEndian.PutUint32(trunc[0:4], uint32(len(trunc)-4))
-	if _, _, _, _, err := readRPCFrame(bytes.NewReader(trunc)); err == nil {
+	if _, _, err := readRPCFrame(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("truncated trace field decoded without error")
+	}
+}
+
+// TestFrameQoSRoundTrip: priority and tenant tags survive the frame, both
+// alone and combined with a trace ID, and untagged frames carry no QoS field.
+func TestFrameQoSRoundTrip(t *testing.T) {
+	msg := &wire.CountQuery{QueryID: 4}
+	cases := []struct {
+		traceID uint64
+		pri     Priority
+		tenant  string
+	}{
+		{0, PriorityBackground, ""},
+		{0, PriorityNone, "acme"},
+		{0, PriorityInteractive, "acme"},
+		{0xfeed, PriorityControl, "tenant-with-a-longer-name"},
+	}
+	for _, tc := range cases {
+		frame, err := appendRPCFrameFull(nil, wire.FormatV1, 7, 0, tc.traceID, tc.pri, tc.tenant, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr, env, err := readRPCFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("case %+v: %v", tc, err)
+		}
+		if hdr.flags&flagQoS == 0 {
+			t.Fatalf("case %+v: flagQoS not set", tc)
+		}
+		if hdr.reqID != 7 || hdr.traceID != tc.traceID || hdr.pri != tc.pri || hdr.tenant != tc.tenant {
+			t.Fatalf("case %+v: header round trip changed: %+v", tc, hdr)
+		}
+		if !reflect.DeepEqual(env.Payload, msg) {
+			t.Fatalf("case %+v: payload mismatch: %#v", tc, env.Payload)
+		}
+	}
+}
+
+// TestFrameQoSUntaggedIsV1: a call with no priority and no tenant must emit
+// bytes identical to the pre-QoS layout — old receivers keep decoding new
+// senders.
+func TestFrameQoSUntaggedIsV1(t *testing.T) {
+	msg := &wire.TrackStop{TrackID: 11}
+	got, err := appendRPCFrameFull(nil, wire.FormatV1, 5, 0, 0, PriorityNone, "", msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encodeV1Frame(t, 5, 0, msg)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("untagged frame differs from v1 layout:\n got  %x\n want %x", got, want)
+	}
+}
+
+// TestFrameQoSTruncated: flagQoS with a tenant length pointing past the end
+// of the frame must error, not panic or misparse.
+func TestFrameQoSTruncated(t *testing.T) {
+	frame, err := appendRPCFrameFull(nil, wire.FormatV1, 1, 0, 0, PriorityBackground, "acme", &wire.TrackStop{TrackID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut inside the tenant bytes: [pri][len=4]["ac..."] with only 2 tenant
+	// bytes present.
+	cut := frame[:4+rpcHeaderLen+2+2]
+	trunc := append([]byte(nil), cut...)
+	binary.BigEndian.PutUint32(trunc[0:4], uint32(len(trunc)-4))
+	if _, _, err := readRPCFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated QoS field decoded without error")
+	}
+	// And a tenant over the one-byte length bound must be refused at encode.
+	long := string(make([]byte, maxTenantLen+1))
+	if _, err := appendRPCFrameFull(nil, wire.FormatV1, 1, 0, 0, PriorityNone, long, &wire.TrackStop{TrackID: 2}); err == nil {
+		t.Fatal("oversized tenant encoded without error")
 	}
 }

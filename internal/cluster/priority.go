@@ -1,0 +1,77 @@
+package cluster
+
+import "context"
+
+// QoS tags classify RPC traffic for the serving plane's admission control:
+// the client stamps a priority class (and optionally a tenant name for quota
+// accounting) on the context, the TCP frame carries both to the server, and
+// the server handler reads them back via PriorityFrom/TenantFrom. Untagged
+// calls are PriorityNone everywhere — old-format frames (without the QoS
+// field) decode as untagged calls, and untagged calls are emitted as
+// pre-QoS frames byte-for-byte.
+
+// Priority is an RPC priority class. Order matters: higher values shed first.
+type Priority uint8
+
+// Priority classes, in shed order (highest value sheds first).
+const (
+	// PriorityNone marks an untagged call; admission control treats it as
+	// PriorityInteractive.
+	PriorityNone Priority = 0
+	// PriorityControl is ingest, tracking, and control-plane traffic. Never
+	// shed: dropping it loses data or strands protocol state.
+	PriorityControl Priority = 1
+	// PriorityInteractive is user-facing query traffic: shed only when the
+	// serving plane is far past its concurrency watermark.
+	PriorityInteractive Priority = 2
+	// PriorityBackground is bulk/analytics query traffic: the first class
+	// shed under load.
+	PriorityBackground Priority = 3
+)
+
+// String names the class for metrics and logs.
+func (p Priority) String() string {
+	switch p {
+	case PriorityControl:
+		return "control"
+	case PriorityInteractive:
+		return "interactive"
+	case PriorityBackground:
+		return "background"
+	default:
+		return "none"
+	}
+}
+
+type priorityKey struct{}
+type tenantKey struct{}
+
+// WithPriority returns a context carrying the priority class. PriorityNone is
+// a no-op.
+func WithPriority(ctx context.Context, p Priority) context.Context {
+	if p == PriorityNone {
+		return ctx
+	}
+	return context.WithValue(ctx, priorityKey{}, p)
+}
+
+// PriorityFrom extracts the priority class (PriorityNone when untagged).
+func PriorityFrom(ctx context.Context) Priority {
+	p, _ := ctx.Value(priorityKey{}).(Priority)
+	return p
+}
+
+// WithTenant returns a context carrying the tenant name charged for the
+// call's quota. An empty tenant is a no-op.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom extracts the tenant name ("" when untagged).
+func TenantFrom(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}

@@ -18,18 +18,21 @@ import (
 //
 // RPC frame layout (inside the TCP stream):
 //
-//	[4B frame length][8B request id][1B flags][1B kind][8B trace id]?[1B format]?[payload]
+//	[4B frame length][8B request id][1B flags][1B kind][8B trace id]?[1B priority][1B tenant len][tenant]?[1B format]?[payload]
 //
 // where flags bit0 = response, bit1 = trace id present (frame v2: the 8-byte
-// trace field sits between the kind byte and the payload), and bit2 = wire
+// trace field sits between the kind byte and the payload), bit2 = wire
 // format byte present (frame v3: a wire.Format byte follows the trace field —
 // or the kind byte when untraced — naming the payload encoding; without bit2
-// the payload is wire.FormatV1). Frames without bit1/bit2 are the original v1
-// layout, so old and new peers interoperate: a v1 frame decodes as an
-// untraced FormatV1 call, and untraced FormatV1 calls are emitted as v1
-// frames byte-for-byte. An unknown format byte fails the frame cleanly — it
-// is never mis-decoded as FormatV1. The frame length covers everything after
-// the length field itself.
+// the payload is wire.FormatV1), and bit3 = QoS tag present (frame v4: a
+// priority byte plus a length-prefixed tenant name sit between the trace
+// field and the format byte; the serving plane's admission control reads
+// them via PriorityFrom/TenantFrom). Frames without bit1/bit2/bit3 are the
+// original v1 layout, so old and new peers interoperate: a v1 frame decodes
+// as an untraced, untagged FormatV1 call, and untraced untagged FormatV1
+// calls are emitted as v1 frames byte-for-byte. An unknown format byte fails
+// the frame cleanly — it is never mis-decoded as FormatV1. The frame length
+// covers everything after the length field itself.
 //
 // Frames are built in and read into pooled wire.Buf buffers: encode appends
 // the header and payload into one borrowed buffer released after the socket
@@ -54,9 +57,22 @@ const (
 	flagResponse = 1 << 0
 	flagTrace    = 1 << 1 // frame v2: 8-byte trace id follows the kind byte
 	flagFormat   = 1 << 2 // frame v3: wire.Format byte follows the trace field
+	flagQoS      = 1 << 3 // frame v4: priority byte + tenant string follow the trace field
 	rpcHeaderLen = 8 + 1 + 1
 	rpcTraceLen  = 8
+	// maxTenantLen bounds the tenant name on the wire (one length byte).
+	maxTenantLen = 255
 )
+
+// frameHeader is the decoded RPC frame header: identity, routing flags, and
+// the optional trace/QoS tags.
+type frameHeader struct {
+	reqID   uint64
+	flags   byte
+	traceID uint64
+	pri     Priority
+	tenant  string
+}
 
 // Serve implements Transport.
 func (t *TCP) Serve(addr string, h Handler) (Server, error) {
@@ -138,17 +154,20 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 	for {
-		reqID, flags, traceID, env, err := readRPCFrame(r)
+		hdr, env, err := readRPCFrame(r)
 		if err != nil {
 			return
 		}
-		if flags&flagResponse != 0 {
+		if hdr.flags&flagResponse != 0 {
 			continue // stray response on a server connection; drop
 		}
 		handlers.Add(1)
 		go func() {
 			defer handlers.Done()
-			resp, err := s.handler(WithTrace(context.Background(), traceID), peer, env.Payload)
+			hctx := WithTrace(context.Background(), hdr.traceID)
+			hctx = WithPriority(hctx, hdr.pri)
+			hctx = WithTenant(hctx, hdr.tenant)
+			resp, err := s.handler(hctx, peer, env.Payload)
 			if err != nil {
 				resp = &wire.Error{Code: wire.CodeUnknown, Message: err.Error()}
 			}
@@ -166,9 +185,9 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 			// copied it.
 			buf := wire.BorrowBuf()
 			defer buf.Release()
-			frame, err := appendRPCFrame(buf.B[:0], reqID, flagResponse, traceID, resp)
+			frame, err := appendRPCFrame(buf.B[:0], hdr.reqID, flagResponse, hdr.traceID, resp)
 			if err != nil {
-				frame, err = appendRPCFrame(buf.B[:0], reqID, flagResponse, traceID,
+				frame, err = appendRPCFrame(buf.B[:0], hdr.reqID, flagResponse, hdr.traceID,
 					&wire.Error{Code: wire.CodeUnknown, Message: "response encoding failed: " + err.Error()})
 				if err != nil {
 					conn.Close()
@@ -297,18 +316,18 @@ func (c *tcpClient) close() {
 func (c *tcpClient) readLoop() {
 	r := bufio.NewReaderSize(c.conn, 64<<10)
 	for {
-		reqID, flags, _, env, err := readRPCFrame(r)
+		hdr, env, err := readRPCFrame(r)
 		if err != nil {
 			c.close()
 			return
 		}
-		if flags&flagResponse == 0 {
+		if hdr.flags&flagResponse == 0 {
 			continue // servers do not push requests to clients
 		}
 		c.mu.Lock()
-		ch, ok := c.pending[reqID]
+		ch, ok := c.pending[hdr.reqID]
 		if ok {
-			delete(c.pending, reqID)
+			delete(c.pending, hdr.reqID)
 		}
 		c.mu.Unlock()
 		if ok {
@@ -330,7 +349,7 @@ func (c *tcpClient) call(ctx context.Context, req any) (any, error) {
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	err := writeRPCFrame(c.w, id, 0, TraceFrom(ctx), req)
+	err := writeRPCFrame(c.w, id, 0, TraceFrom(ctx), PriorityFrom(ctx), TenantFrom(ctx), req)
 	if err == nil {
 		err = c.w.Flush()
 	}
@@ -366,7 +385,7 @@ func (c *tcpClient) call(ctx context.Context, req any) (any, error) {
 // (flagTrace set, 8-byte trace field); traceID 0 emits the original v1 frame
 // byte-for-byte.
 func appendRPCFrame(buf []byte, reqID uint64, flags byte, traceID uint64, payload any) ([]byte, error) {
-	return appendRPCFrameFormat(buf, wire.FormatV1, reqID, flags, traceID, payload)
+	return appendRPCFrameFull(buf, wire.FormatV1, reqID, flags, traceID, PriorityNone, "", payload)
 }
 
 // appendRPCFrameFormat is appendRPCFrame for an explicit wire format.
@@ -374,9 +393,19 @@ func appendRPCFrame(buf []byte, reqID uint64, flags byte, traceID uint64, payloa
 // v1 peers keep decoding it; any other format sets flagFormat and inserts its
 // format byte before the payload.
 func appendRPCFrameFormat(buf []byte, f wire.Format, reqID uint64, flags byte, traceID uint64, payload any) ([]byte, error) {
+	return appendRPCFrameFull(buf, f, reqID, flags, traceID, PriorityNone, "", payload)
+}
+
+// appendRPCFrameFull is the full frame encoder: format, trace, and QoS tags.
+// An untagged call (PriorityNone, empty tenant) emits a pre-QoS frame
+// byte-for-byte, so old peers keep decoding traffic from new clients.
+func appendRPCFrameFull(buf []byte, f wire.Format, reqID uint64, flags byte, traceID uint64, pri Priority, tenant string, payload any) ([]byte, error) {
 	kind := wire.KindOf(payload)
 	if kind == 0 {
 		return buf, &RemoteError{Code: wire.CodeBadRequest, Message: fmt.Sprintf("unknown message type %T", payload)}
+	}
+	if len(tenant) > maxTenantLen {
+		return buf, &RemoteError{Code: wire.CodeBadRequest, Message: fmt.Sprintf("tenant name %d bytes exceeds %d", len(tenant), maxTenantLen)}
 	}
 	if traceID != 0 {
 		flags |= flagTrace
@@ -388,12 +417,21 @@ func appendRPCFrameFormat(buf []byte, f wire.Format, reqID uint64, flags byte, t
 	} else {
 		flags &^= flagFormat
 	}
+	if pri != PriorityNone || tenant != "" {
+		flags |= flagQoS
+	} else {
+		flags &^= flagQoS
+	}
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0)
 	buf = binary.BigEndian.AppendUint64(buf, reqID)
 	buf = append(buf, flags, byte(kind))
 	if traceID != 0 {
 		buf = binary.BigEndian.AppendUint64(buf, traceID)
+	}
+	if flags&flagQoS != 0 {
+		buf = append(buf, byte(pri), byte(len(tenant)))
+		buf = append(buf, tenant...)
 	}
 	if f != wire.FormatV1 {
 		buf = append(buf, byte(f))
@@ -411,11 +449,12 @@ func appendRPCFrameFormat(buf []byte, f wire.Format, reqID uint64, flags byte, t
 }
 
 // writeRPCFrame marshals and writes one framed RPC message via a pooled
-// buffer (w is buffered, so the frame is copied before release).
-func writeRPCFrame(w io.Writer, reqID uint64, flags byte, traceID uint64, payload any) error {
+// buffer (w is buffered, so the frame is copied before release). pri/tenant
+// add the QoS tag; untagged calls stay pre-QoS frames byte-for-byte.
+func writeRPCFrame(w io.Writer, reqID uint64, flags byte, traceID uint64, pri Priority, tenant string, payload any) error {
 	buf := wire.BorrowBuf()
 	defer buf.Release()
-	frame, err := appendRPCFrame(buf.B[:0], reqID, flags, traceID, payload)
+	frame, err := appendRPCFrameFull(buf.B[:0], wire.FormatV1, reqID, flags, traceID, pri, tenant, payload)
 	if err != nil {
 		return err
 	}
@@ -425,46 +464,61 @@ func writeRPCFrame(w io.Writer, reqID uint64, flags byte, traceID uint64, payloa
 }
 
 // readRPCFrame reads one framed RPC message into a pooled buffer, released
-// before returning (decoded payloads never alias it). traceID is 0 for v1
-// frames. A flagFormat frame dispatches on its format byte; unknown formats
-// error cleanly instead of being decoded as FormatV1.
-func readRPCFrame(r io.Reader) (reqID uint64, flags byte, traceID uint64, env wire.Envelope, err error) {
+// before returning (decoded payloads never alias it). hdr.traceID is 0 and
+// hdr.pri/hdr.tenant are zero for v1 frames. A flagFormat frame dispatches on
+// its format byte; unknown formats error cleanly instead of being decoded as
+// FormatV1.
+func readRPCFrame(r io.Reader) (hdr frameHeader, env wire.Envelope, err error) {
 	var lenBuf [4]byte
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, 0, 0, wire.Envelope{}, err
+		return frameHeader{}, wire.Envelope{}, err
 	}
 	total := binary.BigEndian.Uint32(lenBuf[:])
 	if total < rpcHeaderLen || total > wire.MaxFrameSize {
-		return 0, 0, 0, wire.Envelope{}, wire.ErrFrameTooLarge
+		return frameHeader{}, wire.Envelope{}, wire.ErrFrameTooLarge
 	}
 	b := wire.BorrowBuf()
 	defer b.Release()
 	buf := b.Grow(int(total))
 	if _, err = io.ReadFull(r, buf); err != nil {
-		return 0, 0, 0, wire.Envelope{}, err
+		return frameHeader{}, wire.Envelope{}, err
 	}
-	reqID = binary.BigEndian.Uint64(buf[0:8])
-	flags = buf[8]
+	hdr.reqID = binary.BigEndian.Uint64(buf[0:8])
+	hdr.flags = buf[8]
 	kind := wire.MsgKind(buf[9])
 	body := buf[rpcHeaderLen:]
-	if flags&flagTrace != 0 {
+	if hdr.flags&flagTrace != 0 {
 		if len(body) < rpcTraceLen {
-			return 0, 0, 0, wire.Envelope{}, io.ErrUnexpectedEOF
+			return frameHeader{}, wire.Envelope{}, io.ErrUnexpectedEOF
 		}
-		traceID = binary.BigEndian.Uint64(body[:rpcTraceLen])
+		hdr.traceID = binary.BigEndian.Uint64(body[:rpcTraceLen])
 		body = body[rpcTraceLen:]
 	}
+	if hdr.flags&flagQoS != 0 {
+		if len(body) < 2 {
+			return frameHeader{}, wire.Envelope{}, io.ErrUnexpectedEOF
+		}
+		hdr.pri = Priority(body[0])
+		tlen := int(body[1])
+		body = body[2:]
+		if len(body) < tlen {
+			return frameHeader{}, wire.Envelope{}, io.ErrUnexpectedEOF
+		}
+		// The tenant must not alias the pooled read buffer.
+		hdr.tenant = string(body[:tlen])
+		body = body[tlen:]
+	}
 	format := wire.FormatV1
-	if flags&flagFormat != 0 {
+	if hdr.flags&flagFormat != 0 {
 		if len(body) < 1 {
-			return 0, 0, 0, wire.Envelope{}, io.ErrUnexpectedEOF
+			return frameHeader{}, wire.Envelope{}, io.ErrUnexpectedEOF
 		}
 		format = wire.Format(body[0])
 		body = body[1:]
 	}
 	payload, err := wire.UnmarshalFormat(format, kind, body)
 	if err != nil {
-		return 0, 0, 0, wire.Envelope{}, err
+		return frameHeader{}, wire.Envelope{}, err
 	}
-	return reqID, flags, traceID, wire.Envelope{Kind: kind, Payload: payload}, nil
+	return hdr, wire.Envelope{Kind: kind, Payload: payload}, nil
 }

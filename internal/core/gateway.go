@@ -1,0 +1,38 @@
+package core
+
+import "context"
+
+// Gateway intercepts inbound client RPCs before the coordinator's own
+// dispatch. The serving plane (internal/serve) installs one to add result
+// caching, shared continuous-query fan-out, and admission control without the
+// coordinator knowing about any of it: a request the gateway handles is
+// answered from the front end; anything else falls through to the normal
+// dispatch path. Worker control traffic and HA protocol frames are never
+// offered to the gateway.
+type Gateway interface {
+	// Intercept is called with the inbound request. It returns the response
+	// and handled=true to short-circuit dispatch, or handled=false to let the
+	// coordinator answer. Intercept may call back into the coordinator's
+	// exported query methods; those do not re-enter the gateway.
+	Intercept(ctx context.Context, req any) (resp any, handled bool)
+}
+
+// SetGateway installs (or, with nil, removes) the front-end gateway. Safe to
+// call while the coordinator is serving.
+func (c *Coordinator) SetGateway(g Gateway) {
+	if g == nil {
+		c.gateway.Store((*gatewaySlot)(nil))
+		return
+	}
+	c.gateway.Store(&gatewaySlot{g: g})
+}
+
+// gatewaySlot boxes the interface so atomic.Pointer has a concrete type.
+type gatewaySlot struct{ g Gateway }
+
+func (c *Coordinator) loadGateway() Gateway {
+	if slot := c.gateway.Load(); slot != nil {
+		return slot.g
+	}
+	return nil
+}

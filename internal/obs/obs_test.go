@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -16,7 +17,9 @@ import (
 
 	"stcam/internal/cluster"
 	"stcam/internal/core"
+	"stcam/internal/geo"
 	"stcam/internal/metrics"
+	"stcam/internal/serve"
 	"stcam/internal/wire"
 )
 
@@ -245,6 +248,72 @@ func firstLines(s string, n int) string {
 		lines = lines[:n]
 	}
 	return strings.Join(lines, "\n")
+}
+
+// TestServingPlaneMetricsExposition attaches the serving plane to a live
+// coordinator and asserts its serve.* series render through /metrics with the
+// values the traffic produced: a repeated Count query leaves exactly one
+// cache miss and one hit, and a live subscription shows in the subscribers
+// gauge and drops back to zero after unsubscribe.
+func TestServingPlaneMetricsExposition(t *testing.T) {
+	c, err := core.NewLocalCluster(1, nil, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	omni := []wire.CameraInfo{{ID: 1, Pos: geo.Pt(500, 500), HalfFOV: math.Pi, Range: 1000}}
+	if err := c.Coordinator.AddCameras(ctx, omni, 50); err != nil {
+		t.Fatal(err)
+	}
+	serve.New(c.Coordinator, serve.Options{CacheTTL: time.Hour})
+
+	srv := httptest.NewServer(NewMux(Options{Node: "coord", Snapshot: c.Coordinator.StatsSnapshot}))
+	defer srv.Close()
+
+	q := &wire.CountQuery{
+		Rect:   geo.RectOf(0, 0, 1000, 1000),
+		Window: wire.TimeWindow{From: time.Unix(0, 0).UTC(), To: time.Unix(4e9, 0).UTC()},
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Transport.Call(ctx, c.Coordinator.Addr(), q); err != nil {
+			t.Fatalf("count query %d: %v", i, err)
+		}
+	}
+	resp, err := c.Transport.Call(ctx, c.Coordinator.Addr(),
+		&wire.Subscribe{Kind: wire.ContinuousRange, Rect: geo.RectOf(0, 0, 400, 400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack := resp.(*wire.SubscribeAck)
+
+	body, status := scrape(t, srv.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	for name, want := range map[string]string{
+		"stcam_serve_cache_misses":  "1",
+		"stcam_serve_cache_hits":    "1",
+		"stcam_serve_cache_entries": "1",
+		"stcam_serve_subscribers":   "1",
+	} {
+		sample := name + `{node="coord"} ` + want
+		if !strings.Contains(body, sample) {
+			t.Errorf("exposition missing %q", sample)
+		}
+	}
+	// The cache-bytes gauge carries the (non-zero) cost of the cached answer.
+	if strings.Contains(body, `stcam_serve_cache_bytes{node="coord"} 0`) ||
+		!strings.Contains(body, "stcam_serve_cache_bytes") {
+		t.Errorf("serve.cache.bytes gauge missing or zero after a cached answer:\n%s", firstLines(body, 30))
+	}
+
+	if _, err := c.Transport.Call(ctx, c.Coordinator.Addr(), &wire.Unsubscribe{SubID: ack.SubID}); err != nil {
+		t.Fatal(err)
+	}
+	body, _ = scrape(t, srv.URL+"/metrics")
+	if !strings.Contains(body, `stcam_serve_subscribers{node="coord"} 0`) {
+		t.Errorf("subscribers gauge did not return to 0 after unsubscribe:\n%s", firstLines(body, 30))
+	}
 }
 
 // TestFailoverTelemetryExposition locks the exposition names of the

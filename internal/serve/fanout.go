@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+
+	"stcam/internal/wire"
+)
+
+// The subscriber protocol multiplexes N clients onto one shared continuous
+// install. Clients Subscribe (getting a SubID and the shared QueryID back),
+// PollUpdates to drain their bounded buffer, and Unsubscribe when done. A
+// subscriber that stays full long enough is evicted — its refcount released
+// immediately so a dead dashboard cannot pin a worker-side install — and
+// learns about it from Evicted on its next poll.
+
+// subscriber is one client's view of a shared install.
+type subscriber struct {
+	id      uint64
+	queryID uint64
+
+	// guarded by the owning fanout's mu
+	buf      []wire.ContinuousUpdate
+	dropped  int64
+	evicted  bool
+	released bool
+}
+
+// fanout distributes one shared install's update stream to its subscribers.
+// mu also guards the subscriber states; the pump holds it only for in-memory
+// delivery, never across an RPC.
+type fanout struct {
+	queryID uint64
+	subs    map[uint64]*subscriber
+}
+
+// subscribe handles wire.Subscribe: admission, shared acquire, fan-out join.
+func (f *Frontend) subscribe(ctx context.Context, m *wire.Subscribe) (any, bool) {
+	if resp, ok := f.admit(ctx, m.Tenant); !ok {
+		return resp, true
+	}
+	defer f.inflight.Add(-1)
+	id, ch, refs, err := f.coord.AcquireContinuous(ctx, m.Kind, m.Rect, m.Threshold)
+	if err != nil {
+		return &wire.Error{Code: wire.CodeBadRequest, Message: err.Error()}, true
+	}
+	sub := &subscriber{id: f.nextSub.Add(1), queryID: id}
+	f.fmu.Lock()
+	fan, ok := f.fans[id]
+	if !ok {
+		fan = &fanout{queryID: id, subs: make(map[uint64]*subscriber)}
+		f.fans[id] = fan
+		go f.pump(fan, ch)
+	}
+	fan.subs[sub.id] = sub
+	f.subs[sub.id] = sub
+	f.fmu.Unlock()
+	f.reg.Gauge("serve.subscribers").Add(1)
+	return &wire.SubscribeAck{SubID: sub.id, QueryID: id, Shared: refs}, true
+}
+
+// pump moves updates from the shared channel into every subscriber's bounded
+// buffer. It exits when the channel closes (last reference released, or the
+// coordinator stopped). Eviction releases happen outside fmu: release is an
+// RPC fan-out to workers.
+func (f *Frontend) pump(fan *fanout, ch <-chan wire.ContinuousUpdate) {
+	f.reg.Gauge("serve.fanout.installs").Add(1)
+	defer f.reg.Gauge("serve.fanout.installs").Add(-1)
+	limit := f.opts.SubscriberBuffer
+	for u := range ch {
+		var evicted []*subscriber
+		f.fmu.Lock()
+		for _, s := range fan.subs {
+			if len(s.buf) < limit {
+				s.buf = append(s.buf, u)
+				continue
+			}
+			s.dropped++
+			f.reg.Counter("serve.fanout.dropped").Inc()
+			if s.dropped >= int64(limit) {
+				// Persistently full: the consumer is gone or hopeless. Cut it
+				// loose rather than let it pin the shared install forever.
+				s.evicted = true
+				delete(fan.subs, s.id)
+				evicted = append(evicted, s)
+			}
+		}
+		f.fmu.Unlock()
+		for _, s := range evicted {
+			f.reg.Counter("serve.subscriber.evictions").Inc()
+			f.releaseSub(context.Background(), s)
+		}
+	}
+	// Channel closed. Any subscribers still attached (coordinator shutdown)
+	// are evicted; their install is already gone, so no release RPC.
+	f.fmu.Lock()
+	if f.fans[fan.queryID] == fan {
+		delete(f.fans, fan.queryID)
+	}
+	for id, s := range fan.subs {
+		s.evicted = true
+		s.released = true
+		delete(fan.subs, id)
+	}
+	f.fmu.Unlock()
+}
+
+// releaseSub drops the subscriber's reference on the shared install exactly
+// once. Returns the references remaining.
+func (f *Frontend) releaseSub(ctx context.Context, s *subscriber) int {
+	f.fmu.Lock()
+	if s.released {
+		f.fmu.Unlock()
+		return 0
+	}
+	s.released = true
+	f.fmu.Unlock()
+	remaining, err := f.coord.ReleaseContinuous(ctx, s.queryID)
+	if err != nil {
+		return 0
+	}
+	f.reg.Gauge("serve.subscribers").Add(-1)
+	return remaining
+}
+
+// poll handles wire.PollUpdates: drain up to Max pending updates. An evicted
+// subscriber gets one final poll reporting Evicted, then is forgotten.
+func (f *Frontend) poll(m *wire.PollUpdates) (any, bool) {
+	f.fmu.Lock()
+	s, ok := f.subs[m.SubID]
+	if !ok {
+		f.fmu.Unlock()
+		return &wire.Error{Code: wire.CodeBadRequest, Message: "serve: unknown subscriber"}, true
+	}
+	n := len(s.buf)
+	if m.Max > 0 && m.Max < n {
+		n = m.Max
+	}
+	updates := make([]wire.ContinuousUpdate, n)
+	copy(updates, s.buf[:n])
+	rest := copy(s.buf, s.buf[n:])
+	s.buf = s.buf[:rest]
+	dropped, evicted := s.dropped, s.evicted
+	if evicted {
+		delete(f.subs, m.SubID)
+	}
+	f.fmu.Unlock()
+	return &wire.PollResult{SubID: m.SubID, Updates: updates, Dropped: dropped, Evicted: evicted}, true
+}
+
+// unsubscribe handles wire.Unsubscribe: detach from the fan-out and release
+// the shared reference. The last unsubscribe uninstalls the query from the
+// workers.
+func (f *Frontend) unsubscribe(ctx context.Context, m *wire.Unsubscribe) (any, bool) {
+	f.fmu.Lock()
+	s, ok := f.subs[m.SubID]
+	if ok {
+		delete(f.subs, m.SubID)
+		if fan, fok := f.fans[s.queryID]; fok {
+			delete(fan.subs, s.id)
+		}
+	}
+	f.fmu.Unlock()
+	if !ok {
+		return &wire.Error{Code: wire.CodeBadRequest, Message: "serve: unknown subscriber"}, true
+	}
+	remaining := f.releaseSub(ctx, s)
+	return &wire.UnsubscribeAck{Remaining: remaining}, true
+}
+
+// SubscriberCount reports attached subscribers (test hook).
+func (f *Frontend) SubscriberCount() int {
+	f.fmu.Lock()
+	defer f.fmu.Unlock()
+	return len(f.subs)
+}

@@ -246,6 +246,18 @@ func KindOf(payload any) MsgKind {
 		return KindLeaderQuery
 	case *LeaderInfo:
 		return KindLeaderInfo
+	case *Subscribe:
+		return KindSubscribe
+	case *SubscribeAck:
+		return KindSubscribeAck
+	case *PollUpdates:
+		return KindPollUpdates
+	case *PollResult:
+		return KindPollResult
+	case *Unsubscribe:
+		return KindUnsubscribe
+	case *UnsubscribeAck:
+		return KindUnsubscribeAck
 	case *Error:
 		return KindError
 	}

@@ -105,11 +105,7 @@ func decodeIntoV1(kind MsgKind, body []byte, msg any) error {
 	case *RemoveContinuous:
 		m.QueryID = d.u64()
 	case *ContinuousUpdate:
-		m.QueryID = d.u64()
-		m.Time = d.timestamp()
-		sliceInto(&d, &m.Positive, (*decoder).recordInto)
-		sliceInto(&d, &m.Negative, (*decoder).recordInto)
-		m.Count = int(d.varint())
+		d.continuousUpdateInto(m)
 	case *AssignCameras:
 		m.Epoch = d.u64()
 		sliceInto(&d, &m.Cameras, (*decoder).cameraInfoInto)
@@ -198,6 +194,27 @@ func decodeIntoV1(kind MsgKind, body []byte, msg any) error {
 		d.strInto(&m.LeaderAddr)
 		m.Epoch = d.u64()
 		m.Applied = d.u64()
+	case *Subscribe:
+		m.Kind = ContinuousKind(d.varint())
+		m.Rect = d.rect()
+		m.Threshold = int(d.varint())
+		d.strInto(&m.Tenant)
+	case *SubscribeAck:
+		m.SubID = d.u64()
+		m.QueryID = d.u64()
+		m.Shared = int(d.varint())
+	case *PollUpdates:
+		m.SubID = d.u64()
+		m.Max = int(d.varint())
+	case *PollResult:
+		m.SubID = d.u64()
+		sliceInto(&d, &m.Updates, (*decoder).continuousUpdateInto)
+		m.Dropped = d.varint()
+		m.Evicted = d.boolean()
+	case *Unsubscribe:
+		m.SubID = d.u64()
+	case *UnsubscribeAck:
+		m.Remaining = int(d.varint())
 	case *Error:
 		m.Code = int(d.varint())
 		d.strInto(&m.Message)
@@ -286,6 +303,18 @@ func newMessageV1(kind MsgKind) any {
 		return &LeaderQuery{}
 	case KindLeaderInfo:
 		return &LeaderInfo{}
+	case KindSubscribe:
+		return &Subscribe{}
+	case KindSubscribeAck:
+		return &SubscribeAck{}
+	case KindPollUpdates:
+		return &PollUpdates{}
+	case KindPollResult:
+		return &PollResult{}
+	case KindUnsubscribe:
+		return &Unsubscribe{}
+	case KindUnsubscribeAck:
+		return &UnsubscribeAck{}
 	case KindError:
 		return &Error{}
 	default:
@@ -489,6 +518,16 @@ func (d *decoder) recordInto(r *ResultRecord) {
 	r.Camera = d.u32()
 	r.Pos = d.point()
 	r.Time = d.timestamp()
+}
+
+// continuousUpdateInto mirrors encoder.continuousUpdate: one shared body
+// decoding for standalone updates and PollResult batches.
+func (d *decoder) continuousUpdateInto(m *ContinuousUpdate) {
+	m.QueryID = d.u64()
+	m.Time = d.timestamp()
+	sliceInto(d, &m.Positive, (*decoder).recordInto)
+	sliceInto(d, &m.Negative, (*decoder).recordInto)
+	m.Count = int(d.varint())
 }
 
 func (d *decoder) knnRecordInto(r *KNNRecord) {

@@ -105,17 +105,7 @@ func appendV1(dst []byte, kind MsgKind, payload any) ([]byte, error) {
 	case *RemoveContinuous:
 		e.u64(m.QueryID)
 	case *ContinuousUpdate:
-		e.u64(m.QueryID)
-		e.timestamp(m.Time)
-		e.varint(int64(len(m.Positive)))
-		for i := range m.Positive {
-			e.record(&m.Positive[i])
-		}
-		e.varint(int64(len(m.Negative)))
-		for i := range m.Negative {
-			e.record(&m.Negative[i])
-		}
-		e.varint(int64(m.Count))
+		e.continuousUpdate(m)
 	case *AssignCameras:
 		e.u64(m.Epoch)
 		e.cameraInfos(m.Cameras)
@@ -232,6 +222,30 @@ func appendV1(dst []byte, kind MsgKind, payload any) ([]byte, error) {
 		e.str(m.LeaderAddr)
 		e.u64(m.Epoch)
 		e.u64(m.Applied)
+	case *Subscribe:
+		e.varint(int64(m.Kind))
+		e.rect(m.Rect)
+		e.varint(int64(m.Threshold))
+		e.str(m.Tenant)
+	case *SubscribeAck:
+		e.u64(m.SubID)
+		e.u64(m.QueryID)
+		e.varint(int64(m.Shared))
+	case *PollUpdates:
+		e.u64(m.SubID)
+		e.varint(int64(m.Max))
+	case *PollResult:
+		e.u64(m.SubID)
+		e.varint(int64(len(m.Updates)))
+		for i := range m.Updates {
+			e.continuousUpdate(&m.Updates[i])
+		}
+		e.varint(m.Dropped)
+		e.boolean(m.Evicted)
+	case *Unsubscribe:
+		e.u64(m.SubID)
+	case *UnsubscribeAck:
+		e.varint(int64(m.Remaining))
 	case *Error:
 		e.varint(int64(m.Code))
 		e.str(m.Message)
@@ -323,6 +337,23 @@ func (e *encoder) record(r *ResultRecord) {
 	e.u32(r.Camera)
 	e.point(r.Pos)
 	e.timestamp(r.Time)
+}
+
+// continuousUpdate is the shared body encoding of one ContinuousUpdate,
+// byte-identical whether the update travels standalone (KindContinuousUpdate)
+// or inside a PollResult batch.
+func (e *encoder) continuousUpdate(m *ContinuousUpdate) {
+	e.u64(m.QueryID)
+	e.timestamp(m.Time)
+	e.varint(int64(len(m.Positive)))
+	for i := range m.Positive {
+		e.record(&m.Positive[i])
+	}
+	e.varint(int64(len(m.Negative)))
+	for i := range m.Negative {
+		e.record(&m.Negative[i])
+	}
+	e.varint(int64(m.Count))
 }
 
 func (e *encoder) cameraInfos(cs []CameraInfo) {

@@ -143,6 +143,19 @@ func goldenFixtures() []goldenFixture {
 		{KindReplicateAck, &ReplicateAck{Applied: 17, NeedFrom: 12}},
 		{KindLeaderQuery, &LeaderQuery{}},
 		{KindLeaderInfo, &LeaderInfo{Node: "c2", Addr: "10.0.0.10:7100", IsLeader: false, Leader: "c1", LeaderAddr: "10.0.0.9:7100", Epoch: 4, Applied: 17}},
+		{KindSubscribe, &Subscribe{Kind: ContinuousRange, Rect: rect, Threshold: 2, Tenant: "acme"}},
+		{KindSubscribeAck, &SubscribeAck{SubID: 9001, QueryID: 1005, Shared: 64}},
+		{KindPollUpdates, &PollUpdates{SubID: 9001, Max: 128}},
+		{KindPollResult, &PollResult{
+			SubID: 9001,
+			Updates: []ContinuousUpdate{
+				{QueryID: 1005, Time: t0, Positive: records[:1], Count: 3},
+				{QueryID: 1005, Time: t0.Add(time.Second), Negative: records[1:], Count: 2},
+			},
+			Dropped: 7, Evicted: true,
+		}},
+		{KindUnsubscribe, &Unsubscribe{SubID: 9001}},
+		{KindUnsubscribeAck, &UnsubscribeAck{Remaining: 63}},
 	}
 }
 

@@ -276,7 +276,7 @@ func TestQuickDecoderNeverPanics(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		body := make([]byte, int(n%2048))
 		rng.Read(body)
-		for kind := KindRegister; kind <= KindFilterResult; kind++ {
+		for kind := KindRegister; kind <= KindUnsubscribeAck; kind++ {
 			func() {
 				defer func() {
 					if r := recover(); r != nil {

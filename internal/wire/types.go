@@ -57,6 +57,12 @@ const (
 	KindReplicateAck
 	KindLeaderQuery
 	KindLeaderInfo
+	KindSubscribe
+	KindSubscribeAck
+	KindPollUpdates
+	KindPollResult
+	KindUnsubscribe
+	KindUnsubscribeAck
 )
 
 var kindNames = map[MsgKind]string{
@@ -97,6 +103,12 @@ var kindNames = map[MsgKind]string{
 	KindReplicateAck:       "ReplicateAck",
 	KindLeaderQuery:        "LeaderQuery",
 	KindLeaderInfo:         "LeaderInfo",
+	KindSubscribe:          "Subscribe",
+	KindSubscribeAck:       "SubscribeAck",
+	KindPollUpdates:        "PollUpdates",
+	KindPollResult:         "PollResult",
+	KindUnsubscribe:        "Unsubscribe",
+	KindUnsubscribeAck:     "UnsubscribeAck",
 }
 
 // String implements fmt.Stringer.
@@ -623,6 +635,59 @@ type LeaderInfo struct {
 	Applied    uint64
 }
 
+// Subscribe asks the serving plane for a standing continuous-query
+// subscription. Subscriptions with identical (Kind, Rect, Threshold) shapes
+// share one worker-side install — N subscribers to the same geofence cost one
+// evaluation per observation. Tenant names the quota bucket the subscription
+// is charged to ("" = the anonymous pool).
+type Subscribe struct {
+	Kind      ContinuousKind
+	Rect      geo.Rect
+	Threshold int
+	Tenant    string
+}
+
+// SubscribeAck confirms a subscription: SubID is the subscriber's private
+// handle for PollUpdates/Unsubscribe; QueryID identifies the shared install
+// backing it; Shared counts the subscribers multiplexed onto that install,
+// this one included.
+type SubscribeAck struct {
+	SubID   uint64
+	QueryID uint64
+	Shared  int
+}
+
+// PollUpdates drains a subscriber's buffered continuous-query deltas (the
+// transport is request/response, so delivery is poll-based). Max bounds the
+// updates returned per poll (0 = all buffered).
+type PollUpdates struct {
+	SubID uint64
+	Max   int
+}
+
+// PollResult carries the drained deltas. Dropped is the lifetime count of
+// updates lost to this subscriber's buffer overflowing; Evicted means the
+// serving plane gave up on this slow consumer — the SubID is dead and the
+// client must re-subscribe.
+type PollResult struct {
+	SubID   uint64
+	Updates []ContinuousUpdate
+	Dropped int64
+	Evicted bool
+}
+
+// Unsubscribe ends a subscription, releasing its share of the backing
+// install (the install itself is uninstalled when the last subscriber
+// leaves).
+type Unsubscribe struct {
+	SubID uint64
+}
+
+// UnsubscribeAck reports how many subscribers still share the install.
+type UnsubscribeAck struct {
+	Remaining int
+}
+
 // Error is the wire form of a failed request.
 type Error struct {
 	Code    int
@@ -647,4 +712,12 @@ const (
 	// camera registration). The error message carries the current leader's
 	// address when the standby knows one, so the caller can redirect.
 	CodeNotLeader = 8
+	// CodeOverQuota is the serving plane's answer to a query or subscription
+	// whose tenant's token bucket is empty. The request was well-formed; the
+	// caller should back off and retry after its quota refills.
+	CodeOverQuota = 9
+	// CodeShed is the serving plane's admission-control answer under
+	// overload: query traffic of the caller's priority class is being
+	// dropped to protect ingest and tracking, which are never shed.
+	CodeShed = 10
 )

@@ -33,11 +33,14 @@
 package stcam
 
 import (
+	"context"
+
 	"stcam/internal/camera"
 	"stcam/internal/cluster"
 	"stcam/internal/core"
 	"stcam/internal/geo"
 	"stcam/internal/obs"
+	"stcam/internal/serve"
 	"stcam/internal/sim"
 	"stcam/internal/vision"
 	"stcam/internal/wire"
@@ -209,6 +212,44 @@ func NewLocalClusterOver(t Transport, n int, p Partitioner, opts Options) (*Clus
 // failover and partition chaos testing.
 func NewHACluster(m, n int, p Partitioner, seed int64, opts Options) (*HACluster, error) {
 	return core.NewHACluster(m, n, p, seed, opts)
+}
+
+// Serving plane: the coordinator front end for heavy read traffic — shared
+// continuous-query fan-out, an epoch-keyed result cache, and admission
+// control with priority shedding and per-tenant quotas. cmd/stcamd mounts it
+// behind the -serve flag.
+type (
+	// Frontend is a running serving plane, installed as the coordinator's
+	// gateway.
+	Frontend = serve.Frontend
+	// ServeOptions configures the serving plane (cache budget and TTL,
+	// quota rate, shed watermark, subscriber buffering).
+	ServeOptions = serve.Options
+	// Priority is an RPC priority class for admission control.
+	Priority = cluster.Priority
+)
+
+// Priority classes, in shed order: background sheds first, interactive at
+// twice the watermark, control never.
+const (
+	PriorityControl     = cluster.PriorityControl
+	PriorityInteractive = cluster.PriorityInteractive
+	PriorityBackground  = cluster.PriorityBackground
+)
+
+// NewFrontend attaches a serving plane to the coordinator and returns it.
+func NewFrontend(c *Coordinator, o ServeOptions) *Frontend { return serve.New(c, o) }
+
+// WithPriority tags outbound calls on this context with a priority class the
+// serving plane sheds by.
+func WithPriority(ctx context.Context, p Priority) context.Context {
+	return cluster.WithPriority(ctx, p)
+}
+
+// WithTenant tags outbound calls on this context with the tenant charged for
+// the serving plane's per-tenant query quota.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return cluster.WithTenant(ctx, tenant)
 }
 
 // NewIngester returns a detection router bound to a coordinator, with
